@@ -1,0 +1,105 @@
+// ABL-TRANSPORT — the lightweight reliable transport (§3.2).
+//
+//   "There will need to be a new, light-weight form of reliable
+//    transmission, separated from the other features provided by TCP
+//    (e.g., slow start)."
+//
+// The channel is fragmentation + per-fragment acks + RTO with
+// progress-aware backoff — nothing else.  This bench moves whole objects
+// across the fabric and reports goodput (payload delivered per unit of
+// simulated time), wire overhead (total bytes / payload bytes), and
+// retransmission counts, sweeping loss rate and MTU.  The claim under
+// test is feasibility: reliability without connection state or
+// congestion machinery, degrading gracefully under loss.
+#include "bench_util.hpp"
+#include "net/fabric.hpp"
+
+using namespace objrpc;
+using namespace objrpc::bench;
+
+namespace {
+
+struct Moved {
+  double goodput_mbps = 0;   // payload bits / simulated second
+  double overhead = 0;       // wire bytes / payload bytes
+  double retx = 0;           // retransmitted fragments
+  double elapsed_ms = 0;
+  bool ok = false;
+};
+
+Moved run(double loss, std::uint32_t mtu, std::uint64_t object_bytes,
+          std::uint64_t seed) {
+  FabricConfig cfg;
+  cfg.scheme = DiscoveryScheme::e2e;
+  cfg.seed = seed;
+  cfg.host_link.loss_rate = loss;
+  cfg.switch_link.loss_rate = loss;
+  cfg.reliable_cfg.mtu = mtu;
+  cfg.reliable_cfg.max_retries = 30;
+  auto fabric = Fabric::build(cfg);
+
+  auto obj = fabric->service(1).create_object(object_bytes);
+  if (!obj) std::abort();
+
+  Moved m;
+  const auto wire0 = fabric->network().stats().bytes_sent;
+  const SimTime t0 = fabric->loop().now();
+  SimTime t_done = t0;
+  fabric->service(1).move_object((*obj)->id(), fabric->host(2).addr(),
+                                 [&](Status s) {
+                                   m.ok = s.is_ok();
+                                   t_done = fabric->loop().now();
+                                 });
+  fabric->settle();
+  if (!m.ok) return m;
+  const double secs =
+      static_cast<double>(t_done - t0) / static_cast<double>(kSecond);
+  const double wire_bytes =
+      static_cast<double>(fabric->network().stats().bytes_sent - wire0);
+  m.goodput_mbps =
+      static_cast<double>(object_bytes) * 8.0 / 1e6 / std::max(secs, 1e-12);
+  m.overhead = wire_bytes / static_cast<double>(object_bytes);
+  m.retx = static_cast<double>(
+      fabric->service(1).reliable().counters().retransmissions);
+  m.elapsed_ms = secs * 1e3;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABL-TRANSPORT: lightweight reliable object movement "
+              "(1 MiB object, host1 -> host2)\n\n");
+  const std::uint64_t kObject = 1 << 20;
+
+  std::printf("-- loss sweep (MTU 1400) --\n");
+  Table loss_table({"loss_pct", "goodput_Mbps", "overhead", "retx",
+                    "elapsed_ms"});
+  for (double loss : {0.0, 0.01, 0.05, 0.10, 0.20, 0.30}) {
+    const Moved m = run(loss, 1400, kObject, 800 + static_cast<int>(loss * 100));
+    if (!m.ok) {
+      std::printf("%14.0f  FAILED (retry budget)\n", loss * 100);
+      continue;
+    }
+    loss_table.row({loss * 100, m.goodput_mbps, m.overhead, m.retx,
+                    m.elapsed_ms});
+  }
+
+  std::printf("\n-- MTU sweep (5%% loss) --\n");
+  Table mtu_table({"mtu", "goodput_Mbps", "overhead", "retx", "elapsed_ms"});
+  for (std::uint32_t mtu : {256, 512, 1400, 4096, 9000}) {
+    const Moved m = run(0.05, mtu, kObject, 900 + mtu);
+    if (!m.ok) {
+      std::printf("%14u  FAILED (retry budget)\n", mtu);
+      continue;
+    }
+    mtu_table.row({static_cast<double>(mtu), m.goodput_mbps, m.overhead,
+                   m.retx, m.elapsed_ms});
+  }
+  std::printf(
+      "\nseries: goodput degrades gracefully with loss (selective "
+      "per-fragment retransmit,\nno handshake or window collapse); "
+      "overhead is acks + headers + retransmissions;\nlarger MTUs "
+      "amortize headers but lose more per drop.\n");
+  return 0;
+}

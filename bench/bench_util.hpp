@@ -1,0 +1,66 @@
+// Shared helpers for the figure/claim benches: sequential async drivers
+// and aligned table printing.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace objrpc::bench {
+
+/// Drive `n` asynchronous steps strictly one-after-another: `step(i,
+/// next)` must call `next()` when step i completes.  `done` fires after
+/// the last step.  The event loop must be pumped by the caller (steps
+/// are expected to schedule simulator events).
+inline void run_sequential(int n,
+                           std::function<void(int, std::function<void()>)> step,
+                           std::function<void()> done) {
+  auto advance = std::make_shared<std::function<void(int)>>();
+  *advance = [n, step = std::move(step), done = std::move(done),
+              advance](int i) {
+    if (i >= n) {
+      done();
+      return;
+    }
+    step(i, [advance, i] { (*advance)(i + 1); });
+  };
+  (*advance)(0);
+}
+
+/// Fixed-width table printing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) {
+      std::printf("%14s", h.c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%14s", "------------");
+    }
+    std::printf("\n");
+  }
+
+  void row(const std::vector<double>& values) {
+    for (double v : values) {
+      if (v == static_cast<double>(static_cast<long long>(v)) &&
+          std::abs(v) < 1e15) {
+        std::printf("%14lld", static_cast<long long>(v));
+      } else {
+        std::printf("%14.2f", v);
+      }
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::string> headers_;
+};
+
+}  // namespace objrpc::bench

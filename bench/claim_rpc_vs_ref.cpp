@@ -1,0 +1,208 @@
+// CLAIM-RPCFIT — where RPC fits and where call-by-reference wins (§2,
+// "Patterns of RPC").
+//
+//   "RPC shines in situations where … an RPC endpoint either fronts
+//    large data, large compute relative to the invoker, or some
+//    combination, with small arguments and return values.  But
+//    call-by-small-value is a significant constraint."
+//
+// Two scenarios over the same simulated fabric:
+//
+//   A. fronted-KV (RPC's GOOD case): data at the server, tiny request,
+//      tiny reply.  RPC and object read should be comparable — the
+//      bench is honest about where the baseline is fine.
+//
+//   B. data-at-invoker (the paper's pain case): the caller holds the
+//      payload and needs remote compute.  RPC must ship the payload by
+//      value (serialize -> wire -> deserialize) EVERY call; the object
+//      system publishes the data once as an object and invokes by
+//      reference, letting placement run the code next to it.  The sweep
+//      finds the crossover.
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "rpc/rpc_core.hpp"
+
+using namespace objrpc;
+using namespace objrpc::bench;
+
+namespace {
+
+/// Scenario A: tiny get against a fronted store.
+void scenario_fronted_kv() {
+  std::printf("-- A: fronted key-value (RPC's good case: small args, "
+              "small returns) --\n");
+  Table table({"op", "lat_us", "wire_B"});
+
+  {  // RPC baseline.
+    FabricConfig cfg;
+    cfg.scheme = DiscoveryScheme::e2e;
+    cfg.seed = 5;
+    auto fabric = Fabric::build(cfg);
+    RpcClient client(fabric->host(0));
+    RpcServer server(fabric->host(1));
+    server.register_method("get",
+                           [](HostAddr, ByteSpan, RpcServer::ReplyFn reply) {
+                             reply(Bytes(64, 0xBB));
+                           });
+    // Warm switch learning.
+    client.call(fabric->host(1).addr(), "get", Bytes(16, 1),
+                [](Result<Bytes>, const RpcCallStats&) {});
+    fabric->settle();
+    const auto wire0 = fabric->network().stats().bytes_sent;
+    client.call(fabric->host(1).addr(), "get", Bytes(16, 1),
+                [&](Result<Bytes> r, const RpcCallStats& s) {
+                  if (!r) std::abort();
+                  table.row({0, to_micros(s.elapsed()),
+                             static_cast<double>(
+                                 fabric->network().stats().bytes_sent -
+                                 wire0)});
+                });
+    fabric->settle();
+  }
+  {  // Object read.
+    ClusterConfig cfg;
+    cfg.fabric.scheme = DiscoveryScheme::controller;
+    cfg.fabric.seed = 5;
+    auto cluster = Cluster::build(cfg);
+    auto obj = cluster->create_object(1, 4096);
+    if (!obj) std::abort();
+    cluster->settle();
+    const auto wire0 = cluster->fabric().network().stats().bytes_sent;
+    cluster->service(0).read(
+        GlobalPtr{(*obj)->id(), Object::kDataStart}, 64,
+        [&](Result<Bytes> r, const AccessStats& s) {
+          if (!r) std::abort();
+          table.row({1, to_micros(s.elapsed()),
+                     static_cast<double>(
+                         cluster->fabric().network().stats().bytes_sent -
+                         wire0)});
+        });
+    cluster->settle();
+  }
+  std::printf("(op 0 = RPC get, op 1 = object read; both ~1 RTT — RPC is "
+              "FINE here, as §2 concedes)\n\n");
+}
+
+/// Scenario B: the invoker holds `payload_bytes` of data and needs
+/// remote compute over it, `calls` times.
+struct BResult {
+  double total_us;
+  double per_call_us;
+  double wire_bytes;
+};
+
+BResult rpc_data_at_invoker(std::uint64_t payload_bytes, int calls) {
+  FabricConfig cfg;
+  cfg.scheme = DiscoveryScheme::e2e;
+  cfg.seed = 6;
+  auto fabric = Fabric::build(cfg);
+  RpcClient client(fabric->host(0));
+  RpcServer server(fabric->host(1));
+  server.register_method("analyze",
+                         [](HostAddr, ByteSpan args, RpcServer::ReplyFn reply) {
+                           // Summarize: small result.
+                           BufWriter w;
+                           w.put_u64(args.size());
+                           reply(std::move(w).take());
+                         });
+  const Bytes payload(payload_bytes, 0xDA);
+  const auto wire0 = fabric->network().stats().bytes_sent;
+  const SimTime t0 = fabric->loop().now();
+  SimTime t_end = t0;
+  run_sequential(
+      calls,
+      [&](int, std::function<void()> next) {
+        client.call(fabric->host(1).addr(), "analyze", payload,
+                    [&, next = std::move(next)](Result<Bytes> r,
+                                                const RpcCallStats&) {
+                      if (!r) std::abort();
+                      t_end = fabric->loop().now();
+                      next();
+                    });
+      },
+      [] {});
+  fabric->settle();
+  BResult res;
+  res.total_us = to_micros(t_end - t0);
+  res.per_call_us = res.total_us / calls;
+  res.wire_bytes =
+      static_cast<double>(fabric->network().stats().bytes_sent - wire0);
+  return res;
+}
+
+BResult objref_data_at_invoker(std::uint64_t payload_bytes, int calls) {
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::controller;
+  cfg.fabric.seed = 6;
+  cfg.compute_rates = {0.2, 4.0, 4.0};  // invoker is weak: compute must move
+  auto cluster = Cluster::build(cfg);
+  // Publish the data ONCE as an object on the invoker.
+  auto obj = cluster->create_object(0, payload_bytes + 4096);
+  if (!obj) std::abort();
+  auto off = (*obj)->alloc(payload_bytes);
+  if (!off) std::abort();
+  const FuncId analyze = cluster->code().register_function(
+      "analyze",
+      [payload_bytes](InvokeContext& ctx, const std::vector<GlobalPtr>& args,
+                      ByteSpan) -> Result<Bytes> {
+        auto o = ctx.resolve(args.at(0));
+        if (!o) return o.error();
+        auto span = (*o)->read(args.at(0).offset, payload_bytes);
+        if (!span) return span.error();
+        BufWriter w;
+        w.put_u64(span->size());
+        return std::move(w).take();
+      },
+      CodeCost{8.0, 1e4});
+  cluster->settle();
+
+  const auto wire0 = cluster->fabric().network().stats().bytes_sent;
+  const SimTime t0 = cluster->loop().now();
+  SimTime t_end = t0;
+  run_sequential(
+      calls,
+      [&](int, std::function<void()> next) {
+        cluster->invoke(0, analyze, {GlobalPtr{(*obj)->id(), *off}}, {},
+                        [&, next = std::move(next)](Result<Bytes> r,
+                                                    const InvokeStats&) {
+                          if (!r) std::abort();
+                          t_end = cluster->loop().now();
+                          next();
+                        });
+      },
+      [] {});
+  cluster->settle();
+  BResult res;
+  res.total_us = to_micros(t_end - t0);
+  res.per_call_us = res.total_us / calls;
+  res.wire_bytes = static_cast<double>(
+      cluster->fabric().network().stats().bytes_sent - wire0);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CLAIM-RPCFIT: RPC call-by-value vs global references, by "
+              "payload size\n\n");
+  scenario_fronted_kv();
+
+  std::printf("-- B: data at the invoker, 8 repeated analyses (the "
+              "call-by-small-value constraint) --\n");
+  Table table({"payload_KiB", "rpc_us/call", "ref_us/call", "rpc_wire_KiB",
+               "ref_wire_KiB", "rpc/ref"});
+  const int kCalls = 8;
+  for (std::uint64_t kib : {1, 4, 16, 64, 256, 1024}) {
+    const BResult rpc = rpc_data_at_invoker(kib * 1024, kCalls);
+    const BResult ref = objref_data_at_invoker(kib * 1024, kCalls);
+    table.row({static_cast<double>(kib), rpc.per_call_us, ref.per_call_us,
+               rpc.wire_bytes / 1024.0, ref.wire_bytes / 1024.0,
+               ref.per_call_us > 0 ? rpc.per_call_us / ref.per_call_us : 0});
+  }
+  std::printf(
+      "\nseries: RPC pays serialize+ship per call (cost grows with "
+      "payload); the reference\nsystem runs code at the data after "
+      "placement — per-call cost stays ~flat, so the\nratio (last column) "
+      "grows with payload size. At tiny payloads RPC is competitive.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// CLAIM-SWITCH — switch table capacity vs identifier width (§3.2).
+//
+//   "With 64-bit ID fields, we could store ~1.8M exact entries and with
+//    128-bit IDs, we could fit ~850K.  To scale to larger deployments,
+//    we will explore hierarchical identifier overlay schemes."
+//
+// Part 1 (table): the calibrated Tofino-like capacity model across key
+// widths, with the two published points called out, plus what those
+// capacities mean for a deployment (objects routable per switch).
+// Part 2 (google-benchmark): software lookup/insert throughput for
+// 64-bit vs 128-bit keyed tables and subscription-table matching — the
+// data-plane cost side of the same trade.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "net/subscription.hpp"
+#include "sim/pipeline.hpp"
+
+using namespace objrpc;
+
+namespace {
+
+void print_capacity_table() {
+  std::printf("CLAIM-SWITCH part 1: exact-match capacity vs key width "
+              "(fixed SRAM budget)\n");
+  std::printf("%10s %14s %s\n", "key_bits", "entries", "note");
+  for (std::uint32_t bits : {32, 48, 64, 96, 128, 192, 256}) {
+    const std::uint64_t cap = tofino_exact_capacity(bits);
+    const char* note = "";
+    if (bits == 64) note = "  <- paper: ~1.8M";
+    if (bits == 128) note = "  <- paper: ~850K";
+    std::printf("%10u %14llu%s\n", bits,
+                static_cast<unsigned long long>(cap), note);
+  }
+  std::printf("\nratio 128b/64b = %.3f (paper: 850K/1.8M = 0.472)\n\n",
+              static_cast<double>(tofino_exact_capacity(128)) /
+                  static_cast<double>(tofino_exact_capacity(64)));
+
+  // Fill-to-capacity behaviour: inserts succeed exactly `capacity` times.
+  MatchActionTable t64(64, tofino_exact_capacity(64) / 1000);   // scaled
+  MatchActionTable t128(128, tofino_exact_capacity(128) / 1000);
+  std::uint64_t fit64 = 0, fit128 = 0;
+  Rng rng(1);
+  while (t64.insert(rng.next_u128(), Action::drop())) ++fit64;
+  while (t128.insert(rng.next_u128(), Action::drop())) ++fit128;
+  std::printf("fill test (1/1000 scale): 64-bit table accepted %llu, "
+              "128-bit accepted %llu\n\n",
+              static_cast<unsigned long long>(fit64),
+              static_cast<unsigned long long>(fit128));
+}
+
+void BM_TableLookup(benchmark::State& state) {
+  const auto key_bits = static_cast<std::uint32_t>(state.range(0));
+  const std::uint64_t entries = static_cast<std::uint64_t>(state.range(1));
+  MatchActionTable table(key_bits, entries);
+  Rng rng(9);
+  std::vector<U128> keys;
+  keys.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    U128 k = rng.next_u128();
+    if (key_bits == 64) k.hi = 0;
+    keys.push_back(k);
+    if (!table.insert(k, Action::forward_to(1))) std::abort();
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto a = table.lookup(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_TableInsertErase(benchmark::State& state) {
+  const auto key_bits = static_cast<std::uint32_t>(state.range(0));
+  MatchActionTable table(key_bits, 1 << 20);
+  Rng rng(11);
+  for (auto _ : state) {
+    const U128 k = rng.next_u128();
+    benchmark::DoNotOptimize(table.insert(k, Action::drop()));
+    benchmark::DoNotOptimize(table.erase(k));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_SubscriptionMatch(benchmark::State& state) {
+  SubscriptionTable table;
+  Rng rng(13);
+  const std::int64_t rules = state.range(0);
+  std::vector<ObjectId> ids;
+  for (std::int64_t i = 0; i < rules; ++i) {
+    Subscription sub;
+    const ObjectId id{rng.next_u128()};
+    ids.push_back(id);
+    sub.conjuncts = {{SubField::object_id, id.value}};
+    sub.deliver_to = static_cast<PortId>(i % 8);
+    if (!table.add(sub)) std::abort();
+  }
+  Frame f;
+  f.type = MsgType::read_req;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    f.object = ids[i++ % ids.size()];
+    Packet pkt;
+    pkt.data = f.encode();
+    auto view = Frame::peek(pkt);
+    auto action = table.match(*view);
+    benchmark::DoNotOptimize(action);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_TableLookup)->Args({64, 100000})->Args({128, 100000});
+BENCHMARK(BM_TableInsertErase)->Arg(64)->Arg(128);
+BENCHMARK(BM_SubscriptionMatch)->Arg(1000)->Arg(100000);
+
+int main(int argc, char** argv) {
+  print_capacity_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

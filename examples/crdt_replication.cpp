@@ -1,0 +1,106 @@
+// Weakly-consistent replication with auto-merging objects (§5).
+//
+// Three edge sites keep a replica of a "likes" counter and a tag set
+// inside ordinary objects.  Each site mutates ITS replica while
+// partitioned; when replicas meet (byte-copied between hosts), the
+// runtime merges them as CRDTs instead of declaring a conflict —
+// "auto-merging progressive objects like CRDTs during data movement".
+//
+//   ./build/examples/crdt_replication
+#include <cstdio>
+
+#include "core/cluster.hpp"
+
+using namespace objrpc;
+
+int main() {
+  std::printf("== CRDT replication across the object space ==\n\n");
+
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::e2e;
+  cfg.fabric.seed = 13;
+  auto cluster = Cluster::build(cfg);
+
+  // Site 0 creates the canonical object with a counter and a tag set.
+  auto obj = cluster->create_object(0, 1 << 14);
+  if (!obj) return 1;
+  auto counter_off = (*obj)->alloc(2048);
+  auto tags_off = (*obj)->alloc(4096);
+
+  GCounter likes;
+  likes.increment(/*replica=*/1, 10);
+  (void)store_crdt_payload(*obj, *counter_off, likes);
+  ORSet tags;
+  tags.add("paper", 1, 1);
+  (void)store_crdt_payload(*obj, *tags_off, tags);
+  std::printf("site0 publishes: likes=%llu tags={paper}\n",
+              static_cast<unsigned long long>(likes.value()));
+
+  // Sites 1 and 2 take replicas (byte copies — pointers and payloads
+  // identical by construction).
+  for (std::size_t site : {1UL, 2UL}) {
+    auto copy = Object::from_bytes((*obj)->id(), (*obj)->raw_bytes());
+    if (!copy) return 1;
+    (void)cluster->host(site).store().insert(std::move(*copy));
+  }
+
+  // Partitioned mutations: each site updates its own replica.
+  auto at = [&](std::size_t site) {
+    return *cluster->host(site).store().get((*obj)->id());
+  };
+  {
+    auto c = load_crdt_payload<GCounter>(at(1), *counter_off);
+    c->increment(/*replica=*/2, 5);
+    (void)store_crdt_payload(at(1), *counter_off, *c);
+    auto t = load_crdt_payload<ORSet>(at(1), *tags_off);
+    t->add("networking", 2, 1);
+    (void)store_crdt_payload(at(1), *tags_off, *t);
+    std::printf("site1 (offline): +5 likes, +tag 'networking'\n");
+  }
+  {
+    auto c = load_crdt_payload<GCounter>(at(2), *counter_off);
+    c->increment(/*replica=*/3, 2);
+    (void)store_crdt_payload(at(2), *counter_off, *c);
+    auto t = load_crdt_payload<ORSet>(at(2), *tags_off);
+    t->add("hotnets", 3, 1);
+    t->remove("paper");  // site2 disagrees about 'paper'
+    (void)store_crdt_payload(at(2), *tags_off, *t);
+    std::printf("site2 (offline): +2 likes, +tag 'hotnets', -tag 'paper'\n");
+  }
+
+  // Replicas meet: merge site1's and site2's state into site0's object.
+  for (std::size_t site : {1UL, 2UL}) {
+    auto their_counter = load_crdt_payload<GCounter>(at(site), *counter_off);
+    auto their_tags = load_crdt_payload<ORSet>(at(site), *tags_off);
+    (void)cluster->merge_crdt_payload(at(0), *counter_off, *their_counter);
+    (void)cluster->merge_crdt_payload(at(0), *tags_off, *their_tags);
+  }
+
+  auto final_counter = load_crdt_payload<GCounter>(at(0), *counter_off);
+  auto final_tags = load_crdt_payload<ORSet>(at(0), *tags_off);
+  std::printf("\nafter rendezvous at site0:\n  likes = %llu (10+5+2)\n  tags = {",
+              static_cast<unsigned long long>(final_counter->value()));
+  bool first = true;
+  for (const auto& t : final_tags->elements()) {
+    std::printf("%s%s", first ? "" : ", ", t.c_str());
+    first = false;
+  }
+  std::printf("}\n");
+  std::printf("\n'paper' removed (site2 observed it), 'networking' and "
+              "'hotnets' both survive;\nno coordination, any merge order "
+              "converges.\n");
+
+  // Merge in the opposite order on a fresh replica and show convergence.
+  auto check = Object::from_bytes((*obj)->id(), at(1)->raw_bytes());
+  ObjectStore scratch;
+  (void)scratch.insert(std::move(*check));
+  auto scratch_obj = *scratch.get((*obj)->id());
+  auto c2 = load_crdt_payload<GCounter>(at(2), *counter_off);
+  auto c0 = load_crdt_payload<GCounter>(at(0), *counter_off);
+  GCounter other_order = *c2;
+  other_order.merge(*load_crdt_payload<GCounter>(scratch_obj, *counter_off));
+  other_order.merge(*c0);
+  std::printf("reverse-order merge agrees: likes = %llu\n",
+              static_cast<unsigned long long>(other_order.value()));
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Distributed inference at the edge — the paper's §2 motivating example.
+//
+// Alice (a mobile device) holds an activation and wants a classification
+// that needs a sparse global-model fragment living on Bob (a loaded
+// cloud box).  Carol is a mostly-idle cloud box.  The example runs all
+// three Figure-1 rendezvous strategies and then the "Dave" variant — a
+// powerful edge device that, under automatic placement, simply runs the
+// inference locally (something no hard-coded RPC topology can express).
+//
+//   ./build/examples/distributed_inference
+#include <cstdio>
+
+#include "core/rendezvous.hpp"
+#include "objspace/structures.hpp"
+
+using namespace objrpc;
+
+namespace {
+
+struct World {
+  std::unique_ptr<Cluster> cluster;
+  RendezvousScenario scenario;
+  SparseModel model;
+};
+
+World make_world(double alice_compute, double bob_load) {
+  World w;
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::controller;
+  cfg.fabric.seed = 7;
+  cfg.compute_rates = {alice_compute, 4.0, 4.0};  // cloud boxes are beefy
+  cfg.loads = {0.0, bob_load, 0.05};
+  w.cluster = Cluster::build(cfg);
+
+  // Bob (host 1) holds the sparse model fragment: 4 shards linked by
+  // FOT-encoded pointers.
+  SparseModelSpec spec;
+  spec.shards = 4;
+  spec.rows_per_shard = 16;
+  spec.nnz_per_shard = 2048;
+  spec.seed = 99;
+  auto model = build_sparse_model(w.cluster->host(1).store(),
+                                  w.cluster->host(1).ids(), spec);
+  if (!model) {
+    std::fprintf(stderr, "model build failed\n");
+    std::exit(1);
+  }
+  w.model = *model;
+  // Register the shards with the discovery plane + cluster directory so
+  // routing AND placement know where (and how big) they are.
+  for (ObjectId id : w.model.shard_ids) {
+    auto shard = w.cluster->host(1).store().get(id);
+    w.cluster->track_object(id, 1, shard ? (*shard)->size() : 0);
+  }
+  w.cluster->settle();
+
+  // The inference function: walks the shard chain BY REFERENCE and
+  // multiplies.  Shards it lacks surface as object faults; the runtime
+  // pulls them on demand.
+  const FuncId infer = w.cluster->code().register_function(
+      "sparse_infer",
+      [](InvokeContext& ctx, const std::vector<GlobalPtr>& args,
+         ByteSpan inline_arg) -> Result<Bytes> {
+        // inline_arg: f64 activation vector.
+        Activation x(inline_arg.size() / 8);
+        std::memcpy(x.data(), inline_arg.data(), x.size() * 8);
+        auto y = sparse_infer(args.at(0), x, ctx.resolver());
+        if (!y) return y.error();
+        // argmax = the classification.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < y->size(); ++i) {
+          if ((*y)[i] > (*y)[best]) best = i;
+        }
+        BufWriter out;
+        out.put_u64(best);
+        out.put_f64((*y)[best]);
+        return std::move(out).take();
+      },
+      CodeCost{4.0, 5e4});
+
+  // Alice's activation: a dense vector (the small argument).
+  Rng rng(5);
+  Bytes activation(4096 * 8);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    const double v = rng.next_double();
+    std::memcpy(activation.data() + i * 8, &v, 8);
+  }
+
+  w.scenario.data_objects = w.model.shard_ids;
+  w.scenario.fn = infer;
+  w.scenario.args = {w.model.first_shard};
+  w.scenario.activation = std::move(activation);
+  w.scenario.invoker = 0;        // Alice
+  w.scenario.data_host = 1;      // Bob
+  w.scenario.manual_executor = 2;  // Carol
+
+  // Tell the directory about Bob's shards so placement can reason.
+  // (create_object would have done this; the shards were built directly
+  // in Bob's store, so register by hand.)
+  return w;
+}
+
+void report(const char* label, Result<Bytes>& result,
+            const RendezvousReport& rep, Cluster& cluster) {
+  if (!result) {
+    std::printf("%-22s FAILED: %s\n", label,
+                result.error().to_string().c_str());
+    return;
+  }
+  BufReader r(*result);
+  const std::uint64_t cls = r.get_u64();
+  auto idx = cluster.index_of(rep.executor);
+  std::printf(
+      "%-22s class=%llu  latency=%9s  wire=%7llu B  frames=%4llu  "
+      "alice_sent=%3llu  executor=host%zu\n",
+      label, static_cast<unsigned long long>(cls),
+      format_duration(rep.elapsed).c_str(),
+      static_cast<unsigned long long>(rep.wire_bytes),
+      static_cast<unsigned long long>(rep.wire_frames),
+      static_cast<unsigned long long>(rep.invoker_frames),
+      idx ? *idx : 99);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== distributed inference (the paper's Section 2) ==\n");
+  std::printf("Alice=host0 (edge), Bob=host1 (loaded, holds model), "
+              "Carol=host2 (idle)\n\n");
+
+  // Give each strategy a fresh world so caches don't leak across runs.
+  {
+    World w = make_world(/*alice_compute=*/0.2, /*bob_load=*/0.9);
+    Result<Bytes> res{Errc::unavailable};
+    RendezvousReport rep;
+    run_manual_copy(*w.cluster, w.scenario,
+                    [&](Result<Bytes> r, const RendezvousReport& rp) {
+                      res = std::move(r);
+                      rep = rp;
+                    });
+    w.cluster->settle();
+    report("(1) manual copy", res, rep, *w.cluster);
+  }
+  {
+    World w = make_world(0.2, 0.9);
+    Result<Bytes> res{Errc::unavailable};
+    RendezvousReport rep;
+    run_manual_pull(*w.cluster, w.scenario,
+                    [&](Result<Bytes> r, const RendezvousReport& rp) {
+                      res = std::move(r);
+                      rep = rp;
+                    });
+    w.cluster->settle();
+    report("(2) manual pull", res, rep, *w.cluster);
+  }
+  {
+    World w = make_world(0.2, 0.9);
+    Result<Bytes> res{Errc::unavailable};
+    RendezvousReport rep;
+    run_automatic(*w.cluster, w.scenario,
+                  [&](Result<Bytes> r, const RendezvousReport& rp) {
+                    res = std::move(r);
+                    rep = rp;
+                  });
+    w.cluster->settle();
+    report("(3) automatic", res, rep, *w.cluster);
+  }
+
+  std::printf("\n-- the Dave variant: a POWERFUL edge device invokes --\n");
+  {
+    World w = make_world(/*alice_compute=*/50.0, /*bob_load=*/0.9);
+    Result<Bytes> res{Errc::unavailable};
+    RendezvousReport rep;
+    run_automatic(*w.cluster, w.scenario,
+                  [&](Result<Bytes> r, const RendezvousReport& rp) {
+                    res = std::move(r);
+                    rep = rp;
+                  });
+    w.cluster->settle();
+    report("(3) automatic/Dave", res, rep, *w.cluster);
+    std::printf("\nSame application code — placement adapted to the "
+                "device. A hard-coded RPC\ntopology would still run "
+                "inference server-side (§5).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Identity-based publish/subscribe — the Packet Subscriptions prototype
+// (§3.2) running live in the fabric.
+//
+// Subscribers declare predicates over frame fields (here: the 128-bit
+// object id, i.e. the topic's identity) and the switch delivers matching
+// frames to every subscriber — multicast fan-out decided entirely in the
+// forwarding pipeline, no broker host in the path.
+//
+//   ./build/examples/pubsub
+#include <cstdio>
+
+#include "net/fabric.hpp"
+#include "net/subscription.hpp"
+
+using namespace objrpc;
+
+int main() {
+  std::printf("== identity-routed pub/sub (Packet Subscriptions, §3.2) ==\n\n");
+
+  FabricConfig cfg;
+  cfg.scheme = DiscoveryScheme::e2e;
+  cfg.seed = 3;
+  cfg.num_switches = 1;  // a single ToR delivering to its hosts
+  cfg.num_hosts = 3;     // host0 publishes; hosts 1 and 2 subscribe
+  auto fabric = Fabric::build(cfg);
+
+  // Topics are object identities — no broker, no topic registry.
+  Rng rng(7);
+  const ObjectId alerts{rng.next_u128()};
+  const ObjectId logs{rng.next_u128()};
+  std::printf("topics: alerts=%s  logs=%s\n\n",
+              alerts.to_string().c_str(), logs.to_string().c_str());
+
+  // Subscriptions compile into the switch's match stage.  Port map on
+  // the single switch: port 0..? — host i's uplink port on the switch.
+  // The fabric connects hosts in order after the (absent) inter-switch
+  // links, so host i sits on switch port i.
+  auto table = std::make_shared<SubscriptionTable>();
+  auto subscribe = [&](ObjectId topic, PortId port) {
+    Subscription sub;
+    sub.conjuncts = {{SubField::object_id, topic.value}};
+    sub.deliver_to = port;
+    if (!table->add(sub)) std::abort();
+  };
+  subscribe(alerts, 1);  // host1 wants alerts
+  subscribe(alerts, 2);  // host2 wants alerts too (fan-out!)
+  subscribe(logs, 2);    // only host2 wants logs
+  program_subscription_delivery(fabric->switch_at(0), table);
+  std::printf("subscriptions: host1<-alerts, host2<-alerts, host2<-logs "
+              "(%zu rules, %zu layout)\n\n",
+              table->rule_count(), table->layout_count());
+
+  // Subscribers print what arrives.
+  int got1 = 0, got2 = 0;
+  auto attach_printer = [&](std::size_t host, int& counter) {
+    fabric->host(host).set_default_handler([&, host](const Frame& f) {
+      ++counter;
+      std::printf("  host%zu <- event on topic %s: \"%.*s\"\n", host,
+                  f.object.to_string().c_str(),
+                  static_cast<int>(f.payload.size()),
+                  reinterpret_cast<const char*>(f.payload.data()));
+    });
+  };
+  attach_printer(1, got1);
+  attach_printer(2, got2);
+
+  // Publish: plain frames addressed to the TOPIC identity, dst_host
+  // unspecified — the pipeline decides who hears them.
+  auto publish = [&](ObjectId topic, const std::string& text) {
+    Frame f;
+    f.type = MsgType::invoke_resp;  // an application event
+    f.object = topic;
+    f.payload.assign(text.begin(), text.end());
+    fabric->host(0).send_frame(std::move(f));
+  };
+  std::printf("host0 publishes 2 alerts and 2 log lines:\n");
+  publish(alerts, "disk nearly full");
+  publish(logs, "request 1 served");
+  publish(alerts, "failover engaged");
+  publish(logs, "request 2 served");
+  fabric->settle();
+
+  std::printf("\ndelivery counts: host1=%d (alerts only), host2=%d "
+              "(alerts+logs)\n",
+              got1, got2);
+  std::printf("\nNo broker host relayed anything; the fan-out happened in "
+              "the match-action\npipeline, keyed on data identity — RPC "
+              "has no analogue of this pattern.\n");
+  return got1 == 2 && got2 == 4 ? 0 : 1;
+}

@@ -1,0 +1,180 @@
+// Bounds-checked byte buffers and little-endian cursors.
+//
+// Everything that crosses a simulated wire — packets, serialized RPC
+// payloads, raw object bytes — goes through these.  Reads are checked;
+// a truncated or corrupt frame surfaces as a failed read, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/u128.hpp"
+
+namespace objrpc {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Appends little-endian primitives to a growable buffer.
+class BufWriter {
+ public:
+  BufWriter() = default;
+  explicit BufWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_raw(&v, sizeof v); }
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof v); }
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+  void put_u128(const U128& v) {
+    put_u64(v.lo);
+    put_u64(v.hi);
+  }
+
+  /// LEB128-style variable-length unsigned integer.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      put_u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    put_u8(static_cast<std::uint8_t>(v));
+  }
+
+  void put_bytes(ByteSpan s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Length-prefixed byte string.
+  void put_blob(ByteSpan s) {
+    put_varint(s.size());
+    put_bytes(s);
+  }
+
+  void put_string(const std::string& s) {
+    put_blob(ByteSpan{reinterpret_cast<const std::uint8_t*>(s.data()),
+                      s.size()});
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  ByteSpan view() const { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  const Bytes& bytes() const { return buf_; }
+
+ private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  Bytes buf_;
+};
+
+/// Cursor over an immutable byte span; all reads are bounds-checked.
+/// After any failed read, `ok()` is false and subsequent reads return
+/// zero values, so a parse can check validity once at the end.
+class BufReader {
+ public:
+  explicit BufReader(ByteSpan data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t get_u8() {
+    std::uint8_t v = 0;
+    get_raw(&v, sizeof v);
+    return v;
+  }
+  std::uint16_t get_u16() {
+    std::uint16_t v = 0;
+    get_raw(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t get_u32() {
+    std::uint32_t v = 0;
+    get_raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t get_u64() {
+    std::uint64_t v = 0;
+    get_raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_f64() {
+    double v = 0;
+    get_raw(&v, sizeof v);
+    return v;
+  }
+  U128 get_u128() {
+    U128 v;
+    v.lo = get_u64();
+    v.hi = get_u64();
+    return v;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (shift > 63) {
+        fail();
+        return 0;
+      }
+      const std::uint8_t b = get_u8();
+      if (!ok_) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  /// Borrow `n` bytes without copying; empty span on underflow.
+  ByteSpan get_span(std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      fail();
+      return {};
+    }
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes get_blob() {
+    const std::uint64_t n = get_varint();
+    ByteSpan s = get_span(n);
+    return Bytes(s.begin(), s.end());
+  }
+
+  std::string get_string() {
+    const std::uint64_t n = get_varint();
+    ByteSpan s = get_span(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+ private:
+  // Reads are sticky-failing: after one underflow every later read
+  // returns zeroes, so parsers can check ok() once at the end.
+  void get_raw(void* out, std::size_t n) {
+    if (!ok_ || n > remaining()) {
+      fail();
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  void fail() { ok_ = false; }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace objrpc

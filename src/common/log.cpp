@@ -1,0 +1,23 @@
+#include "common/log.hpp"
+
+namespace objrpc {
+
+LogLevel Log::level_ = LogLevel::off;
+
+const char* Log::level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::off:
+      return "off";
+    case LogLevel::error:
+      return "E";
+    case LogLevel::warn:
+      return "W";
+    case LogLevel::info:
+      return "I";
+    case LogLevel::debug:
+      return "D";
+  }
+  return "?";
+}
+
+}  // namespace objrpc

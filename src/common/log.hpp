@@ -1,0 +1,55 @@
+// Lightweight leveled logging.
+//
+// Off by default so tests and benches stay quiet; flip the level to trace
+// protocol exchanges when debugging a simulation.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace objrpc {
+
+enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
+
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel l) { level_ = l; }
+
+  template <typename... Args>
+  static void write(LogLevel l, const char* tag, const char* fmt,
+                    Args&&... args) {
+    if (static_cast<int>(l) > static_cast<int>(level_)) return;
+    std::fprintf(stderr, "[%s] %s: ", level_name(l), tag);
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+    }
+    std::fputc('\n', stderr);
+  }
+
+  template <typename... Args>
+  static void error(const char* tag, const char* fmt, Args&&... args) {
+    write(LogLevel::error, tag, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void warn(const char* tag, const char* fmt, Args&&... args) {
+    write(LogLevel::warn, tag, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void info(const char* tag, const char* fmt, Args&&... args) {
+    write(LogLevel::info, tag, fmt, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static void debug(const char* tag, const char* fmt, Args&&... args) {
+    write(LogLevel::debug, tag, fmt, std::forward<Args>(args)...);
+  }
+
+ private:
+  static const char* level_name(LogLevel l);
+  static LogLevel level_;
+};
+
+}  // namespace objrpc

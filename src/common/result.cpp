@@ -1,0 +1,42 @@
+#include "common/result.hpp"
+
+namespace objrpc {
+
+const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok:
+      return "ok";
+    case Errc::not_found:
+      return "not_found";
+    case Errc::out_of_range:
+      return "out_of_range";
+    case Errc::permission_denied:
+      return "permission_denied";
+    case Errc::capacity_exceeded:
+      return "capacity_exceeded";
+    case Errc::malformed:
+      return "malformed";
+    case Errc::timeout:
+      return "timeout";
+    case Errc::conflict:
+      return "conflict";
+    case Errc::unavailable:
+      return "unavailable";
+    case Errc::invalid_argument:
+      return "invalid_argument";
+    case Errc::moved:
+      return "moved";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string s = errc_name(code);
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+}  // namespace objrpc

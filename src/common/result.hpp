@@ -1,0 +1,96 @@
+// Minimal result/error types.
+//
+// The library reports recoverable failures (missing object, protection
+// fault, capacity exceeded) by value rather than by exception, following
+// the error-handling style of the networking data path: errors are part
+// of the protocol, not exceptional control flow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace objrpc {
+
+/// Error taxonomy shared across layers.  Codes are stable so they can be
+/// carried in NACK packets.
+enum class Errc : std::uint16_t {
+  ok = 0,
+  not_found,          // object / function / route unknown
+  out_of_range,       // offset beyond object bounds
+  permission_denied,  // caller lacks read/write/exec rights
+  capacity_exceeded,  // switch table, host memory, or FOT full
+  malformed,          // failed to parse a frame or payload
+  timeout,            // transport gave up retransmitting
+  conflict,           // concurrent-write conflict detected
+  unavailable,        // host down / link down
+  invalid_argument,   // caller error detected before any effect
+  moved,              // wrong holder; a redirect hint names the home
+};
+
+/// Human-readable name for an error code.
+const char* errc_name(Errc e);
+
+/// An error code plus optional context message.
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+
+  Error() = default;
+  Error(Errc c, std::string msg = {}) : code(c), message(std::move(msg)) {}
+
+  explicit operator bool() const { return code != Errc::ok; }
+  std::string to_string() const;
+};
+
+/// Result<T>: either a value or an Error.  A deliberately small subset of
+/// std::expected (which is C++23).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}         // NOLINT(implicit)
+  Result(Error err) : error_(std::move(err)) {}         // NOLINT(implicit)
+  Result(Errc code, std::string msg = {}) : error_(code, std::move(msg)) {}
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const {
+    return has_value() ? *value_ : std::move(fallback);
+  }
+
+  const Error& error() const { return error_; }
+
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error err) : error_(std::move(err)) {}  // NOLINT(implicit)
+  Status(Errc code, std::string msg = {}) : error_(code, std::move(msg)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return error_.code == Errc::ok; }
+  explicit operator bool() const { return is_ok(); }
+  const Error& error() const { return error_; }
+
+ private:
+  Error error_;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,37 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace objrpc {
+
+double Rng::next_exponential(double mean) {
+  // Inverse-CDF; clamp the uniform away from 0 to avoid log(0).
+  double u = next_double();
+  if (u < 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+std::uint64_t Rng::next_zipf(std::uint64_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return next_below(n);
+  // Rejection-inversion (Hörmann) is overkill for the sizes we use; a
+  // simple inverse-CDF over the harmonic weights with incremental search
+  // would be O(n) per draw, so instead use the classic approximation:
+  // draw via the inverse of the integral of x^-s.
+  const double one_minus_s = 1.0 - s;
+  while (true) {
+    const double u = next_double();
+    double x;
+    if (std::abs(one_minus_s) < 1e-12) {
+      x = std::pow(static_cast<double>(n), u);
+    } else {
+      const double t =
+          u * (std::pow(static_cast<double>(n), one_minus_s) - 1.0) + 1.0;
+      x = std::pow(t, 1.0 / one_minus_s);
+    }
+    const auto k = static_cast<std::uint64_t>(x);
+    if (k >= 1 && k <= n) return k - 1;
+  }
+}
+
+}  // namespace objrpc

@@ -1,0 +1,22 @@
+#include "common/time.hpp"
+
+#include <cstdio>
+
+namespace objrpc {
+
+std::string format_duration(SimDuration d) {
+  char buf[48];
+  if (d < kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%ldns", static_cast<long>(d));
+  } else if (d < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fus", to_micros(d));
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_millis(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs",
+                  static_cast<double>(d) / static_cast<double>(kSecond));
+  }
+  return buf;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,36 @@
+// Simulated-time types.
+//
+// The discrete-event simulator advances a virtual clock in nanoseconds.
+// A dedicated type (rather than a bare int64) keeps wall-clock and
+// simulated durations from mixing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace objrpc {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+/// A simulated duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr double to_micros(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr SimDuration from_micros(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+
+/// "12.345us" / "3.2ms" style rendering for logs and bench output.
+std::string format_duration(SimDuration d);
+
+}  // namespace objrpc

@@ -1,0 +1,40 @@
+#include "common/u128.hpp"
+
+#include <array>
+
+namespace objrpc {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string U128::to_hex() const {
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = kHexDigits[(hi >> (4 * i)) & 0xF];
+    out[31 - i] = kHexDigits[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+U128 U128::from_hex(const std::string& s) {
+  if (s.empty() || s.size() > 32) return U128{};
+  U128 v;
+  for (char c : s) {
+    const int d = hex_value(c);
+    if (d < 0) return U128{};
+    // v <<= 4
+    v.hi = (v.hi << 4) | (v.lo >> 60);
+    v.lo = (v.lo << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,55 @@
+// 128-bit unsigned integer value type.
+//
+// The paper's object identifiers live in a 128-bit space so that IDs can be
+// allocated without a centralized arbiter (collision probability is
+// negligible).  We model that space with an explicit value type rather than
+// relying on compiler-specific __int128 so the wire layout is portable and
+// byte-exact.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace objrpc {
+
+/// A 128-bit unsigned integer stored as two 64-bit halves (big-endian order
+/// of halves: `hi` holds the most significant 64 bits).
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  constexpr U128() = default;
+  constexpr U128(std::uint64_t high, std::uint64_t low) : hi(high), lo(low) {}
+
+  /// Construct from a single 64-bit value (zero-extended).
+  static constexpr U128 from_u64(std::uint64_t v) { return U128{0, v}; }
+
+  constexpr bool is_zero() const { return hi == 0 && lo == 0; }
+
+  friend constexpr auto operator<=>(const U128&, const U128&) = default;
+
+  /// XOR-fold to 64 bits; used for hashing and for deriving short keys.
+  constexpr std::uint64_t fold() const { return hi ^ lo; }
+
+  /// 32 lowercase hex digits, e.g. "0123456789abcdef0123456789abcdef".
+  std::string to_hex() const;
+
+  /// Parse 1..32 hex digits; returns zero on malformed input.
+  static U128 from_hex(const std::string& s);
+};
+
+}  // namespace objrpc
+
+template <>
+struct std::hash<objrpc::U128> {
+  std::size_t operator()(const objrpc::U128& v) const noexcept {
+    // splitmix-style mix of the two halves.
+    std::uint64_t x = v.hi * 0x9e3779b97f4a7c15ULL ^ v.lo;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};

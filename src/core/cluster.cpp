@@ -1,0 +1,125 @@
+#include "core/cluster.hpp"
+
+namespace objrpc {
+
+std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
+  auto cluster = std::unique_ptr<Cluster>(new Cluster());
+  cluster->fabric_ = Fabric::build(cfg.fabric);
+  cluster->placement_engine_ = PlacementEngine(cfg.placement);
+  cluster->code_ = std::make_unique<CodeRegistry>(
+      IdAllocator(cluster->fabric_->network().rng().fork(0xC0DE)));
+  for (std::size_t i = 0; i < cluster->fabric_->host_count(); ++i) {
+    cluster->fetchers_.push_back(std::make_unique<ObjectFetcher>(
+        cluster->fabric_->service(i), cfg.fetch));
+    cluster->runtimes_.push_back(std::make_unique<InvokeRuntime>(
+        cluster->fabric_->service(i), *cluster->code_,
+        *cluster->fetchers_.back()));
+    cluster->replicas_.push_back(std::make_unique<ReplicaManager>(
+        cluster->fabric_->service(i), *cluster->fetchers_.back()));
+    HostProfile prof;
+    prof.addr = cluster->fabric_->host(i).addr();
+    prof.compute_ops_per_ns =
+        i < cfg.compute_rates.size() ? cfg.compute_rates[i] : 1.0;
+    prof.load = i < cfg.loads.size() ? cfg.loads[i] : 0.0;
+    prof.mem_available = cluster->fabric_->host(i).store().bytes_available();
+    cluster->profiles_.push_back(prof);
+  }
+  return cluster;
+}
+
+Result<ObjectPtr> Cluster::create_object(std::size_t i, std::uint64_t size) {
+  auto obj = fabric_->service(i).create_object(size);
+  if (!obj) return obj;
+  directory_[(*obj)->id()] = DirEntry{fabric_->host(i).addr(), size};
+  return obj;
+}
+
+void Cluster::track_object(ObjectId id, std::size_t host_index,
+                           std::uint64_t bytes) {
+  fabric_->service(host_index).discovery().on_created(id);
+  directory_[id] = DirEntry{fabric_->host(host_index).addr(), bytes};
+}
+
+void Cluster::move_object(ObjectId id, std::size_t from, std::size_t to,
+                          MoveCallback cb) {
+  // A cached replica at the destination would collide with adoption.
+  fetcher(to).evict(id);
+  const HostAddr dst = fabric_->host(to).addr();
+  fabric_->service(from).move_object(
+      id, dst, [this, id, dst, cb = std::move(cb)](Status s) {
+        if (s) {
+          auto it = directory_.find(id);
+          if (it != directory_.end()) it->second.home = dst;
+        }
+        if (cb) cb(s);
+      });
+}
+
+Result<HostAddr> Cluster::home_of(ObjectId id) const {
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Error{Errc::not_found, "object not in cluster directory"};
+  }
+  return it->second.home;
+}
+
+Result<std::uint64_t> Cluster::size_of(ObjectId id) const {
+  auto it = directory_.find(id);
+  if (it == directory_.end()) {
+    return Error{Errc::not_found, "object not in cluster directory"};
+  }
+  return it->second.bytes;
+}
+
+Result<std::size_t> Cluster::index_of(HostAddr addr) const {
+  for (std::size_t i = 0; i < fabric_->host_count(); ++i) {
+    if (fabric_->host(i).addr() == addr) return i;
+  }
+  return Error{Errc::not_found, "no host with that address"};
+}
+
+void Cluster::invoke(std::size_t invoker, FuncId fn,
+                     std::vector<GlobalPtr> args, Bytes inline_arg,
+                     InvokeCallback cb, InvokeOptions opts) {
+  auto entry = code_->lookup(fn);
+  if (!entry) {
+    if (cb) cb(entry.error(), InvokeStats{});
+    return;
+  }
+  PlacementRequest req;
+  req.code = (*entry)->cost;
+  req.invoker = fabric_->host(invoker).addr();
+  req.inline_bytes = inline_arg.size();
+  for (const auto& a : args) {
+    ArgPlacement ap;
+    ap.ptr = a;
+    auto it = directory_.find(a.object);
+    if (it != directory_.end()) {
+      ap.bytes = it->second.bytes;
+      ap.home = it->second.home;
+    }
+    req.args.push_back(ap);
+  }
+  // Refresh memory availability — placement must respect capacity.
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    profiles_[i].mem_available = fabric_->host(i).store().bytes_available();
+  }
+  auto decision = placement_engine_.decide(req, profiles_);
+  if (!decision) {
+    if (cb) cb(decision.error(), InvokeStats{});
+    return;
+  }
+  runtimes_.at(invoker)->invoke_at(decision->executor, fn, std::move(args),
+                                   std::move(inline_arg), std::move(cb),
+                                   opts);
+}
+
+void Cluster::invoke_at(std::size_t invoker, HostAddr executor, FuncId fn,
+                        std::vector<GlobalPtr> args, Bytes inline_arg,
+                        InvokeCallback cb, InvokeOptions opts) {
+  runtimes_.at(invoker)->invoke_at(executor, fn, std::move(args),
+                                   std::move(inline_arg), std::move(cb),
+                                   opts);
+}
+
+}  // namespace objrpc

@@ -1,0 +1,29 @@
+#include "core/code.hpp"
+
+namespace objrpc {
+
+FuncId CodeRegistry::register_function(const std::string& name, NativeFn fn,
+                                       CodeCost cost) {
+  const FuncId id = ids_.allocate();
+  entries_.emplace(id, Entry{name, std::move(fn), cost});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<const CodeRegistry::Entry*> CodeRegistry::lookup(FuncId id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Error{Errc::not_found, "unknown function " + id.to_string()};
+  }
+  return &it->second;
+}
+
+Result<FuncId> CodeRegistry::find_by_name(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Error{Errc::not_found, "unknown function " + name};
+  }
+  return it->second;
+}
+
+}  // namespace objrpc

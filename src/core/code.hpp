@@ -1,0 +1,69 @@
+// Code as first-class objects in the global space (§5, Uniformity
+// Between Code and Data).
+//
+// "We place all data and code in a single space, allowing code and data
+// to reference each other."  A registered function gets a code object —
+// an ordinary object whose payload names the function and carries a cost
+// annotation — so invocations refer to code by GlobalPtr exactly as they
+// refer to data, and the placement engine can reason about moving either.
+// The executable body is a native C++ callable; the registry is shared
+// by every host of a cluster (code objects are replicated everywhere,
+// modelling perfect code mobility — moving code is cheap, §3.1).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "objspace/store.hpp"
+
+namespace objrpc {
+
+class InvokeContext;
+
+/// A function body: pure computation over locally-resident objects.
+/// Data it needs but cannot resolve locally surfaces as an object fault
+/// (see InvokeContext::resolve); the runtime fetches and re-executes.
+using NativeFn = std::function<Result<Bytes>(
+    InvokeContext& ctx, const std::vector<GlobalPtr>& args,
+    ByteSpan inline_arg)>;
+
+/// A code object's identity doubles as the function id.
+using FuncId = ObjectId;
+
+/// Cost annotation used by the placement engine.
+struct CodeCost {
+  /// Estimated compute operations per byte of argument data touched.
+  double ops_per_byte = 1.0;
+  /// Fixed operation count independent of data size.
+  double fixed_ops = 1000.0;
+};
+
+/// The cluster-wide function table.
+class CodeRegistry {
+ public:
+  explicit CodeRegistry(IdAllocator ids) : ids_(ids) {}
+
+  /// Register a function under `name`; allocates its code object id.
+  FuncId register_function(const std::string& name, NativeFn fn,
+                           CodeCost cost = {});
+
+  struct Entry {
+    std::string name;
+    NativeFn fn;
+    CodeCost cost;
+  };
+
+  Result<const Entry*> lookup(FuncId id) const;
+  Result<FuncId> find_by_name(const std::string& name) const;
+  std::size_t count() const { return entries_.size(); }
+
+ private:
+  IdAllocator ids_;
+  std::unordered_map<FuncId, Entry> entries_;
+  std::unordered_map<std::string, FuncId> by_name_;
+};
+
+}  // namespace objrpc

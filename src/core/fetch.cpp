@@ -1,0 +1,261 @@
+#include "core/fetch.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+namespace {
+/// chunk_resp offset value meaning "I do not hold this object".
+constexpr std::uint64_t kNotHere = ~0ULL;
+}  // namespace
+
+ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
+    : service_(service), cfg_(cfg) {
+  service_.set_authority_filter(
+      [this](ObjectId id) { return cached_.count(id) == 0; });
+  HostNode& host = service_.host();
+  host.set_handler(MsgType::chunk_req,
+                   [this](const Frame& f) { on_chunk_req(f); });
+  host.set_handler(MsgType::chunk_resp,
+                   [this](const Frame& f) { on_chunk_resp(f); });
+  host.set_handler(MsgType::invalidate,
+                   [this](const Frame& f) { on_invalidate(f); });
+  host.set_handler(MsgType::invalidate_ack,
+                   [this](const Frame& f) { on_invalidate_ack(f); });
+  service_.set_write_observer([this](ObjectId id) {
+    auto it = copysets_.find(id);
+    if (it == copysets_.end()) return;
+    for (HostAddr member : it->second) {
+      ++counters_.invalidates_sent;
+      Frame inv;
+      inv.type = MsgType::invalidate;
+      inv.dst_host = member;
+      inv.object = id;
+      service_.host().send_frame(std::move(inv));
+    }
+    copysets_.erase(it);
+  });
+}
+
+void ObjectFetcher::fetch(ObjectId id, FetchCallback cb) {
+  if (service_.host().store().contains(id)) {
+    ++counters_.already_local;
+    if (cb) cb(Status::ok());
+    return;
+  }
+  auto [it, fresh] = pending_.try_emplace(id);
+  if (cb) it->second.waiters.push_back(std::move(cb));
+  if (!fresh) return;  // coalesce concurrent fetches
+  ++counters_.fetches_started;
+  it->second.attempts = 0;
+  start(id);
+}
+
+void ObjectFetcher::start(ObjectId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingFetch& pf = it->second;
+  if (++pf.attempts > cfg_.max_attempts) {
+    complete(id, Error{Errc::timeout, "fetch attempts exhausted"});
+    return;
+  }
+  pf.total_size = 0;
+  pf.buffer.clear();
+  pf.outstanding_chunks.clear();
+  const std::uint64_t generation = ++pf.generation;
+  service_.discovery().resolve(id, [this, id,
+                                    generation](Result<ResolveOutcome> out) {
+    auto it2 = pending_.find(id);
+    if (it2 == pending_.end() || it2->second.generation != generation) return;
+    if (!out) {
+      complete(id, out.error());
+      return;
+    }
+    it2->second.source = out->dst;
+    send_stat(id, out->dst);
+    arm_timer(id, generation);
+  });
+}
+
+void ObjectFetcher::arm_timer(ObjectId id, std::uint64_t generation) {
+  service_.host().event_loop().schedule_after(
+      cfg_.timeout, [this, id, generation] {
+        auto it = pending_.find(id);
+        if (it == pending_.end() || it->second.generation != generation) {
+          return;
+        }
+        start(id);  // retry from scratch
+      });
+}
+
+void ObjectFetcher::send_stat(ObjectId id, HostAddr dst) {
+  Frame f;
+  f.type = MsgType::chunk_req;
+  f.dst_host = dst;
+  f.object = id;
+  f.seq = next_seq_++;
+  f.length = 0;  // stat
+  service_.host().send_frame(std::move(f));
+}
+
+void ObjectFetcher::send_chunk_reqs(ObjectId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  PendingFetch& pf = it->second;
+  for (std::uint64_t off = 0; off < pf.total_size; off += cfg_.chunk_bytes) {
+    pf.outstanding_chunks.insert(off);
+    ++counters_.chunks_requested;
+    Frame f;
+    f.type = MsgType::chunk_req;
+    f.dst_host = pf.source;
+    f.object = id;
+    f.seq = next_seq_++;
+    f.offset = off;
+    f.length = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cfg_.chunk_bytes, pf.total_size - off));
+    service_.host().send_frame(std::move(f));
+  }
+}
+
+void ObjectFetcher::on_chunk_req(const Frame& f) {
+  auto obj = service_.host().store().get(f.object);
+  Frame resp;
+  resp.type = MsgType::chunk_resp;
+  resp.dst_host = f.src_host;
+  resp.object = f.object;
+  resp.seq = f.seq;
+  if (!obj) {
+    resp.offset = kNotHere;
+    service_.host().send_frame(std::move(resp));
+    return;
+  }
+  ++counters_.chunks_served;
+  const Bytes& image = (*obj)->raw_bytes();
+  if (f.length == 0) {
+    // stat: report the byte-image size.
+    resp.offset = image.size();
+    resp.length = 0;
+  } else {
+    const std::uint64_t off = std::min<std::uint64_t>(f.offset, image.size());
+    const std::uint64_t len =
+        std::min<std::uint64_t>(f.length, image.size() - off);
+    resp.offset = off;
+    resp.length = static_cast<std::uint32_t>(len);
+    resp.payload.assign(image.begin() + static_cast<std::ptrdiff_t>(off),
+                        image.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  // The requester now holds (part of) a replica: track for invalidation.
+  copysets_[f.object].insert(f.src_host);
+  service_.host().send_frame(std::move(resp));
+}
+
+void ObjectFetcher::on_chunk_resp(const Frame& f) {
+  auto it = pending_.find(f.object);
+  if (it == pending_.end()) return;  // stale / duplicate
+  PendingFetch& pf = it->second;
+  if (f.offset == kNotHere) {
+    // Stale location knowledge; tell discovery and retry.
+    service_.discovery().on_stale(f.object, f.src_host);
+    start(f.object);
+    return;
+  }
+  if (f.length == 0 && pf.total_size == 0) {
+    // stat reply.
+    if (f.offset == 0) {
+      complete(f.object, Error{Errc::malformed, "empty object image"});
+      return;
+    }
+    pf.total_size = f.offset;
+    pf.buffer.assign(pf.total_size, 0);
+    pf.source = f.src_host;  // lock onto whoever answered
+    send_chunk_reqs(f.object);
+    return;
+  }
+  // Data chunk.
+  if (pf.buffer.empty() || f.offset + f.payload.size() > pf.buffer.size()) {
+    return;  // out-of-protocol; ignore
+  }
+  if (pf.outstanding_chunks.erase(f.offset) == 0) return;  // duplicate
+  std::copy(f.payload.begin(), f.payload.end(),
+            pf.buffer.begin() + static_cast<std::ptrdiff_t>(f.offset));
+  counters_.bytes_pulled += f.payload.size();
+  if (!pf.outstanding_chunks.empty()) return;
+
+  // All chunks in: adopt as a cached replica.  This is the entire
+  // "deserialization": header validation of a byte image.
+  auto obj = Object::from_bytes(f.object, std::move(pf.buffer));
+  if (!obj) {
+    complete(f.object, obj.error());
+    return;
+  }
+  if (Status s = service_.host().store().insert(std::move(*obj)); !s) {
+    complete(f.object, s);
+    return;
+  }
+  cached_.insert(f.object);
+  auto stored = service_.host().store().get(f.object);
+  complete(f.object, Status::ok());
+  if (stored) run_prefetch(**stored);
+}
+
+void ObjectFetcher::run_prefetch(const Object& fetched) {
+  if (!prefetcher_) return;
+  for (ObjectId next :
+       prefetcher_->predict(fetched, service_.host().store())) {
+    if (pending_.count(next)) continue;
+    ++counters_.prefetches_issued;
+    fetch(next, nullptr);
+  }
+}
+
+void ObjectFetcher::complete(ObjectId id, Status s) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  auto waiters = std::move(it->second.waiters);
+  pending_.erase(it);
+  if (s) {
+    ++counters_.fetches_completed;
+  } else {
+    ++counters_.fetches_failed;
+  }
+  for (auto& w : waiters) {
+    if (w) w(s);
+  }
+}
+
+void ObjectFetcher::on_invalidate(const Frame& f) {
+  ++counters_.invalidates_received;
+  if (cached_.erase(f.object) > 0) {
+    ++counters_.evictions;
+    (void)service_.host().store().remove(f.object);
+  } else if (invalidate_hook_) {
+    invalidate_hook_(f.object);
+  }
+  Frame ack;
+  ack.type = MsgType::invalidate_ack;
+  ack.dst_host = f.src_host;
+  ack.object = f.object;
+  ack.seq = f.seq;
+  service_.host().send_frame(std::move(ack));
+}
+
+void ObjectFetcher::on_invalidate_ack(const Frame&) {
+  // Counted implicitly via invalidates_sent; nothing further to do in
+  // the lite protocol (no blocking on acknowledgements).
+}
+
+void ObjectFetcher::evict(ObjectId id) {
+  if (cached_.erase(id) > 0) {
+    ++counters_.evictions;
+    (void)service_.host().store().remove(id);
+  }
+}
+
+std::size_t ObjectFetcher::copyset_size(ObjectId id) const {
+  auto it = copysets_.find(id);
+  return it == copysets_.end() ? 0 : it->second.size();
+}
+
+}  // namespace objrpc

@@ -1,0 +1,126 @@
+// On-demand object movement and caching.
+//
+// §3.1: "Once the code starts executing, we can then move data on demand
+// instead of having to move the entire object" — and §3 promises the
+// infrastructure, not the application, owns "caching, prefetching, and
+// manual data movement".  The fetcher is that infrastructure:
+//
+//   client side — pull a remote object's byte image in MTU-sized chunks
+//     (chunk_req/chunk_resp), reassemble, adopt it into the local store
+//     as a CACHED replica, then let the prefetch policy pull what the
+//     new object references.
+//   server side — serve chunk requests for resident objects and record
+//     each requester in the object's copyset.
+//   coherence-lite — when the home observes a write it sends invalidate
+//     to the copyset; cachers evict their replica and re-fetch on next
+//     use (exactly the re-implemented-at-every-layer pattern §5 wants
+//     hoisted into one place).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/prefetch.hpp"
+#include "net/service.hpp"
+
+namespace objrpc {
+
+struct FetchConfig {
+  /// Chunk payload size for pulls.
+  std::uint32_t chunk_bytes = 1400;
+  SimDuration timeout = 20 * kMillisecond;
+  int max_attempts = 4;
+};
+
+using FetchCallback = std::function<void(Status)>;
+
+class ObjectFetcher {
+ public:
+  ObjectFetcher(ObjNetService& service, FetchConfig cfg = {});
+
+  /// Make `id` locally resident (no-op if it already is).  On success
+  /// the object is in the host's store, marked as a cached replica.
+  void fetch(ObjectId id, FetchCallback cb);
+
+  /// Is `id` resident here only as a cached replica?
+  bool is_cached_replica(ObjectId id) const { return cached_.count(id) != 0; }
+  /// Drop a cached replica (local decision; no traffic).
+  void evict(ObjectId id);
+
+  void set_prefetcher(std::shared_ptr<Prefetcher> p) {
+    prefetcher_ = std::move(p);
+  }
+  Prefetcher* prefetcher() { return prefetcher_.get(); }
+
+  struct Counters {
+    std::uint64_t fetches_started = 0;
+    std::uint64_t fetches_completed = 0;
+    std::uint64_t fetches_failed = 0;
+    std::uint64_t already_local = 0;
+    std::uint64_t chunks_requested = 0;
+    std::uint64_t chunks_served = 0;
+    std::uint64_t bytes_pulled = 0;
+    std::uint64_t prefetches_issued = 0;
+    std::uint64_t invalidates_sent = 0;
+    std::uint64_t invalidates_received = 0;
+    std::uint64_t evictions = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  /// Copyset size the home tracks for `id` (tests / introspection).
+  std::size_t copyset_size(ObjectId id) const;
+
+  /// Register a holder in `id`'s copyset explicitly (the replication
+  /// layer does this when it pushes a replica, so the replica receives
+  /// the same invalidations cached copies do).
+  void add_copyset_member(ObjectId id, HostAddr member) {
+    copysets_[id].insert(member);
+  }
+
+  /// Hook invoked when an invalidate arrives for an object that is NOT
+  /// one of this fetcher's cached replicas (e.g. a full read replica
+  /// managed by the replication layer).
+  using InvalidateHook = std::function<void(ObjectId)>;
+  void set_invalidate_hook(InvalidateHook h) {
+    invalidate_hook_ = std::move(h);
+  }
+
+ private:
+  struct PendingFetch {
+    std::vector<FetchCallback> waiters;
+    std::uint64_t total_size = 0;
+    Bytes buffer;
+    std::unordered_set<std::uint64_t> outstanding_chunks;  // offsets
+    int attempts = 0;
+    std::uint64_t generation = 0;
+    HostAddr source = kUnspecifiedHost;
+    bool prefetch = false;  // issued by policy, not demand
+  };
+
+  void start(ObjectId id);
+  void arm_timer(ObjectId id, std::uint64_t generation);
+  void send_stat(ObjectId id, HostAddr dst);
+  void send_chunk_reqs(ObjectId id);
+  void on_chunk_req(const Frame& f);
+  void on_chunk_resp(const Frame& f);
+  void on_invalidate(const Frame& f);
+  void on_invalidate_ack(const Frame& f);
+  void complete(ObjectId id, Status s);
+  void run_prefetch(const Object& fetched);
+
+  ObjNetService& service_;
+  FetchConfig cfg_;
+  std::shared_ptr<Prefetcher> prefetcher_ = std::make_shared<NoPrefetcher>();
+  std::unordered_map<ObjectId, PendingFetch> pending_;
+  std::unordered_set<ObjectId> cached_;
+  /// Home-side: who holds cached replicas of our objects.
+  std::unordered_map<ObjectId, std::unordered_set<HostAddr>> copysets_;
+  std::uint64_t next_seq_ = 1;
+  InvalidateHook invalidate_hook_;
+  Counters counters_;
+};
+
+}  // namespace objrpc

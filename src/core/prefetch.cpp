@@ -1,0 +1,37 @@
+#include "core/prefetch.hpp"
+
+namespace objrpc {
+
+std::vector<ObjectId> ReachabilityPrefetcher::predict(
+    const Object& fetched, const ObjectStore& store) {
+  std::vector<ObjectId> out;
+  for (std::uint32_t i = 1; i <= fetched.fot_count() && out.size() < budget_;
+       ++i) {
+    auto entry = fetched.fot_entry(i);
+    if (!entry) continue;
+    if (store.contains(entry->target)) continue;
+    out.push_back(entry->target);
+  }
+  return out;
+}
+
+AdjacencyPrefetcher::AdjacencyPrefetcher(std::vector<ObjectId> layout,
+                                         std::size_t window)
+    : layout_(std::move(layout)), window_(window) {
+  for (std::size_t i = 0; i < layout_.size(); ++i) index_[layout_[i]] = i;
+}
+
+std::vector<ObjectId> AdjacencyPrefetcher::predict(const Object& fetched,
+                                                   const ObjectStore& store) {
+  std::vector<ObjectId> out;
+  auto it = index_.find(fetched.id());
+  if (it == index_.end()) return out;
+  for (std::size_t d = 1; d <= window_ && out.size() < window_; ++d) {
+    const std::size_t next = it->second + d;
+    if (next >= layout_.size()) break;
+    if (!store.contains(layout_[next])) out.push_back(layout_[next]);
+  }
+  return out;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,69 @@
+// Prefetch policies (§3.1).
+//
+// "This graph can be used by the system to perform prefetching based on
+// data identity and actual reachability instead of some proxy for
+// identity (e.g., adjacency, as is used today)."  The fetcher consults a
+// policy after each fetched object; ABL-PREFETCH races the two policies
+// (plus no prefetching) on pointer-linked workloads whose physical
+// layout deliberately disagrees with their reachability.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "objspace/object.hpp"
+#include "objspace/store.hpp"
+
+namespace objrpc {
+
+class Prefetcher {
+ public:
+  virtual ~Prefetcher() = default;
+  virtual const char* policy_name() const = 0;
+  /// Given a just-fetched object, predict what to fetch next.  `store`
+  /// is the local store (already-resident objects need no prefetch).
+  virtual std::vector<ObjectId> predict(const Object& fetched,
+                                        const ObjectStore& store) = 0;
+};
+
+/// Fetch nothing beyond what faults demand.
+class NoPrefetcher final : public Prefetcher {
+ public:
+  const char* policy_name() const override { return "none"; }
+  std::vector<ObjectId> predict(const Object&, const ObjectStore&) override {
+    return {};
+  }
+};
+
+/// Identity-based: follow the fetched object's FOT — its actual
+/// reachability — up to a budget.
+class ReachabilityPrefetcher final : public Prefetcher {
+ public:
+  explicit ReachabilityPrefetcher(std::size_t budget = 8) : budget_(budget) {}
+  const char* policy_name() const override { return "reachability"; }
+  std::vector<ObjectId> predict(const Object& fetched,
+                                const ObjectStore& store) override;
+
+ private:
+  std::size_t budget_;
+};
+
+/// Today's proxy: fetch whatever sits NEXT TO the object in physical
+/// layout order, regardless of whether anything references it.
+class AdjacencyPrefetcher final : public Prefetcher {
+ public:
+  /// `layout` is the physical placement order of objects (e.g. creation
+  /// or disk order); `window` is how many physical neighbours to pull.
+  AdjacencyPrefetcher(std::vector<ObjectId> layout, std::size_t window = 8);
+  const char* policy_name() const override { return "adjacency"; }
+  std::vector<ObjectId> predict(const Object& fetched,
+                                const ObjectStore& store) override;
+
+ private:
+  std::vector<ObjectId> layout_;
+  std::unordered_map<ObjectId, std::size_t> index_;
+  std::size_t window_;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,149 @@
+#include "core/rendezvous.hpp"
+
+namespace objrpc {
+
+namespace {
+
+/// Snapshot of the counters a report diffs against.
+struct Baseline {
+  std::uint64_t wire_bytes;
+  std::uint64_t wire_frames;
+  std::uint64_t invoker_frames;
+  SimTime start;
+};
+
+Baseline snapshot(Cluster& cluster, std::size_t invoker) {
+  return Baseline{cluster.fabric().network().stats().bytes_sent,
+                  cluster.fabric().network().stats().frames_sent,
+                  cluster.host(invoker).counters().frames_out,
+                  cluster.loop().now()};
+}
+
+RendezvousReport diff(Cluster& cluster, std::size_t invoker,
+                      const Baseline& base, const char* strategy,
+                      HostAddr executor) {
+  RendezvousReport r;
+  r.strategy = strategy;
+  r.elapsed = cluster.loop().now() - base.start;
+  r.wire_bytes = cluster.fabric().network().stats().bytes_sent - base.wire_bytes;
+  r.wire_frames =
+      cluster.fabric().network().stats().frames_sent - base.wire_frames;
+  r.invoker_frames =
+      cluster.host(invoker).counters().frames_out - base.invoker_frames;
+  r.executor = executor;
+  return r;
+}
+
+/// Fetch several objects into `fetcher`, then call `done`.
+void fetch_all(ObjectFetcher& fetcher, std::vector<ObjectId> ids,
+               std::function<void(Status)> done) {
+  if (ids.empty()) {
+    done(Status::ok());
+    return;
+  }
+  auto remaining = std::make_shared<int>(static_cast<int>(ids.size()));
+  auto failed = std::make_shared<bool>(false);
+  for (ObjectId id : ids) {
+    fetcher.fetch(id, [remaining, failed, done](Status s) {
+      if (*failed) return;
+      if (!s) {
+        *failed = true;
+        done(s);
+        return;
+      }
+      if (--*remaining == 0) done(Status::ok());
+    });
+  }
+}
+
+/// Push byte-copies of locally resident objects to `dst`.
+void push_all(Cluster& cluster, std::size_t from,
+              const std::vector<ObjectId>& ids, HostAddr dst,
+              std::function<void(Status)> done) {
+  if (ids.empty()) {
+    done(Status::ok());
+    return;
+  }
+  auto remaining = std::make_shared<int>(static_cast<int>(ids.size()));
+  auto failed = std::make_shared<bool>(false);
+  for (ObjectId id : ids) {
+    auto obj = cluster.host(from).store().get(id);
+    if (!obj) {
+      done(obj.error());
+      return;
+    }
+    cluster.service(from).reliable().send(
+        dst, MsgType::object_adopt, id, (*obj)->raw_bytes(),
+        [remaining, failed, done](Status s) {
+          if (*failed) return;
+          if (!s) {
+            *failed = true;
+            done(s);
+            return;
+          }
+          if (--*remaining == 0) done(Status::ok());
+        });
+  }
+}
+
+}  // namespace
+
+void run_manual_copy(Cluster& cluster, const RendezvousScenario& scenario,
+                     RendezvousCallback cb) {
+  auto base = std::make_shared<Baseline>(snapshot(cluster, scenario.invoker));
+  const HostAddr carol = cluster.addr_of(scenario.manual_executor);
+  // Step i: Alice pulls the data from Bob.
+  fetch_all(
+      cluster.fetcher(scenario.invoker), scenario.data_objects,
+      [&cluster, scenario, base, carol, cb](Status s) {
+        if (!s) {
+          cb(s.error(), RendezvousReport{});
+          return;
+        }
+        // Step ii: Alice forwards the copies to Carol.
+        push_all(cluster, scenario.invoker, scenario.data_objects, carol,
+                 [&cluster, scenario, base, carol, cb](Status s2) {
+                   if (!s2) {
+                     cb(s2.error(), RendezvousReport{});
+                     return;
+                   }
+                   // Step iii: invoke on Carol.
+                   cluster.invoke_at(
+                       scenario.invoker, carol, scenario.fn, scenario.args,
+                       scenario.activation,
+                       [&cluster, scenario, base, cb](
+                           Result<Bytes> r, const InvokeStats& st) {
+                         cb(std::move(r),
+                            diff(cluster, scenario.invoker, *base,
+                                 "manual-copy", st.executor));
+                       });
+                 });
+      });
+}
+
+void run_manual_pull(Cluster& cluster, const RendezvousScenario& scenario,
+                     RendezvousCallback cb) {
+  auto base = std::make_shared<Baseline>(snapshot(cluster, scenario.invoker));
+  const HostAddr carol = cluster.addr_of(scenario.manual_executor);
+  // Alice invokes on HER chosen executor; Carol pulls from Bob herself.
+  cluster.invoke_at(
+      scenario.invoker, carol, scenario.fn, scenario.args,
+      scenario.activation,
+      [&cluster, scenario, base, cb](Result<Bytes> r, const InvokeStats& st) {
+        cb(std::move(r), diff(cluster, scenario.invoker, *base, "manual-pull",
+                              st.executor));
+      });
+}
+
+void run_automatic(Cluster& cluster, const RendezvousScenario& scenario,
+                   RendezvousCallback cb) {
+  auto base = std::make_shared<Baseline>(snapshot(cluster, scenario.invoker));
+  cluster.invoke(
+      scenario.invoker, scenario.fn, scenario.args, scenario.activation,
+      [&cluster, scenario, base, cb](Result<Bytes> r, const InvokeStats& st) {
+        cb(std::move(r), diff(cluster, scenario.invoker, *base, "automatic",
+                              st.executor));
+      });
+}
+
+}  // namespace objrpc

@@ -1,0 +1,60 @@
+// The three rendezvous strategies of Figure 1.
+//
+//   (1) manual copy           — the invoker (Alice) pulls the data from
+//       its home (Bob), pushes it to the executor (Carol), then invokes.
+//       Two full traversals of the data, both through Alice.
+//   (2) manual copy, optimized — Alice invokes on Carol directly and the
+//       data moves Bob -> Carol, but ALICE chose the executor (the
+//       placement is hard-coded application logic).
+//   (3) automatic copy        — Alice only names code and data; the
+//       placement engine picks the executor and the data moves on
+//       demand.  "Solid red arrows" (infrastructure tasks in the app)
+//       drop to zero.
+//
+// Each run reports wire traffic, elapsed time, executor, and how many
+// frames the INVOKER had to send — the measurable proxy for the
+// orchestration burden the paper's red arrows represent.
+#pragma once
+
+#include "core/cluster.hpp"
+
+namespace objrpc {
+
+struct RendezvousScenario {
+  /// The referenced data objects (e.g. model shards), resident on
+  /// `data_host` at start.
+  std::vector<ObjectId> data_objects;
+  FuncId fn;
+  std::vector<GlobalPtr> args;
+  Bytes activation;         // the inline argument Alice supplies
+  std::size_t invoker = 0;  // Alice
+  std::size_t data_host = 1;   // Bob
+  std::size_t manual_executor = 2;  // Carol, for strategies 1 and 2
+};
+
+struct RendezvousReport {
+  const char* strategy = "";
+  SimDuration elapsed = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_frames = 0;
+  /// Frames the invoker emitted: the orchestration burden on Alice.
+  std::uint64_t invoker_frames = 0;
+  HostAddr executor = kUnspecifiedHost;
+};
+
+using RendezvousCallback =
+    std::function<void(Result<Bytes>, const RendezvousReport&)>;
+
+/// Strategy (1): copy through the invoker, then invoke.
+void run_manual_copy(Cluster& cluster, const RendezvousScenario& scenario,
+                     RendezvousCallback cb);
+
+/// Strategy (2): invoker-chosen executor pulls directly from the home.
+void run_manual_pull(Cluster& cluster, const RendezvousScenario& scenario,
+                     RendezvousCallback cb);
+
+/// Strategy (3): system placement + on-demand movement.
+void run_automatic(Cluster& cluster, const RendezvousScenario& scenario,
+                   RendezvousCallback cb);
+
+}  // namespace objrpc

@@ -1,0 +1,88 @@
+#include "core/replication.hpp"
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+ReplicaManager::ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher)
+    : service_(service), fetcher_(fetcher) {
+  service_.set_reliable_fallback(
+      [this](HostAddr src, MsgType inner, ObjectId object, Bytes payload) {
+        if (inner == MsgType::object_replica) {
+          on_replica_message(src, object, std::move(payload));
+        }
+      });
+  service_.set_write_redirector(
+      [this](ObjectId id) -> std::optional<HostAddr> {
+        auto it = primaries_.find(id);
+        if (it == primaries_.end()) return std::nullopt;
+        ++counters_.writes_redirected;
+        return it->second;
+      });
+  fetcher_.set_invalidate_hook([this](ObjectId id) {
+    auto it = primaries_.find(id);
+    if (it == primaries_.end()) return;
+    primaries_.erase(it);
+    ++counters_.replicas_invalidated;
+    (void)service_.host().store().remove(id);
+  });
+}
+
+void ReplicaManager::replicate(ObjectId id, HostAddr dst,
+                               std::function<void(Status)> cb) {
+  auto obj = service_.host().store().get(id);
+  if (!obj) {
+    if (cb) cb(Error{Errc::not_found, "cannot replicate absent object"});
+    return;
+  }
+  if (is_replica(id)) {
+    if (cb) {
+      cb(Error{Errc::permission_denied,
+               "replicas do not re-replicate; ask the home"});
+    }
+    return;
+  }
+  // Payload: the home address, then the byte image.
+  BufWriter w(16 + (*obj)->size());
+  w.put_u64(service_.host().addr());
+  w.put_bytes((*obj)->raw_bytes());
+  ++counters_.replicas_pushed;
+  fetcher_.add_copyset_member(id, dst);  // future writes invalidate it
+  service_.reliable().send(dst, MsgType::object_replica, id,
+                           std::move(w).take(), std::move(cb));
+}
+
+void ReplicaManager::on_replica_message(HostAddr /*src*/, ObjectId object,
+                                        Bytes payload) {
+  BufReader r(payload);
+  const HostAddr home = r.get_u64();
+  if (!r.ok()) return;
+  Bytes image(payload.begin() + 8, payload.end());
+  auto obj = Object::from_bytes(object, std::move(image));
+  if (!obj) {
+    Log::warn("replica", "corrupt replica image for %s",
+              object.to_string().c_str());
+    return;
+  }
+  if (service_.host().store().contains(object)) {
+    // Refresh: replace the stale copy.
+    (void)service_.host().store().remove(object);
+  }
+  if (Status s = service_.host().store().insert(std::move(*obj)); !s) {
+    Log::warn("replica", "cannot install replica: %s",
+              s.error().to_string().c_str());
+    return;
+  }
+  primaries_[object] = home;
+  ++counters_.replicas_installed;
+}
+
+Result<HostAddr> ReplicaManager::primary_of(ObjectId id) const {
+  auto it = primaries_.find(id);
+  if (it == primaries_.end()) {
+    return Error{Errc::not_found, "not a replica here"};
+  }
+  return it->second;
+}
+
+}  // namespace objrpc

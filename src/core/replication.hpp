@@ -1,0 +1,60 @@
+// Read replication with write-through (§5, Limitations and Challenges).
+//
+// "Masking failures via replication gives rise to concerns about
+// consistency" — this layer implements the pragmatic point in that
+// space the paper gestures at: objects keep ONE writable home, but the
+// home can push byte-exact READ replicas to other hosts.  Replicas:
+//
+//   * answer broadcast discovery (E2E scheme), so readers reach the
+//     nearest copy;
+//   * redirect writes to the home (write-through), preserving a single
+//     write order;
+//   * are registered in the home's copyset, so a write invalidates them
+//     exactly like cached copies — readers re-discover and the system
+//     re-replicates if asked.
+//
+// Everything rides the primitives the object space already has: replica
+// installation is a byte copy over the reliable channel, and coherence
+// is the fetcher's invalidation protocol.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/fetch.hpp"
+
+namespace objrpc {
+
+class ReplicaManager {
+ public:
+  ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher);
+
+  /// Called on the HOME host: push a read replica of `id` to `dst`.
+  /// Completes when the replica host has installed it.
+  void replicate(ObjectId id, HostAddr dst,
+                 std::function<void(Status)> cb);
+
+  /// Is `id` held here as a read replica?
+  bool is_replica(ObjectId id) const { return primaries_.count(id) != 0; }
+  /// The home host of a replica held here.
+  Result<HostAddr> primary_of(ObjectId id) const;
+  std::size_t replica_count() const { return primaries_.size(); }
+
+  struct Counters {
+    std::uint64_t replicas_pushed = 0;
+    std::uint64_t replicas_installed = 0;
+    std::uint64_t writes_redirected = 0;
+    std::uint64_t replicas_invalidated = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void on_replica_message(HostAddr src, ObjectId object, Bytes payload);
+
+  ObjNetService& service_;
+  ObjectFetcher& fetcher_;
+  /// Replica side: object -> its home.
+  std::unordered_map<ObjectId, HostAddr> primaries_;
+  Counters counters_;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,261 @@
+#include "core/runtime.hpp"
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+Result<ObjectPtr> InvokeContext::resolve(ObjectId id) {
+  if (auto obj = host_.store().get(id)) return obj;
+  faults_.push_back(id);
+  return Error{Errc::not_found, "object fault: " + id.to_string()};
+}
+
+ObjectResolver InvokeContext::resolver() {
+  return [this](ObjectId id) { return resolve(id); };
+}
+
+InvokeRuntime::InvokeRuntime(ObjNetService& service, CodeRegistry& registry,
+                             ObjectFetcher& fetcher)
+    : service_(service), registry_(registry), fetcher_(fetcher) {
+  service_.set_invoke_handler(
+      [this](const Frame& f) { on_invoke_req(f); });
+  service_.host().set_handler(MsgType::invoke_resp, [this](const Frame& f) {
+    BufReader r(f.payload);
+    const auto errc = static_cast<Errc>(r.get_u16());
+    if (errc == Errc::ok) {
+      Bytes body = r.get_blob();
+      if (!r.ok()) return;
+      finish_remote(f.seq, std::move(body));
+    } else {
+      const std::string msg = r.get_string();
+      finish_remote(f.seq, Error{errc, msg});
+    }
+  });
+}
+
+// --- wire format ---------------------------------------------------------------
+
+Bytes InvokeRuntime::encode_invoke(FuncId fn,
+                                   const std::vector<GlobalPtr>& args,
+                                   ByteSpan inline_arg) {
+  BufWriter w(64 + args.size() * 24 + inline_arg.size());
+  w.put_u128(fn.value);
+  w.put_varint(args.size());
+  for (const auto& a : args) {
+    w.put_u128(a.object.value);
+    w.put_u64(a.offset);
+  }
+  w.put_blob(inline_arg);
+  return std::move(w).take();
+}
+
+Result<InvokeRuntime::DecodedInvoke> InvokeRuntime::decode_invoke(
+    ByteSpan payload) {
+  BufReader r(payload);
+  DecodedInvoke d;
+  d.fn = FuncId{r.get_u128()};
+  const std::uint64_t n = r.get_varint();
+  if (!r.ok() || n > 4096) {
+    return Error{Errc::malformed, "bad invoke arg count"};
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    GlobalPtr p;
+    p.object = ObjectId{r.get_u128()};
+    p.offset = r.get_u64();
+    d.args.push_back(p);
+  }
+  d.inline_arg = r.get_blob();
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "bad invoke payload"};
+  }
+  return d;
+}
+
+// --- local execution -------------------------------------------------------------
+
+void InvokeRuntime::execute_local(FuncId fn, std::vector<GlobalPtr> args,
+                                  Bytes inline_arg, InvokeCallback cb,
+                                  InvokeOptions opts) {
+  ++counters_.local_executions;
+  auto stats = std::make_shared<InvokeStats>();
+  stats->started_at = service_.host().event_loop().now();
+  stats->executor = service_.host().addr();
+  auto done = [this, cb = std::move(cb), stats](Result<Bytes> r) {
+    stats->finished_at = service_.host().event_loop().now();
+    if (!r) ++counters_.failures;
+    if (cb) cb(std::move(r), *stats);
+  };
+
+  // Ensure the argument objects are resident, then run fault rounds.
+  auto remaining = std::make_shared<int>(0);
+  auto failed = std::make_shared<bool>(false);
+  std::vector<ObjectId> to_fetch;
+  for (const auto& a : args) {
+    if (!a.is_null() && !service_.host().store().contains(a.object)) {
+      to_fetch.push_back(a.object);
+    }
+  }
+  *remaining = static_cast<int>(to_fetch.size());
+  auto proceed = [this, fn, args = std::move(args),
+                  inline_arg = std::move(inline_arg), opts, stats,
+                  done]() mutable {
+    run_rounds(fn, std::move(args), std::move(inline_arg), opts, stats,
+               done, 1);
+  };
+  if (to_fetch.empty()) {
+    proceed();
+    return;
+  }
+  for (ObjectId id : to_fetch) {
+    fetcher_.fetch(id, [remaining, failed, stats, done,
+                        proceed](Status s) mutable {
+      if (*failed) return;
+      if (!s) {
+        *failed = true;
+        done(s.error());
+        return;
+      }
+      ++stats->objects_fetched;
+      if (--*remaining == 0) proceed();
+    });
+  }
+}
+
+void InvokeRuntime::run_rounds(FuncId fn, std::vector<GlobalPtr> args,
+                               Bytes inline_arg, InvokeOptions opts,
+                               std::shared_ptr<InvokeStats> stats,
+                               std::function<void(Result<Bytes>)> done,
+                               int round) {
+  if (round > opts.max_fault_rounds) {
+    done(Error{Errc::timeout, "fault-round budget exhausted"});
+    return;
+  }
+  auto entry = registry_.lookup(fn);
+  if (!entry) {
+    done(entry.error());
+    return;
+  }
+  stats->rounds = round;
+  InvokeContext ctx(service_.host(), fetcher_);
+  Result<Bytes> result = (*entry)->fn(ctx, args, inline_arg);
+  if (!ctx.faulted()) {
+    done(std::move(result));
+    return;
+  }
+  // Object faults: fetch everything the round discovered, then re-run.
+  ++counters_.fault_rounds;
+  auto faults = ctx.faults();
+  auto remaining = std::make_shared<int>(static_cast<int>(faults.size()));
+  auto failed = std::make_shared<bool>(false);
+  for (ObjectId id : faults) {
+    fetcher_.fetch(id, [this, fn, args, inline_arg, opts, stats, done,
+                        remaining, failed, round](Status s) mutable {
+      if (*failed) return;
+      if (!s) {
+        *failed = true;
+        done(s.error());
+        return;
+      }
+      ++stats->objects_fetched;
+      if (--*remaining == 0) {
+        run_rounds(fn, std::move(args), std::move(inline_arg), opts,
+                   std::move(stats), std::move(done), round + 1);
+      }
+    });
+  }
+}
+
+// --- remote invocation -------------------------------------------------------------
+
+void InvokeRuntime::invoke_at(HostAddr executor, FuncId fn,
+                              std::vector<GlobalPtr> args, Bytes inline_arg,
+                              InvokeCallback cb, InvokeOptions opts) {
+  if (executor == service_.host().addr()) {
+    execute_local(fn, std::move(args), std::move(inline_arg), std::move(cb),
+                  opts);
+    return;
+  }
+  ++counters_.remote_invocations;
+  const std::uint64_t token = next_token_++;
+  PendingInvoke p;
+  p.cb = std::move(cb);
+  p.opts = opts;
+  p.fn = fn;
+  p.args = std::move(args);
+  p.inline_arg = std::move(inline_arg);
+  p.executor = executor;
+  p.stats.started_at = service_.host().event_loop().now();
+  p.stats.executor = executor;
+  pending_.emplace(token, std::move(p));
+  send_remote(token);
+}
+
+void InvokeRuntime::send_remote(std::uint64_t token) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  PendingInvoke& p = it->second;
+  Frame f;
+  f.type = MsgType::invoke_req;
+  f.dst_host = p.executor;
+  f.seq = token;
+  f.payload = encode_invoke(p.fn, p.args, p.inline_arg);
+  const std::uint64_t generation = ++p.generation;
+  service_.host().send_frame(std::move(f));
+  service_.host().event_loop().schedule_after(
+      p.opts.timeout, [this, token, generation] {
+        auto it2 = pending_.find(token);
+        if (it2 == pending_.end() || it2->second.generation != generation) {
+          return;
+        }
+        // generation counts send attempts.
+        if (it2->second.generation >=
+            static_cast<std::uint64_t>(it2->second.opts.max_attempts)) {
+          finish_remote(token, Error{Errc::timeout, "invoke timed out"});
+          return;
+        }
+        send_remote(token);
+      });
+}
+
+void InvokeRuntime::finish_remote(std::uint64_t token, Result<Bytes> result) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  PendingInvoke p = std::move(it->second);
+  pending_.erase(it);
+  p.stats.finished_at = service_.host().event_loop().now();
+  if (!result) ++counters_.failures;
+  if (p.cb) p.cb(std::move(result), p.stats);
+}
+
+void InvokeRuntime::on_invoke_req(const Frame& f) {
+  // Responses come back through invoke_resp which the service does not
+  // handle; register lazily here (both roles share this runtime).
+  auto decoded = decode_invoke(f.payload);
+  if (!decoded) {
+    Log::warn("invoke", "malformed invoke_req dropped");
+    return;
+  }
+  ++counters_.requests_served;
+  const HostAddr caller = f.src_host;
+  const std::uint64_t seq = f.seq;
+  execute_local(
+      decoded->fn, std::move(decoded->args), std::move(decoded->inline_arg),
+      [this, caller, seq](Result<Bytes> r, const InvokeStats&) {
+        Frame resp;
+        resp.type = MsgType::invoke_resp;
+        resp.dst_host = caller;
+        resp.seq = seq;
+        BufWriter w;
+        if (r) {
+          w.put_u16(0);
+          w.put_blob(*r);
+        } else {
+          w.put_u16(static_cast<std::uint16_t>(r.error().code));
+          w.put_string(r.error().message);
+        }
+        resp.payload = std::move(w).take();
+        service_.host().send_frame(std::move(resp));
+      });
+}
+
+}  // namespace objrpc

@@ -1,0 +1,209 @@
+#include "crdt/crdt.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace objrpc {
+
+// --- GCounter ----------------------------------------------------------------
+
+void GCounter::increment(ReplicaId replica, std::uint64_t by) {
+  counts_[replica] += by;
+}
+
+std::uint64_t GCounter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, c] : counts_) total += c;
+  return total;
+}
+
+void GCounter::merge(const GCounter& other) {
+  for (const auto& [replica, c] : other.counts_) {
+    counts_[replica] = std::max(counts_[replica], c);
+  }
+}
+
+Bytes GCounter::encode() const {
+  BufWriter w;
+  w.put_varint(counts_.size());
+  for (const auto& [replica, c] : counts_) {
+    w.put_u64(replica);
+    w.put_varint(c);
+  }
+  return std::move(w).take();
+}
+
+Result<GCounter> GCounter::decode(ByteSpan data) {
+  BufReader r(data);
+  GCounter g;
+  const std::uint64_t n = r.get_varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const ReplicaId replica = r.get_u64();
+    g.counts_[replica] = r.get_varint();
+  }
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "bad gcounter"};
+  }
+  return g;
+}
+
+// --- PNCounter ----------------------------------------------------------------
+
+Bytes PNCounter::encode() const {
+  BufWriter w;
+  w.put_blob(pos_.encode());
+  w.put_blob(neg_.encode());
+  return std::move(w).take();
+}
+
+Result<PNCounter> PNCounter::decode(ByteSpan data) {
+  BufReader r(data);
+  const Bytes pos_bytes = r.get_blob();
+  const Bytes neg_bytes = r.get_blob();
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "bad pncounter"};
+  }
+  auto pos = GCounter::decode(pos_bytes);
+  if (!pos) return pos.error();
+  auto neg = GCounter::decode(neg_bytes);
+  if (!neg) return neg.error();
+  PNCounter pn;
+  pn.pos_ = std::move(*pos);
+  pn.neg_ = std::move(*neg);
+  return pn;
+}
+
+// --- LWWRegister ----------------------------------------------------------------
+
+void LWWRegister::set(std::uint64_t timestamp, ReplicaId replica,
+                      Bytes value) {
+  // Total order over (timestamp, replica, value): the value itself is
+  // the final tiebreaker so that two writes sharing a (ts, replica) key
+  // still merge commutatively.
+  const auto incoming = std::tie(timestamp, replica, value);
+  const auto current = std::tie(timestamp_, replica_, value_);
+  if (incoming > current) {
+    timestamp_ = timestamp;
+    replica_ = replica;
+    value_ = std::move(value);
+  }
+}
+
+void LWWRegister::merge(const LWWRegister& other) {
+  set(other.timestamp_, other.replica_, other.value_);
+}
+
+Bytes LWWRegister::encode() const {
+  BufWriter w;
+  w.put_u64(timestamp_);
+  w.put_u64(replica_);
+  w.put_blob(value_);
+  return std::move(w).take();
+}
+
+Result<LWWRegister> LWWRegister::decode(ByteSpan data) {
+  BufReader r(data);
+  LWWRegister reg;
+  reg.timestamp_ = r.get_u64();
+  reg.replica_ = r.get_u64();
+  reg.value_ = r.get_blob();
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "bad lww register"};
+  }
+  return reg;
+}
+
+// --- ORSet ----------------------------------------------------------------------
+
+void ORSet::add(const std::string& element, ReplicaId replica,
+                std::uint64_t tag) {
+  const Tag t{replica, tag};
+  // A tag that was tombstoned stays removed (remove wins over replayed
+  // adds of the SAME tag; fresh adds use fresh tags and win).
+  auto ts = tombstones_.find(element);
+  if (ts != tombstones_.end() && ts->second.count(t)) return;
+  live_[element].insert(t);
+}
+
+void ORSet::remove(const std::string& element) {
+  auto it = live_.find(element);
+  if (it == live_.end()) return;
+  auto& tomb = tombstones_[element];
+  for (const auto& t : it->second) tomb.insert(t);
+  live_.erase(it);
+}
+
+bool ORSet::contains(const std::string& element) const {
+  auto it = live_.find(element);
+  return it != live_.end() && !it->second.empty();
+}
+
+std::set<std::string> ORSet::elements() const {
+  std::set<std::string> out;
+  for (const auto& [e, tags] : live_) {
+    if (!tags.empty()) out.insert(e);
+  }
+  return out;
+}
+
+std::size_t ORSet::size() const { return elements().size(); }
+
+void ORSet::merge(const ORSet& other) {
+  // Union tombstones first, then union live tags minus tombstones.
+  for (const auto& [e, tags] : other.tombstones_) {
+    tombstones_[e].insert(tags.begin(), tags.end());
+  }
+  for (const auto& [e, tags] : other.live_) {
+    live_[e].insert(tags.begin(), tags.end());
+  }
+  for (const auto& [e, tomb] : tombstones_) {
+    auto it = live_.find(e);
+    if (it == live_.end()) continue;
+    for (const auto& t : tomb) it->second.erase(t);
+    if (it->second.empty()) live_.erase(it);
+  }
+}
+
+Bytes ORSet::encode() const {
+  BufWriter w;
+  auto put_map = [&w](const std::map<std::string, std::set<Tag>>& m) {
+    w.put_varint(m.size());
+    for (const auto& [e, tags] : m) {
+      w.put_string(e);
+      w.put_varint(tags.size());
+      for (const auto& [replica, tag] : tags) {
+        w.put_u64(replica);
+        w.put_u64(tag);
+      }
+    }
+  };
+  put_map(live_);
+  put_map(tombstones_);
+  return std::move(w).take();
+}
+
+Result<ORSet> ORSet::decode(ByteSpan data) {
+  BufReader r(data);
+  ORSet s;
+  auto get_map = [&r](std::map<std::string, std::set<Tag>>& m) {
+    const std::uint64_t n = r.get_varint();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const std::string e = r.get_string();
+      const std::uint64_t ntags = r.get_varint();
+      auto& tags = m[e];
+      for (std::uint64_t t = 0; t < ntags && r.ok(); ++t) {
+        const ReplicaId replica = r.get_u64();
+        const std::uint64_t tag = r.get_u64();
+        tags.emplace(replica, tag);
+      }
+    }
+  };
+  get_map(s.live_);
+  get_map(s.tombstones_);
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "bad orset"};
+  }
+  return s;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,116 @@
+// Conflict-free replicated data types (§5, Limitations and Challenges).
+//
+// The paper proposes handling replication conflicts during data movement
+// by "auto-merging progressive objects like CRDTs".  These are the
+// standard state-based (convergent) CRDTs: replicas mutate locally and
+// merge pairwise; merge is commutative, associative, and idempotent, so
+// any exchange order converges.  Each type serializes to bytes so it can
+// live inside an object's payload and merge when replicas meet (see
+// MergeEngine in the core layer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace objrpc {
+
+/// Identifies a replica (host) in CRDT metadata.
+using ReplicaId = std::uint64_t;
+
+/// Grow-only counter: per-replica monotone counts; value = sum.
+class GCounter {
+ public:
+  void increment(ReplicaId replica, std::uint64_t by = 1);
+  std::uint64_t value() const;
+  void merge(const GCounter& other);
+
+  Bytes encode() const;
+  static Result<GCounter> decode(ByteSpan data);
+
+  friend bool operator==(const GCounter&, const GCounter&) = default;
+
+ private:
+  std::map<ReplicaId, std::uint64_t> counts_;
+};
+
+/// Increment/decrement counter: two GCounters.
+class PNCounter {
+ public:
+  void increment(ReplicaId replica, std::uint64_t by = 1) {
+    pos_.increment(replica, by);
+  }
+  void decrement(ReplicaId replica, std::uint64_t by = 1) {
+    neg_.increment(replica, by);
+  }
+  std::int64_t value() const {
+    return static_cast<std::int64_t>(pos_.value()) -
+           static_cast<std::int64_t>(neg_.value());
+  }
+  void merge(const PNCounter& other) {
+    pos_.merge(other.pos_);
+    neg_.merge(other.neg_);
+  }
+
+  Bytes encode() const;
+  static Result<PNCounter> decode(ByteSpan data);
+
+  friend bool operator==(const PNCounter&, const PNCounter&) = default;
+
+ private:
+  GCounter pos_;
+  GCounter neg_;
+};
+
+/// Last-writer-wins register: (timestamp, replica) pairs order writes;
+/// replica id breaks timestamp ties so merge stays deterministic.
+class LWWRegister {
+ public:
+  void set(std::uint64_t timestamp, ReplicaId replica, Bytes value);
+  const Bytes& value() const { return value_; }
+  std::uint64_t timestamp() const { return timestamp_; }
+  bool empty() const { return timestamp_ == 0 && value_.empty(); }
+  void merge(const LWWRegister& other);
+
+  Bytes encode() const;
+  static Result<LWWRegister> decode(ByteSpan data);
+
+  friend bool operator==(const LWWRegister&, const LWWRegister&) = default;
+
+ private:
+  std::uint64_t timestamp_ = 0;
+  ReplicaId replica_ = 0;
+  Bytes value_;
+};
+
+/// Observed-remove set: add wins over concurrent remove.  Elements carry
+/// unique add-tags; removal tombstones the observed tags only.
+class ORSet {
+ public:
+  /// `tag` must be unique per add (e.g. replica counter); the caller's
+  /// replica id is folded in to guarantee cross-replica uniqueness.
+  void add(const std::string& element, ReplicaId replica, std::uint64_t tag);
+  /// Removes the element as currently observed (tombstones its tags).
+  void remove(const std::string& element);
+  bool contains(const std::string& element) const;
+  std::set<std::string> elements() const;
+  std::size_t size() const;
+  void merge(const ORSet& other);
+
+  Bytes encode() const;
+  static Result<ORSet> decode(ByteSpan data);
+
+  friend bool operator==(const ORSet&, const ORSet&) = default;
+
+ private:
+  using Tag = std::pair<ReplicaId, std::uint64_t>;
+  std::map<std::string, std::set<Tag>> live_;
+  std::map<std::string, std::set<Tag>> tombstones_;
+};
+
+}  // namespace objrpc

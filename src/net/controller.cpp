@@ -1,0 +1,194 @@
+#include "net/controller.hpp"
+
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+ControllerNode::ControllerNode(Network& net, NodeId id, std::string name,
+                               HostConfig cfg)
+    : HostNode(net, id, std::move(name), cfg) {
+  set_handler(MsgType::advertise, [this](const Frame& f) { on_advertise(f); });
+  set_handler(MsgType::withdraw, [this](const Frame& f) { on_withdraw(f); });
+  // Punted data frames arrive with types the controller does not own;
+  // redirect them toward the object's home as a fallback path.
+  set_default_handler([this](const Frame& f) { on_punted(f, 0); });
+}
+
+void ControllerNode::manage(std::vector<NodeId> switches,
+                            std::vector<PortId> control_ports) {
+  switches_ = std::move(switches);
+  control_ports_ = std::move(control_ports);
+}
+
+void ControllerNode::bootstrap_host_routes(
+    const std::vector<NodeId>& host_nodes) {
+  for (NodeId h : host_nodes) {
+    const HostAddr addr = static_cast<HostAddr>(h) + 1;
+    install_everywhere(host_route_key(addr), h);
+  }
+  // Also teach the fabric how to reach the controller itself, so
+  // advertisements can travel in-band from any host.
+  install_everywhere(host_route_key(this->addr()), id());
+}
+
+Result<HostAddr> ControllerNode::locate(ObjectId object) const {
+  auto it = directory_.find(object);
+  if (it == directory_.end()) {
+    return Error{Errc::not_found, "object not in directory"};
+  }
+  return it->second;
+}
+
+void ControllerNode::assign_region(NodeId host, RegionId region) {
+  regions_[host] = region;
+  install_everywhere(region_route_key(region), host);
+}
+
+void ControllerNode::on_advertise(const Frame& f) {
+  ++counters_.advertises;
+  directory_[f.object] = f.src_host;
+  const NodeId home = static_cast<NodeId>(f.src_host - 1);
+  // Hierarchical overlay: a regional object homed inside its own region
+  // is already covered by the region aggregate — no exact rule needed.
+  if (hierarchical() && is_regional(f.object)) {
+    auto it = regions_.find(home);
+    if (it != regions_.end() && it->second == region_of(f.object)) {
+      ++counters_.adverts_aggregated;
+      // A prior exact rule (e.g. from before a move back home) would
+      // shadow correctly anyway, but drop it to reclaim table space.
+      remove_everywhere(object_route_key(f.object));
+      return;
+    }
+  }
+  install_everywhere(object_route_key(f.object), home);
+}
+
+void ControllerNode::on_withdraw(const Frame& f) {
+  ++counters_.withdraws;
+  auto it = directory_.find(f.object);
+  // Only honour the withdraw if the directory still points at the
+  // withdrawing host — a newer advertise must win (move ordering).
+  if (it != directory_.end() && it->second == f.src_host) {
+    directory_.erase(it);
+    remove_everywhere(object_route_key(f.object));
+  }
+}
+
+void ControllerNode::on_punted(const Frame& f, PortId /*in_port*/) {
+  // A data frame missed every switch table (e.g. raced rule install).
+  auto home = locate(f.object);
+  if (!home) {
+    ++counters_.punts_unroutable;
+    Log::debug("ctrl", "unroutable punt for %s",
+               f.object.to_string().c_str());
+    return;
+  }
+  ++counters_.punts_redirected;
+  Frame redirected = f;
+  redirected.dst_host = *home;
+  // Re-emit through any managed switch; host routes take it from there.
+  // send_frame would overwrite src_host (the original requester), so
+  // build the packet directly.
+  Packet pkt;
+  pkt.data = redirected.encode();
+  if (!control_ports_.empty()) {
+    loop().schedule_after(config().processing_delay,
+                          [this, pkt = std::move(pkt)]() mutable {
+                            send(control_ports_.front(), std::move(pkt));
+                          });
+  }
+}
+
+void ControllerNode::install_everywhere(const U128& key, NodeId dest_node) {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    auto port = next_hop_port(switches_[i], dest_node);
+    if (!port) {
+      Log::warn("ctrl", "no path from switch %u to node %u", switches_[i],
+                dest_node);
+      continue;
+    }
+    ++counters_.rules_installed;
+    send_to_switch(i, MsgType::ctrl_install,
+                   encode_install_rule(InstallRule{key, *port}));
+  }
+}
+
+void ControllerNode::remove_everywhere(const U128& key) {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    ++counters_.rules_removed;
+    send_to_switch(i, MsgType::ctrl_remove,
+                   encode_install_rule(InstallRule{key, kInvalidPort}));
+  }
+}
+
+void ControllerNode::send_to_switch(std::size_t switch_idx, MsgType type,
+                                    Bytes payload) {
+  Frame f;
+  f.type = type;
+  f.src_host = addr();
+  f.payload = std::move(payload);
+  Packet pkt;
+  pkt.data = f.encode();
+  const PortId port = control_ports_.at(switch_idx);
+  loop().schedule_after(config().processing_delay,
+                        [this, port, pkt = std::move(pkt)]() mutable {
+                          send(port, std::move(pkt));
+                        });
+}
+
+Result<PortId> ControllerNode::next_hop_port(NodeId from_switch,
+                                             NodeId dest_node) const {
+  if (from_switch == dest_node) {
+    return Error{Errc::invalid_argument, "switch routes to itself"};
+  }
+  // BFS from dest across the fabric; then pick the neighbour of
+  // `from_switch` closest to dest.  Only switches (and the destination
+  // itself) are transit nodes: hosts and the controller never forward
+  // data, so paths may not pass through them even when a control link
+  // would be a shortcut.
+  const Network& network = net();
+  const std::size_t n = network.node_count();
+  std::vector<bool> is_switch(n, false);
+  for (NodeId s : switches_) is_switch[s] = true;
+  std::vector<std::uint32_t> dist(n, UINT32_MAX);
+  std::deque<NodeId> frontier{dest_node};
+  dist[dest_node] = 0;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    if (cur != dest_node && !is_switch[cur]) continue;  // no transit
+    const std::size_t ports = network.port_count(cur);
+    for (PortId p = 0; p < ports; ++p) {
+      const NodeId peer = network.peer_of(cur, p);
+      if (peer == kInvalidNode || dist[peer] != UINT32_MAX) continue;
+      dist[peer] = dist[cur] + 1;
+      frontier.push_back(peer);
+    }
+  }
+  if (dist[from_switch] == UINT32_MAX) {
+    return Error{Errc::unavailable, "destination unreachable"};
+  }
+  const std::size_t ports = network.port_count(from_switch);
+  PortId best = kInvalidPort;
+  std::uint32_t best_dist = UINT32_MAX;
+  for (PortId p = 0; p < ports; ++p) {
+    const NodeId peer = network.peer_of(from_switch, p);
+    if (peer == kInvalidNode) continue;
+    // Next hop must be a forwarding element or the destination itself —
+    // never a host or the controller (their dist is populated because
+    // they neighbour switches, but they do not forward).
+    if (peer != dest_node && !is_switch[peer]) continue;
+    if (dist[peer] < best_dist) {
+      best_dist = dist[peer];
+      best = p;
+    }
+  }
+  if (best == kInvalidPort) {
+    return Error{Errc::unavailable, "no viable next hop"};
+  }
+  return best;
+}
+
+}  // namespace objrpc

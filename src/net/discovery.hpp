@@ -1,0 +1,59 @@
+// Discovery strategy interface (§4).
+//
+// "Our experiments model discovery: i.e., how the network learns the
+// location of objects."  Two schemes are built behind this interface —
+// the decentralized E2E scheme (ARP-analogue with per-host destination
+// caches) and the centralized controller scheme (SDN-style advertisement
+// into switch tables) — so services, figures, and tests can swap them.
+#pragma once
+
+#include <functional>
+
+#include "net/objnet.hpp"
+
+namespace objrpc {
+
+/// How an access should be addressed, plus what resolving it cost.
+struct ResolveOutcome {
+  /// Where to send the access.  kUnspecifiedHost = the network routes on
+  /// the object identity itself (controller scheme).
+  HostAddr dst = kUnspecifiedHost;
+  /// Round trips spent before the access could be sent (0 for a cache
+  /// hit or identity routing; 1 when a broadcast discovery was needed).
+  int rtts = 0;
+  /// Whether a broadcast was emitted during resolution.
+  bool used_broadcast = false;
+};
+
+using ResolveCallback = std::function<void(Result<ResolveOutcome>)>;
+
+class DiscoveryStrategy {
+ public:
+  virtual ~DiscoveryStrategy() = default;
+
+  virtual const char* scheme_name() const = 0;
+
+  /// Determine how to address an access to `object`.
+  virtual void resolve(ObjectId object, ResolveCallback cb) = 0;
+
+  /// A unicast access was NACKed by `stale_host`: the location knowledge
+  /// that produced it is wrong.
+  virtual void on_stale(ObjectId object, HostAddr stale_host) = 0;
+
+  /// A responder redirected us: `home` is the authoritative holder of
+  /// `object` (e.g. a read replica bouncing a write).  Default: ignore.
+  virtual void on_redirect(ObjectId object, HostAddr home) {
+    (void)object;
+    (void)home;
+  }
+
+  // Local lifecycle notifications from the service.
+  virtual void on_created(ObjectId object) = 0;
+  virtual void on_arrived(ObjectId object) = 0;
+  virtual void on_departed(ObjectId object) = 0;
+
+  /// Broadcast discovery packets emitted so far (Fig. 2's right axis).
+  virtual std::uint64_t broadcasts_sent() const { return 0; }
+};
+
+}  // namespace objrpc

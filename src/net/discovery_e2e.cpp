@@ -1,0 +1,114 @@
+#include "net/discovery_e2e.hpp"
+
+#include <algorithm>
+
+namespace objrpc {
+
+E2EDiscovery::E2EDiscovery(HostNode& host, E2EConfig cfg)
+    : host_(host), cfg_(cfg) {
+  host_.set_handler(MsgType::discover_reply,
+                    [this](const Frame& f) { on_discover_reply(f); });
+}
+
+void E2EDiscovery::resolve(ObjectId object, ResolveCallback cb) {
+  auto it = cache_.find(object);
+  if (it != cache_.end()) {
+    ++counters_.hits;
+    cb(ResolveOutcome{it->second, 0, false});
+    return;
+  }
+  ++counters_.misses;
+  auto [pit, fresh] = pending_.try_emplace(object);
+  pit->second.waiters.push_back(std::move(cb));
+  if (!fresh) return;  // a discovery is already in flight; coalesce
+  pit->second.attempts = 1;
+  pit->second.generation++;
+  broadcast_discover(object);
+  arm_discovery_timer(object, pit->second.generation);
+}
+
+void E2EDiscovery::broadcast_discover(ObjectId object) {
+  ++broadcasts_;
+  Frame f;
+  f.type = MsgType::discover_req;
+  f.flags = kFlagBroadcast;
+  f.object = object;
+  host_.send_frame(std::move(f));
+}
+
+void E2EDiscovery::arm_discovery_timer(ObjectId object,
+                                       std::uint64_t generation) {
+  host_.event_loop().schedule_after(
+      cfg_.discovery_timeout, [this, object, generation] {
+        auto it = pending_.find(object);
+        if (it == pending_.end() || it->second.generation != generation) {
+          return;
+        }
+        PendingDiscovery& pd = it->second;
+        if (++pd.attempts > cfg_.max_discovery_attempts) {
+          ++counters_.discovery_failures;
+          auto waiters = std::move(pd.waiters);
+          pending_.erase(it);
+          for (auto& w : waiters) {
+            w(Error{Errc::not_found, "discovery failed: no host replied"});
+          }
+          return;
+        }
+        pd.generation++;
+        broadcast_discover(object);
+        arm_discovery_timer(object, pd.generation);
+      });
+}
+
+void E2EDiscovery::on_discover_reply(const Frame& f) {
+  auto it = pending_.find(f.object);
+  if (it == pending_.end()) {
+    // Unsolicited (e.g. second replica answered later); refresh cache.
+    cache_put(f.object, f.src_host);
+    return;
+  }
+  cache_put(f.object, f.src_host);
+  auto waiters = std::move(it->second.waiters);
+  pending_.erase(it);
+  for (auto& w : waiters) {
+    w(ResolveOutcome{f.src_host, 1, true});
+  }
+}
+
+void E2EDiscovery::cache_put(ObjectId object, HostAddr host) {
+  auto it = cache_.find(object);
+  if (it != cache_.end()) {
+    it->second = host;
+    return;
+  }
+  if (cfg_.cache_capacity != 0 && cache_.size() >= cfg_.cache_capacity) {
+    // FIFO eviction.
+    while (!cache_order_.empty()) {
+      const ObjectId victim = cache_order_.front();
+      cache_order_.pop_front();
+      if (cache_.erase(victim) > 0) break;
+    }
+  }
+  cache_.emplace(object, host);
+  cache_order_.push_back(object);
+}
+
+void E2EDiscovery::on_stale(ObjectId object, HostAddr stale_host) {
+  auto it = cache_.find(object);
+  if (it != cache_.end() && it->second == stale_host) {
+    ++counters_.staleness_evictions;
+    cache_.erase(it);
+  }
+}
+
+void E2EDiscovery::on_redirect(ObjectId object, HostAddr home) {
+  cache_put(object, home);
+}
+
+void E2EDiscovery::invalidate(ObjectId object) {
+  if (cache_.erase(object) > 0) {
+    ++counters_.staleness_evictions;
+  }
+}
+
+}  // namespace objrpc

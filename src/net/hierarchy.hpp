@@ -1,0 +1,76 @@
+// Hierarchical identifier overlay (§3.2).
+//
+//   "With 64-bit ID fields, we could store ~1.8M exact entries and with
+//    128-bit IDs, we could fit ~850K.  To scale to larger deployments,
+//    we will explore hierarchical identifier overlay schemes."
+//
+// This implements that exploration.  Objects can be allocated under a
+// 32-bit REGION embedded in the high half of the id.  Switches gain a
+// second match stage: when the exact object route misses, they match an
+// aggregate key derived from the region.  The controller then only
+// installs per-object routes for objects living OUTSIDE their id's
+// region (the exceptions); everything else rides one region route per
+// (switch, region) — table occupancy drops from O(objects) to
+// O(regions + exceptions).  ABL-HIERARCHY measures the saving.
+//
+// Random allocation within a region keeps the coordination-freedom
+// story: regions are coarse (per site/rack), ids within them are still
+// secure-random, and collisions remain negligible.
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/objnet.hpp"
+#include "objspace/id.hpp"
+
+namespace objrpc {
+
+/// Marker in the top 16 bits of hi64 identifying a regional id.  Chosen
+/// away from the host-route prefix (0xFFFF…) and unlikely to collide
+/// with flat random ids in any meaningful probability.
+constexpr std::uint64_t kRegionalIdMarker = 0x4A1D;
+
+using RegionId = std::uint32_t;
+
+/// hi64 = [marker:16][region:32][random:16], lo64 = random.
+inline ObjectId make_regional_id(RegionId region, Rng& rng) {
+  const std::uint64_t hi = (kRegionalIdMarker << 48) |
+                           (static_cast<std::uint64_t>(region) << 16) |
+                           (rng.next_u64() & 0xFFFF);
+  std::uint64_t lo = rng.next_u64();
+  if (lo == 0) lo = 1;
+  return ObjectId{hi, lo};
+}
+
+/// Does this id carry a region?
+inline bool is_regional(ObjectId id) {
+  return (id.value.hi >> 48) == kRegionalIdMarker;
+}
+
+/// Extract the region of a regional id (0 for flat ids — callers must
+/// check is_regional first when 0 is a valid region).
+inline RegionId region_of(ObjectId id) {
+  return static_cast<RegionId>((id.value.hi >> 16) & 0xFFFF'FFFF);
+}
+
+/// The aggregate routing key a switch matches when the exact object
+/// route is absent.  Distinct prefix from host routes and object ids.
+constexpr std::uint64_t kRegionKeyPrefix = 0xFFFF'FFFF'FFFF'FFFEULL;
+inline U128 region_route_key(RegionId region) {
+  return U128{kRegionKeyPrefix, region};
+}
+
+/// A region-aware id allocator for a host.
+class RegionalIdAllocator {
+ public:
+  RegionalIdAllocator(RegionId region, Rng rng)
+      : region_(region), rng_(rng) {}
+
+  ObjectId allocate() { return make_regional_id(region_, rng_); }
+  RegionId region() const { return region_; }
+
+ private:
+  RegionId region_;
+  Rng rng_;
+};
+
+}  // namespace objrpc

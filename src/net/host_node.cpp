@@ -1,0 +1,70 @@
+#include "net/host_node.hpp"
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+HostNode::HostNode(Network& net, NodeId id, std::string name, HostConfig cfg)
+    : NetworkNode(net, id, std::move(name)),
+      cfg_(cfg),
+      store_(cfg.store_capacity),
+      ids_(net.rng().fork(0x9057'0000ULL + cfg.id_seed + id)) {}
+
+void HostNode::send_frame(Frame frame) {
+  frame.src_host = addr();
+  ++counters_.frames_out;
+  Packet pkt;
+  pkt.data = frame.encode();
+  loop().schedule_after(cfg_.processing_delay,
+                        [this, pkt = std::move(pkt)]() mutable {
+                          send(0, std::move(pkt));
+                        });
+}
+
+void HostNode::set_handler(MsgType type, FrameHandler handler) {
+  handlers_[static_cast<std::uint8_t>(type)] = std::move(handler);
+}
+
+void HostNode::set_default_handler(FrameHandler handler) {
+  default_handler_ = std::move(handler);
+}
+
+void HostNode::on_packet(PortId /*in_port*/, Packet pkt) {
+  auto frame = Frame::decode(pkt.data);
+  if (!frame) {
+    ++counters_.malformed;
+    Log::warn("host", "%s: malformed frame dropped", name().c_str());
+    return;
+  }
+  // Unicast frames for someone else can reach us through unknown-unicast
+  // flooding (E2E scheme); hosts filter them like a NIC does.
+  if (frame->dst_host != kUnspecifiedHost && frame->dst_host != addr() &&
+      !frame->is_broadcast()) {
+    ++counters_.ignored_not_mine;
+    return;
+  }
+  // Our own broadcasts can echo back through the fabric; drop them.
+  if (frame->src_host == addr()) {
+    ++counters_.ignored_not_mine;
+    return;
+  }
+  ++counters_.frames_in;
+  loop().schedule_after(cfg_.processing_delay,
+                        [this, f = std::move(*frame)]() mutable {
+                          dispatch(std::move(f));
+                        });
+}
+
+void HostNode::dispatch(Frame frame) {
+  auto it = handlers_.find(static_cast<std::uint8_t>(frame.type));
+  if (it != handlers_.end()) {
+    it->second(frame);
+  } else if (default_handler_) {
+    default_handler_(frame);
+  } else {
+    Log::debug("host", "%s: unhandled %s", name().c_str(),
+               msg_type_name(frame.type));
+  }
+}
+
+}  // namespace objrpc

@@ -1,0 +1,73 @@
+// A host: an OS instance participating in the global object space.
+//
+// Each host owns an object store (the Twizzler-like OS piece) and a
+// frame dispatcher that protocol services attach to.  Hosts are
+// single-homed: port 0 is the uplink to their switch.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/objnet.hpp"
+#include "objspace/store.hpp"
+#include "sim/network.hpp"
+
+namespace objrpc {
+
+struct HostConfig {
+  /// Object store byte budget (0 = unlimited).
+  std::uint64_t store_capacity = 0;
+  /// Software latency between frame arrival and protocol handling (and
+  /// between a handler's decision and its frame hitting the wire is
+  /// folded in here too, once per hop).
+  SimDuration processing_delay = 2 * kMicrosecond;
+  /// Seed label for this host's ID-allocation substream.
+  std::uint64_t id_seed = 0;
+};
+
+class HostNode : public NetworkNode {
+ public:
+  using FrameHandler = std::function<void(const Frame&)>;
+
+  HostNode(Network& net, NodeId id, std::string name, HostConfig cfg = {});
+
+  /// Protocol-level address (NodeId + 1, so 0 stays "unspecified").
+  HostAddr addr() const { return static_cast<HostAddr>(id()) + 1; }
+
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+  IdAllocator& ids() { return ids_; }
+  const HostConfig& config() const { return cfg_; }
+
+  /// Stamp src_host, encode, and transmit after the processing delay.
+  void send_frame(Frame frame);
+
+  /// Route inbound frames of `type` to `handler` (one handler per type).
+  void set_handler(MsgType type, FrameHandler handler);
+  /// Fallback for types without a dedicated handler.
+  void set_default_handler(FrameHandler handler);
+
+  void on_packet(PortId in_port, Packet pkt) override;
+
+  struct Counters {
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t ignored_not_mine = 0;
+    std::uint64_t malformed = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  EventLoop& event_loop() { return loop(); }
+
+ private:
+  void dispatch(Frame frame);
+
+  HostConfig cfg_;
+  ObjectStore store_;
+  IdAllocator ids_;
+  std::unordered_map<std::uint8_t, FrameHandler> handlers_;
+  FrameHandler default_handler_;
+  Counters counters_;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,74 @@
+// In-network synchronization offload (§5).
+//
+//   "We will experiment with offloading some synchronization and
+//    arbitration concerns to the programmable network (which now
+//    functions somewhat as a memory bus)."  [citing NOCC and NetChain]
+//
+// A SyncOffload attaches to a switch and claims specific (object,
+// offset) words as in-network registers.  Atomic requests for a claimed
+// word are executed IN THE SWITCH PIPELINE and answered directly from
+// there — contended counters and locks stop traversing the fabric to a
+// single hot host.  The home host stays the durability point: `drain`
+// returns the final values for write-back when the register is released.
+//
+// Routing of the reply uses the switch's own host table (E2E learning
+// or controller-installed routes); if the requester is unknown the reply
+// floods, exactly like any unknown unicast.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/objnet.hpp"
+#include "sim/switch_node.hpp"
+
+namespace objrpc {
+
+class SyncOffload {
+ public:
+  /// Attach to `sw`; composes with the switch's existing pre-match hook
+  /// (the offload runs first, then delegates).
+  explicit SyncOffload(SwitchNode& sw);
+
+  /// Claim the u64 word at (object, offset) with an initial value.
+  /// Subsequent atomic_req frames for it are served by the switch.
+  void claim(ObjectId object, std::uint64_t offset,
+             std::uint64_t initial_value);
+
+  /// Release a word, returning its final value for write-back (nullopt
+  /// if it was never claimed).
+  std::optional<std::uint64_t> release(ObjectId object,
+                                       std::uint64_t offset);
+
+  /// Current value of a claimed word.
+  std::optional<std::uint64_t> peek(ObjectId object,
+                                    std::uint64_t offset) const;
+
+  struct Counters {
+    std::uint64_t served = 0;
+    std::uint64_t cas_failures = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  std::size_t claimed_words() const { return registers_.size(); }
+
+ private:
+  struct WordKey {
+    U128 object;
+    std::uint64_t offset;
+    bool operator==(const WordKey&) const = default;
+  };
+  struct WordKeyHash {
+    std::size_t operator()(const WordKey& k) const {
+      return std::hash<U128>{}(k.object) ^
+             std::hash<std::uint64_t>{}(k.offset * 0x9E3779B97F4A7C15ULL);
+    }
+  };
+
+  bool handle(SwitchNode& sw, PortId in_port, const Packet& pkt);
+
+  SwitchNode& switch_;
+  SwitchNode::PreMatchHook next_hook_;
+  std::unordered_map<WordKey, std::uint64_t, WordKeyHash> registers_;
+  Counters counters_;
+};
+
+}  // namespace objrpc

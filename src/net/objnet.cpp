@@ -1,0 +1,186 @@
+#include "net/objnet.hpp"
+
+namespace objrpc {
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::discover_req:
+      return "discover_req";
+    case MsgType::discover_reply:
+      return "discover_reply";
+    case MsgType::advertise:
+      return "advertise";
+    case MsgType::withdraw:
+      return "withdraw";
+    case MsgType::ctrl_install:
+      return "ctrl_install";
+    case MsgType::ctrl_remove:
+      return "ctrl_remove";
+    case MsgType::read_req:
+      return "read_req";
+    case MsgType::read_resp:
+      return "read_resp";
+    case MsgType::write_req:
+      return "write_req";
+    case MsgType::write_resp:
+      return "write_resp";
+    case MsgType::nack:
+      return "nack";
+    case MsgType::push_frag:
+      return "push_frag";
+    case MsgType::frag_ack:
+      return "frag_ack";
+    case MsgType::invoke_req:
+      return "invoke_req";
+    case MsgType::invoke_resp:
+      return "invoke_resp";
+    case MsgType::invalidate:
+      return "invalidate";
+    case MsgType::invalidate_ack:
+      return "invalidate_ack";
+    case MsgType::chunk_req:
+      return "chunk_req";
+    case MsgType::chunk_resp:
+      return "chunk_resp";
+    case MsgType::object_adopt:
+      return "object_adopt";
+    case MsgType::object_replica:
+      return "object_replica";
+    case MsgType::atomic_req:
+      return "atomic_req";
+    case MsgType::atomic_resp:
+      return "atomic_resp";
+  }
+  return "unknown";
+}
+
+Bytes Frame::encode() const {
+  BufWriter w(64 + payload.size());
+  w.put_u8(version);
+  w.put_u8(static_cast<std::uint8_t>(type));
+  w.put_u16(flags);
+  w.put_u32(0);  // reserved / alignment
+  w.put_u64(src_host);
+  w.put_u64(dst_host);
+  w.put_u128(object.value);
+  w.put_u64(seq);
+  w.put_u64(offset);
+  w.put_u32(length);
+  w.put_blob(payload);
+  return std::move(w).take();
+}
+
+Result<Frame> Frame::decode(ByteSpan data) {
+  BufReader r(data);
+  Frame f;
+  f.version = r.get_u8();
+  f.type = static_cast<MsgType>(r.get_u8());
+  f.flags = r.get_u16();
+  (void)r.get_u32();
+  f.src_host = r.get_u64();
+  f.dst_host = r.get_u64();
+  f.object = ObjectId{r.get_u128()};
+  f.seq = r.get_u64();
+  f.offset = r.get_u64();
+  f.length = r.get_u32();
+  f.payload = r.get_blob();
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "bad frame"};
+  }
+  if (f.version != 1) {
+    return Error{Errc::malformed, "unsupported frame version"};
+  }
+  return f;
+}
+
+std::optional<Frame::RoutingView> Frame::peek(const Packet& pkt) {
+  BufReader r(pkt.data);
+  RoutingView v;
+  const std::uint8_t version = r.get_u8();
+  v.type = static_cast<MsgType>(r.get_u8());
+  v.flags = r.get_u16();
+  (void)r.get_u32();
+  v.src_host = r.get_u64();
+  v.dst_host = r.get_u64();
+  v.object = ObjectId{r.get_u128()};
+  if (!r.ok() || version != 1) return std::nullopt;
+  return v;
+}
+
+std::string Frame::to_string() const {
+  std::string s = msg_type_name(type);
+  s += " src=" + std::to_string(src_host);
+  s += " dst=" + std::to_string(dst_host);
+  s += " obj=" + object.to_string();
+  s += " seq=" + std::to_string(seq);
+  if (is_broadcast()) s += " [bcast]";
+  return s;
+}
+
+Bytes encode_nack_payload(Errc code, HostAddr hint) {
+  BufWriter w(10);
+  w.put_u16(static_cast<std::uint16_t>(code));
+  w.put_u64(hint);
+  return std::move(w).take();
+}
+
+std::optional<NackInfo> decode_nack_payload(ByteSpan payload) {
+  BufReader r(payload);
+  NackInfo info;
+  info.code = static_cast<Errc>(r.get_u16());
+  info.hint = r.get_u64();
+  if (!r.ok()) return std::nullopt;
+  return info;
+}
+
+Bytes encode_atomic_request(const AtomicRequest& req) {
+  BufWriter w(17);
+  w.put_u8(static_cast<std::uint8_t>(req.op));
+  w.put_u64(req.operand);
+  w.put_u64(req.expected);
+  return std::move(w).take();
+}
+
+std::optional<AtomicRequest> decode_atomic_request(ByteSpan payload) {
+  BufReader r(payload);
+  AtomicRequest req;
+  req.op = static_cast<AtomicOp>(r.get_u8());
+  req.operand = r.get_u64();
+  req.expected = r.get_u64();
+  if (!r.ok()) return std::nullopt;
+  return req;
+}
+
+Bytes encode_atomic_response(const AtomicResponse& resp) {
+  BufWriter w(9);
+  w.put_u64(resp.old_value);
+  w.put_u8(resp.applied ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<AtomicResponse> decode_atomic_response(ByteSpan payload) {
+  BufReader r(payload);
+  AtomicResponse resp;
+  resp.old_value = r.get_u64();
+  resp.applied = r.get_u8() != 0;
+  if (!r.ok()) return std::nullopt;
+  return resp;
+}
+
+Bytes encode_install_rule(const InstallRule& rule) {
+  BufWriter w(20);
+  w.put_u128(rule.key);
+  w.put_u32(rule.out_port);
+  return std::move(w).take();
+}
+
+Result<InstallRule> decode_install_rule(ByteSpan payload) {
+  BufReader r(payload);
+  InstallRule rule;
+  rule.key = r.get_u128();
+  rule.out_port = r.get_u32();
+  if (!r.ok()) return Error{Errc::malformed, "bad install rule"};
+  return rule;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,171 @@
+// The object network protocol: a bus-like vocabulary routed on identity.
+//
+// §3.2 argues the network and the memory bus should converge on a small
+// set of operations (loads/stores, plus coherence upgrades) and a shared
+// notion of identity (object IDs, not host addresses).  This header
+// defines that wire vocabulary:
+//
+//   - memory operations  (read/write request & response — TileLink-lite)
+//   - discovery          (broadcast discover / reply, ARP-analogue, §4 E2E)
+//   - control plane      (advertise to controller, install into switches)
+//   - movement           (object push fragments + acks, over the
+//                         lightweight reliable transport of §3.2)
+//   - invocation         (invoke request/response — the paper's
+//                         code-mobility operations, carried like loads)
+//   - coherence-lite     (invalidate / ack, for the caching layer)
+//
+// Frames carry BOTH a 128-bit object identity (the routing key the
+// network understands) and an optional destination host (used by the E2E
+// scheme and for replies).  dst_host == 0 means "route on the object id".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "objspace/id.hpp"
+#include "sim/packet.hpp"
+
+namespace objrpc {
+
+/// Host identity carried in frames.  0 is reserved ("unspecified": route
+/// by object identity / broadcast).
+using HostAddr = std::uint64_t;
+constexpr HostAddr kUnspecifiedHost = 0;
+
+enum class MsgType : std::uint8_t {
+  // discovery (E2E scheme)
+  discover_req = 1,
+  discover_reply = 2,
+  // control plane (controller scheme)
+  advertise = 3,    // host -> controller: I hold <object>
+  withdraw = 4,     // host -> controller: I no longer hold <object>
+  ctrl_install = 5, // controller -> switch: map key -> port
+  ctrl_remove = 6,  // controller -> switch: remove key
+  // memory operations
+  read_req = 7,
+  read_resp = 8,
+  write_req = 9,
+  write_resp = 10,
+  // errors
+  nack = 11,  // payload: u16 Errc
+  // movement (reliable, fragmented)
+  push_frag = 12,
+  frag_ack = 13,
+  // invocation (code mobility)
+  invoke_req = 14,
+  invoke_resp = 15,
+  // coherence-lite
+  invalidate = 16,
+  invalidate_ack = 17,
+  // cache fill for chunked on-demand movement
+  chunk_req = 18,
+  chunk_resp = 19,
+  // whole-object adoption (carried inside the reliable push stream)
+  object_adopt = 20,
+  // read-replica installation (reliable stream; payload = primary + image)
+  object_replica = 21,
+  // atomics (fetch-add / compare-and-swap on a u64 word); §5's
+  // synchronization offload — servable by the home OR by a switch
+  atomic_req = 22,
+  atomic_resp = 23,
+};
+
+/// Atomic operation codes carried in atomic_req payloads.
+enum class AtomicOp : std::uint8_t {
+  fetch_add = 0,
+  compare_swap = 1,
+};
+
+/// atomic_req payload.
+struct AtomicRequest {
+  AtomicOp op = AtomicOp::fetch_add;
+  std::uint64_t operand = 0;   // addend / desired value
+  std::uint64_t expected = 0;  // CAS comparand
+};
+Bytes encode_atomic_request(const AtomicRequest& req);
+std::optional<AtomicRequest> decode_atomic_request(ByteSpan payload);
+
+/// atomic_resp payload: the PREVIOUS value plus a success flag (always
+/// true for fetch_add; CAS reports whether it swapped).
+struct AtomicResponse {
+  std::uint64_t old_value = 0;
+  bool applied = true;
+};
+Bytes encode_atomic_response(const AtomicResponse& resp);
+std::optional<AtomicResponse> decode_atomic_response(ByteSpan payload);
+
+const char* msg_type_name(MsgType t);
+
+/// Header flags.
+constexpr std::uint16_t kFlagBroadcast = 1u << 0;
+
+/// The fixed frame header.  56 bytes on the wire, followed by a
+/// varint-length payload.
+struct Frame {
+  std::uint8_t version = 1;
+  MsgType type = MsgType::nack;
+  std::uint16_t flags = 0;
+  HostAddr src_host = kUnspecifiedHost;
+  HostAddr dst_host = kUnspecifiedHost;
+  ObjectId object;
+  /// Transport sequencing: request/response matching and fragment ids.
+  std::uint64_t seq = 0;
+  /// Byte range for memory operations.
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  Bytes payload;
+
+  bool is_broadcast() const { return (flags & kFlagBroadcast) != 0; }
+
+  Bytes encode() const;
+  static Result<Frame> decode(ByteSpan data);
+
+  /// Decode only as far as the routing fields (what a switch parser
+  /// does); cheaper than full decode and never touches the payload.
+  struct RoutingView {
+    MsgType type;
+    std::uint16_t flags;
+    HostAddr src_host;
+    HostAddr dst_host;
+    ObjectId object;
+  };
+  static std::optional<RoutingView> peek(const Packet& pkt);
+
+  std::string to_string() const;
+};
+
+/// Routing keys: the switch tables hold both host routes and object
+/// routes in one exact-match space.  Host keys live under a reserved
+/// prefix that random 128-bit object IDs cannot collide with
+/// (probability 2^-64 per object, and we additionally never allocate
+/// IDs under the prefix).
+constexpr std::uint64_t kHostKeyPrefix = 0xFFFF'FFFF'FFFF'FFFFULL;
+
+inline U128 host_route_key(HostAddr host) {
+  return U128{kHostKeyPrefix, host};
+}
+inline U128 object_route_key(ObjectId id) { return id.value; }
+
+/// Payload helpers ------------------------------------------------------
+
+/// nack payload: the error code plus an optional redirect hint (used by
+/// Errc::moved to name the authoritative home).
+struct NackInfo {
+  Errc code = Errc::malformed;
+  HostAddr hint = kUnspecifiedHost;
+};
+Bytes encode_nack_payload(Errc code, HostAddr hint = kUnspecifiedHost);
+std::optional<NackInfo> decode_nack_payload(ByteSpan payload);
+
+/// ctrl_install payload: key + action port.
+struct InstallRule {
+  U128 key;
+  PortId out_port = kInvalidPort;
+};
+Bytes encode_install_rule(const InstallRule& rule);
+Result<InstallRule> decode_install_rule(ByteSpan payload);
+
+}  // namespace objrpc

@@ -1,0 +1,179 @@
+#include "net/reliable.hpp"
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+namespace {
+std::uint64_t inbound_key(HostAddr src, std::uint32_t msg_id) {
+  return (src << 32) | msg_id;
+}
+constexpr std::size_t kCompletedMemory = 1024;
+}  // namespace
+
+ReliableChannel::ReliableChannel(HostNode& host, ReliableConfig cfg)
+    : host_(host), cfg_(cfg) {
+  host_.set_handler(MsgType::push_frag,
+                    [this](const Frame& f) { on_push_frag(f); });
+  host_.set_handler(MsgType::frag_ack,
+                    [this](const Frame& f) { on_frag_ack(f); });
+}
+
+void ReliableChannel::send(HostAddr dst, MsgType inner_type, ObjectId object,
+                           Bytes payload, StatusCallback on_done) {
+  const std::uint32_t msg_id = next_msg_id_++;
+  const std::uint64_t n = payload.size();
+  const std::uint32_t frag_count = static_cast<std::uint32_t>(
+      n == 0 ? 1 : (n + cfg_.mtu - 1) / cfg_.mtu);
+  if (frag_count > kMaxFragments) {
+    if (on_done) {
+      on_done(Error{Errc::invalid_argument, "message exceeds fragment space"});
+    }
+    return;
+  }
+  Outbound out;
+  out.dst = dst;
+  out.inner_type = inner_type;
+  out.object = object;
+  out.payload = std::move(payload);
+  out.frag_count = frag_count;
+  out.on_done = std::move(on_done);
+  for (std::uint32_t i = 0; i < frag_count; ++i) out.unacked.insert(i);
+  outbound_.emplace(msg_id, std::move(out));
+  ++counters_.messages_sent;
+
+  for (std::uint32_t i = 0; i < frag_count; ++i) send_fragment(msg_id, i);
+  arm_timer(msg_id);
+}
+
+void ReliableChannel::send_fragment(std::uint32_t msg_id,
+                                    std::uint32_t frag_idx) {
+  auto it = outbound_.find(msg_id);
+  if (it == outbound_.end()) return;
+  Outbound& out = it->second;
+  const std::uint64_t lo = static_cast<std::uint64_t>(frag_idx) * cfg_.mtu;
+  const std::uint64_t hi =
+      std::min<std::uint64_t>(lo + cfg_.mtu, out.payload.size());
+  Frame f;
+  f.type = MsgType::push_frag;
+  f.dst_host = out.dst;
+  f.object = out.object;
+  f.seq = pack_seq(msg_id, frag_idx, out.frag_count);
+  f.offset = static_cast<std::uint64_t>(out.inner_type);
+  f.length = static_cast<std::uint32_t>(hi - lo);
+  f.payload.assign(out.payload.begin() + static_cast<std::ptrdiff_t>(lo),
+                   out.payload.begin() + static_cast<std::ptrdiff_t>(hi));
+  ++counters_.fragments_sent;
+  host_.send_frame(std::move(f));
+}
+
+void ReliableChannel::arm_timer(std::uint32_t msg_id) {
+  auto it0 = outbound_.find(msg_id);
+  if (it0 == outbound_.end()) return;
+  // Exponential backoff, and never shorter than the time the remaining
+  // fragments need just to serialize onto the wire.
+  const int shift = std::min(it0->second.retries, 10);
+  const SimDuration delay = cfg_.rto << shift;
+  host_.event_loop().schedule_after(delay, [this, msg_id] {
+    auto it = outbound_.find(msg_id);
+    if (it == outbound_.end()) return;  // fully acked meanwhile
+    Outbound& out = it->second;
+    if (out.progressed) {
+      // Acks are flowing; restart the timer instead of retransmitting.
+      out.progressed = false;
+      out.retries = 0;
+      arm_timer(msg_id);
+      return;
+    }
+    if (++out.retries > cfg_.max_retries) {
+      ++counters_.failures;
+      auto cb = std::move(out.on_done);
+      outbound_.erase(it);
+      if (cb) cb(Error{Errc::timeout, "retry budget exhausted"});
+      return;
+    }
+    // Retransmit everything still unacked (copy: sending mutates nothing
+    // but iteration safety matters if callbacks reenter).
+    std::vector<std::uint32_t> pending(out.unacked.begin(),
+                                       out.unacked.end());
+    counters_.retransmissions += pending.size();
+    for (std::uint32_t idx : pending) send_fragment(msg_id, idx);
+    arm_timer(msg_id);
+  });
+}
+
+void ReliableChannel::on_push_frag(const Frame& f) {
+  std::uint32_t msg_id, frag_idx, frag_count;
+  unpack_seq(f.seq, msg_id, frag_idx, frag_count);
+  if (frag_count == 0 || frag_idx >= frag_count) {
+    Log::warn("reliable", "bad fragment indices");
+    return;
+  }
+  // Always ack — even duplicates (the previous ack may have been lost).
+  Frame ack;
+  ack.type = MsgType::frag_ack;
+  ack.dst_host = f.src_host;
+  ack.object = f.object;
+  ack.seq = f.seq;
+  host_.send_frame(std::move(ack));
+
+  const std::uint64_t key = inbound_key(f.src_host, msg_id);
+  if (completed_.count(key)) {
+    ++counters_.duplicate_fragments;
+    return;
+  }
+  Inbound& in = inbound_[key];
+  if (in.frags.empty()) {
+    in.frags.resize(frag_count);
+    in.have.assign(frag_count, false);
+  }
+  if (frag_count != in.frags.size()) {
+    Log::warn("reliable", "fragment count mismatch");
+    return;
+  }
+  if (in.have[frag_idx]) {
+    ++counters_.duplicate_fragments;
+    return;
+  }
+  in.have[frag_idx] = true;
+  in.frags[frag_idx] = f.payload;
+  ++in.received;
+  if (in.received == in.frags.size()) {
+    Bytes whole;
+    for (auto& frag : in.frags) {
+      whole.insert(whole.end(), frag.begin(), frag.end());
+    }
+    const auto inner = static_cast<MsgType>(f.offset);
+    const HostAddr src = f.src_host;
+    const ObjectId obj = f.object;
+    inbound_.erase(key);
+    remember_completed(key);
+    ++counters_.messages_delivered;
+    if (handler_) handler_(src, inner, obj, std::move(whole));
+  }
+}
+
+void ReliableChannel::on_frag_ack(const Frame& f) {
+  std::uint32_t msg_id, frag_idx, frag_count;
+  unpack_seq(f.seq, msg_id, frag_idx, frag_count);
+  auto it = outbound_.find(msg_id);
+  if (it == outbound_.end()) return;
+  Outbound& out = it->second;
+  if (out.unacked.erase(frag_idx) > 0) out.progressed = true;
+  if (out.unacked.empty()) {
+    auto cb = std::move(out.on_done);
+    outbound_.erase(it);
+    if (cb) cb(Status::ok());
+  }
+}
+
+void ReliableChannel::remember_completed(std::uint64_t key) {
+  completed_.insert(key);
+  completed_order_.push_back(key);
+  while (completed_order_.size() > kCompletedMemory) {
+    completed_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+}
+
+}  // namespace objrpc

@@ -1,0 +1,121 @@
+// Lightweight reliable transmission (§3.2).
+//
+// The paper argues memory messages need "a new, light-weight form of
+// reliable transmission, separated from the other features provided by
+// TCP (e.g., slow start)".  This channel provides exactly that and no
+// more: fragmentation to an MTU, per-fragment acknowledgement, fixed-RTO
+// retransmission with a retry budget, in-order-independent reassembly.
+// No handshakes, no congestion windows, no byte streams.
+//
+// Wire mapping: fragments travel as MsgType::push_frag frames whose
+// `seq` packs (message id | fragment index | fragment count) and whose
+// `offset` carries the *inner* message type to deliver on reassembly.
+// Acks echo the fragment's seq in a MsgType::frag_ack frame.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/host_node.hpp"
+
+namespace objrpc {
+
+struct ReliableConfig {
+  /// Max payload bytes per fragment.
+  std::uint32_t mtu = 1400;
+  /// Initial retransmission timeout for unacked fragments; doubles per
+  /// retry round (large messages legitimately take many RTTs to drain
+  /// through a link — backoff keeps the timer from firing spuriously
+  /// while fragments are still queued).
+  SimDuration rto = 500 * kMicrosecond;
+  /// Give up after this many retransmission rounds.
+  int max_retries = 10;
+};
+
+/// A host-wide reliable messaging endpoint.
+class ReliableChannel {
+ public:
+  using StatusCallback = std::function<void(Status)>;
+  /// Invoked on complete reassembly of an inbound message.
+  using MessageHandler = std::function<void(
+      HostAddr src, MsgType inner_type, ObjectId object, Bytes payload)>;
+
+  ReliableChannel(HostNode& host, ReliableConfig cfg = {});
+
+  /// Reliably deliver `payload` to `dst`, surfacing it there as
+  /// `inner_type` about `object`.  `on_done` fires when every fragment
+  /// is acknowledged (or with `timeout` after the retry budget).
+  void send(HostAddr dst, MsgType inner_type, ObjectId object, Bytes payload,
+            StatusCallback on_done);
+
+  void set_message_handler(MessageHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  struct Counters {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t fragments_sent = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t duplicate_fragments = 0;
+    std::uint64_t failures = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  static constexpr std::uint32_t kMaxFragments = 0xFFFF;
+
+ private:
+  struct Outbound {
+    HostAddr dst;
+    MsgType inner_type;
+    ObjectId object;
+    Bytes payload;
+    std::uint32_t frag_count = 0;
+    std::unordered_set<std::uint32_t> unacked;
+    int retries = 0;
+    /// Acks arrived since the last timer check (TCP-style timer restart:
+    /// progress means the network is draining, not dropping).
+    bool progressed = false;
+    StatusCallback on_done;
+  };
+  struct Inbound {
+    std::vector<Bytes> frags;
+    std::vector<bool> have;
+    std::uint32_t received = 0;
+  };
+
+  static std::uint64_t pack_seq(std::uint32_t msg_id, std::uint32_t frag_idx,
+                                std::uint32_t frag_count) {
+    return (static_cast<std::uint64_t>(msg_id) << 32) |
+           (static_cast<std::uint64_t>(frag_idx) << 16) | frag_count;
+  }
+  static void unpack_seq(std::uint64_t seq, std::uint32_t& msg_id,
+                         std::uint32_t& frag_idx, std::uint32_t& frag_count) {
+    msg_id = static_cast<std::uint32_t>(seq >> 32);
+    frag_idx = static_cast<std::uint32_t>((seq >> 16) & 0xFFFF);
+    frag_count = static_cast<std::uint32_t>(seq & 0xFFFF);
+  }
+
+  void send_fragment(std::uint32_t msg_id, std::uint32_t frag_idx);
+  void arm_timer(std::uint32_t msg_id);
+  void on_push_frag(const Frame& f);
+  void on_frag_ack(const Frame& f);
+  void remember_completed(std::uint64_t key);
+
+  HostNode& host_;
+  ReliableConfig cfg_;
+  MessageHandler handler_;
+  std::uint32_t next_msg_id_ = 1;
+  std::unordered_map<std::uint32_t, Outbound> outbound_;
+  /// Keyed by (src host << 32 | msg id).
+  std::unordered_map<std::uint64_t, Inbound> inbound_;
+  /// Recently completed inbound messages, so duplicate fragments are
+  /// re-acked without re-delivery.
+  std::unordered_set<std::uint64_t> completed_;
+  std::deque<std::uint64_t> completed_order_;
+  Counters counters_;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,487 @@
+#include "net/service.hpp"
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+ObjNetService::ObjNetService(HostNode& host,
+                             std::unique_ptr<DiscoveryStrategy> discovery,
+                             ReliableConfig reliable_cfg)
+    : host_(host),
+      discovery_(std::move(discovery)),
+      reliable_(host, reliable_cfg) {
+  host_.set_handler(MsgType::read_req,
+                    [this](const Frame& f) { on_read_req(f); });
+  host_.set_handler(MsgType::write_req,
+                    [this](const Frame& f) { on_write_req(f); });
+  host_.set_handler(MsgType::read_resp,
+                    [this](const Frame& f) { on_response(f); });
+  host_.set_handler(MsgType::write_resp,
+                    [this](const Frame& f) { on_response(f); });
+  host_.set_handler(MsgType::nack, [this](const Frame& f) { on_nack(f); });
+  host_.set_handler(MsgType::atomic_req,
+                    [this](const Frame& f) { on_atomic_req(f); });
+  host_.set_handler(MsgType::atomic_resp,
+                    [this](const Frame& f) { on_response(f); });
+  host_.set_handler(MsgType::discover_req,
+                    [this](const Frame& f) { on_discover_req(f); });
+  host_.set_handler(MsgType::invoke_req, [this](const Frame& f) {
+    if (invoke_handler_) invoke_handler_(f);
+  });
+  reliable_.set_message_handler(
+      [this](HostAddr src, MsgType inner, ObjectId object, Bytes payload) {
+        on_reliable_message(src, inner, object, std::move(payload));
+      });
+}
+
+Result<ObjectPtr> ObjNetService::create_object(std::uint64_t size) {
+  return create_object_with_id(host_.ids().allocate(), size);
+}
+
+Result<ObjectPtr> ObjNetService::create_object_with_id(ObjectId id,
+                                                       std::uint64_t size) {
+  auto obj = host_.store().create(id, size);
+  if (!obj) return obj;
+  discovery_->on_created(id);
+  return obj;
+}
+
+void ObjNetService::read(GlobalPtr ptr, std::uint32_t length, ReadCallback cb,
+                         AccessOptions opts) {
+  ++counters_.reads_issued;
+  const std::uint64_t token = next_token_++;
+  Pending p;
+  p.kind = MsgType::read_req;
+  p.ptr = ptr;
+  p.length = length;
+  p.read_cb = std::move(cb);
+  p.opts = opts;
+  p.stats.started_at = host_.event_loop().now();
+  pending_.emplace(token, std::move(p));
+  start_attempt(token);
+}
+
+void ObjNetService::write(GlobalPtr ptr, Bytes data, WriteAckCallback cb,
+                          AccessOptions opts) {
+  ++counters_.writes_issued;
+  const std::uint64_t token = next_token_++;
+  Pending p;
+  p.kind = MsgType::write_req;
+  p.ptr = ptr;
+  p.length = static_cast<std::uint32_t>(data.size());
+  p.data = std::move(data);
+  p.write_cb = std::move(cb);
+  p.opts = opts;
+  p.stats.started_at = host_.event_loop().now();
+  pending_.emplace(token, std::move(p));
+  start_attempt(token);
+}
+
+void ObjNetService::atomic_fetch_add(GlobalPtr ptr, std::uint64_t delta,
+                                     AtomicCallback cb, AccessOptions opts) {
+  start_atomic(ptr, AtomicRequest{AtomicOp::fetch_add, delta, 0},
+               std::move(cb), opts);
+}
+
+void ObjNetService::atomic_cas(GlobalPtr ptr, std::uint64_t expected,
+                               std::uint64_t desired, AtomicCallback cb,
+                               AccessOptions opts) {
+  start_atomic(ptr, AtomicRequest{AtomicOp::compare_swap, desired, expected},
+               std::move(cb), opts);
+}
+
+void ObjNetService::start_atomic(GlobalPtr ptr, AtomicRequest req,
+                                 AtomicCallback cb, AccessOptions opts) {
+  ++counters_.atomics_issued;
+  const std::uint64_t token = next_token_++;
+  Pending p;
+  p.kind = MsgType::atomic_req;
+  p.ptr = ptr;
+  p.data = encode_atomic_request(req);
+  p.atomic_cb = std::move(cb);
+  p.opts = opts;
+  p.stats.started_at = host_.event_loop().now();
+  pending_.emplace(token, std::move(p));
+  start_attempt(token);
+}
+
+Result<AtomicResponse> ObjNetService::apply_atomic(ObjectId id,
+                                                   std::uint64_t offset,
+                                                   const AtomicRequest& req) {
+  auto obj = host_.store().get(id);
+  if (!obj) return Error{Errc::not_found, "object not resident"};
+  auto old = (*obj)->read_u64(offset);
+  if (!old) return old.error();
+  AtomicResponse resp;
+  resp.old_value = *old;
+  switch (req.op) {
+    case AtomicOp::fetch_add:
+      if (Status s = (*obj)->write_u64(offset, *old + req.operand); !s) {
+        return s.error();
+      }
+      resp.applied = true;
+      break;
+    case AtomicOp::compare_swap:
+      if (*old == req.expected) {
+        if (Status s = (*obj)->write_u64(offset, req.operand); !s) {
+          return s.error();
+        }
+        resp.applied = true;
+      } else {
+        resp.applied = false;
+      }
+      break;
+  }
+  if (resp.applied) {
+    ++counters_.atomics_served;
+    if (write_observer_) write_observer_(id);
+  }
+  return resp;
+}
+
+void ObjNetService::on_atomic_req(const Frame& f) {
+  // Atomics mutate: replicas redirect to the home, caches NACK.
+  if (write_redirector_) {
+    if (auto home = write_redirector_(f.object)) {
+      send_nack(f, Errc::moved, *home);
+      return;
+    }
+  }
+  if (!is_authoritative(f.object)) {
+    send_nack(f, Errc::not_found);
+    return;
+  }
+  auto req = decode_atomic_request(f.payload);
+  if (!req) {
+    send_nack(f, Errc::malformed);
+    return;
+  }
+  auto result = apply_atomic(f.object, f.offset, *req);
+  if (!result) {
+    send_nack(f, result.error().code);
+    return;
+  }
+  Frame resp;
+  resp.type = MsgType::atomic_resp;
+  resp.dst_host = f.src_host;
+  resp.object = f.object;
+  resp.seq = f.seq;
+  resp.offset = f.offset;
+  resp.payload = encode_atomic_response(*result);
+  host_.send_frame(std::move(resp));
+}
+
+void ObjNetService::finish_atomic(std::uint64_t token,
+                                  Result<AtomicResponse> result) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  p.stats.finished_at = host_.event_loop().now();
+  if (p.atomic_cb) p.atomic_cb(std::move(result), p.stats);
+}
+
+void ObjNetService::start_attempt(std::uint64_t token) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  if (++p.stats.attempts > p.opts.max_attempts) {
+    ++counters_.timeouts;
+    const Error err{Errc::timeout, "access attempts exhausted"};
+    if (p.kind == MsgType::read_req) {
+      finish_read(token, err);
+    } else if (p.kind == MsgType::write_req) {
+      finish_write(token, err);
+    } else {
+      finish_atomic(token, err);
+    }
+    return;
+  }
+  // Local fast path: the object may already be resident (home copy or,
+  // for reads only, a coherent cached replica).  Mutations must hold
+  // authority.
+  if (auto local = host_.store().get(p.ptr.object)) {
+    if (p.kind == MsgType::read_req) {
+      auto span = (*local)->read(p.ptr.offset, p.length);
+      if (span) {
+        finish_read(token, Bytes(span->begin(), span->end()));
+      } else {
+        finish_read(token, span.error());
+      }
+      return;
+    }
+    if (is_authoritative(p.ptr.object)) {
+      if (p.kind == MsgType::write_req) {
+        Status s = (*local)->write(p.ptr.offset, p.data);
+        if (s && write_observer_) write_observer_(p.ptr.object);
+        finish_write(token, s);
+      } else {
+        auto req = decode_atomic_request(p.data);
+        if (!req) {
+          finish_atomic(token, Error{Errc::malformed, "bad atomic"});
+          return;
+        }
+        finish_atomic(token, apply_atomic(p.ptr.object, p.ptr.offset, *req));
+      }
+      return;
+    }
+    // Mutation against a local non-authoritative copy: fall through to
+    // the network path, which will reach (or be redirected to) the home.
+  }
+  const ObjectId object = p.ptr.object;
+  discovery_->resolve(object, [this, token](Result<ResolveOutcome> out) {
+    auto it2 = pending_.find(token);
+    if (it2 == pending_.end()) return;
+    Pending& p2 = it2->second;
+    if (!out) {
+      const Error err = out.error();
+      if (p2.kind == MsgType::read_req) {
+        finish_read(token, err);
+      } else {
+        finish_write(token, err);
+      }
+      return;
+    }
+    p2.stats.rtts += out->rtts;
+    p2.stats.used_broadcast |= out->used_broadcast;
+    Frame f;
+    f.type = p2.kind;
+    f.dst_host = out->dst;
+    f.object = p2.ptr.object;
+    f.seq = token;
+    f.offset = p2.ptr.offset;
+    f.length = p2.length;
+    if (p2.kind == MsgType::write_req || p2.kind == MsgType::atomic_req) {
+      f.payload = p2.data;
+    }
+    p2.generation++;
+    arm_timeout(token, p2.generation);
+    host_.send_frame(std::move(f));
+  });
+}
+
+void ObjNetService::arm_timeout(std::uint64_t token,
+                                std::uint64_t generation) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  host_.event_loop().schedule_after(
+      it->second.opts.timeout, [this, token, generation] {
+        auto it2 = pending_.find(token);
+        if (it2 == pending_.end()) return;
+        if (it2->second.generation != generation) return;  // superseded
+        // The request leg burned a round trip with no reply.
+        it2->second.stats.rtts += 1;
+        start_attempt(token);
+      });
+}
+
+void ObjNetService::finish_read(std::uint64_t token, Result<Bytes> result) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  p.stats.finished_at = host_.event_loop().now();
+  if (p.read_cb) p.read_cb(std::move(result), p.stats);
+}
+
+void ObjNetService::finish_write(std::uint64_t token, Status status) {
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  p.stats.finished_at = host_.event_loop().now();
+  if (p.write_cb) p.write_cb(status, p.stats);
+}
+
+void ObjNetService::on_read_req(const Frame& f) {
+  auto obj = host_.store().get(f.object);
+  if (!obj) {
+    send_nack(f, Errc::not_found);
+    return;
+  }
+  auto span = (*obj)->read(f.offset, f.length);
+  if (!span) {
+    send_nack(f, span.error().code);
+    return;
+  }
+  ++counters_.reads_served;
+  Frame resp;
+  resp.type = MsgType::read_resp;
+  resp.dst_host = f.src_host;
+  resp.object = f.object;
+  resp.seq = f.seq;
+  resp.offset = f.offset;
+  resp.length = f.length;
+  resp.payload.assign(span->begin(), span->end());
+  host_.send_frame(std::move(resp));
+}
+
+void ObjNetService::on_write_req(const Frame& f) {
+  // A non-home holder that knows the home redirects the writer there
+  // (replica write-through); anything else NACKs so the writer
+  // rediscovers the authoritative holder.
+  if (write_redirector_) {
+    if (auto home = write_redirector_(f.object)) {
+      send_nack(f, Errc::moved, *home);
+      return;
+    }
+  }
+  if (!is_authoritative(f.object)) {
+    send_nack(f, Errc::not_found);
+    return;
+  }
+  auto obj = host_.store().get(f.object);
+  if (!obj) {
+    send_nack(f, Errc::not_found);
+    return;
+  }
+  Status s = (*obj)->write(f.offset, f.payload);
+  if (!s) {
+    send_nack(f, s.error().code);
+    return;
+  }
+  ++counters_.writes_served;
+  if (write_observer_) write_observer_(f.object);
+  Frame resp;
+  resp.type = MsgType::write_resp;
+  resp.dst_host = f.src_host;
+  resp.object = f.object;
+  resp.seq = f.seq;
+  resp.offset = f.offset;
+  resp.length = f.length;
+  host_.send_frame(std::move(resp));
+}
+
+void ObjNetService::on_response(const Frame& f) {
+  const std::uint64_t token = f.seq;
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;  // late duplicate
+  it->second.stats.rtts += 1;       // request + response = one round trip
+  if (it->second.kind == MsgType::read_req &&
+      f.type == MsgType::read_resp) {
+    finish_read(token, f.payload);
+  } else if (it->second.kind == MsgType::write_req &&
+             f.type == MsgType::write_resp) {
+    finish_write(token, Status::ok());
+  } else if (it->second.kind == MsgType::atomic_req &&
+             f.type == MsgType::atomic_resp) {
+    auto resp = decode_atomic_response(f.payload);
+    if (resp) {
+      finish_atomic(token, *resp);
+    } else {
+      finish_atomic(token, Error{Errc::malformed, "bad atomic response"});
+    }
+  }
+}
+
+void ObjNetService::on_nack(const Frame& f) {
+  const std::uint64_t token = f.seq;
+  auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  ++counters_.nacks_received;
+  Pending& p = it->second;
+  p.stats.nacks += 1;
+  p.stats.rtts += 1;  // the failed leg still cost a round trip
+  auto info = decode_nack_payload(f.payload);
+  const Errc errc = info ? info->code : Errc::malformed;
+  if (errc == Errc::not_found) {
+    // Stale location: tell discovery, then retry (it will re-resolve).
+    discovery_->on_stale(f.object, f.src_host);
+    p.generation++;  // cancel the in-flight timeout
+    start_attempt(token);
+    return;
+  }
+  if (errc == Errc::moved && info->hint != kUnspecifiedHost) {
+    // Redirect: the responder named the authoritative home (e.g. a read
+    // replica bouncing a write).  Teach discovery and retry there.
+    discovery_->on_redirect(f.object, info->hint);
+    p.generation++;
+    start_attempt(token);
+    return;
+  }
+  if (p.kind == MsgType::read_req) {
+    finish_read(token, Error{errc, "remote nack"});
+  } else if (p.kind == MsgType::write_req) {
+    finish_write(token, Error{errc, "remote nack"});
+  } else {
+    finish_atomic(token, Error{errc, "remote nack"});
+  }
+}
+
+void ObjNetService::on_discover_req(const Frame& f) {
+  if (!is_authoritative(f.object)) return;
+  ++counters_.discover_replies_sent;
+  Frame reply;
+  reply.type = MsgType::discover_reply;
+  reply.dst_host = f.src_host;
+  reply.object = f.object;
+  reply.seq = f.seq;
+  host_.send_frame(std::move(reply));
+}
+
+void ObjNetService::move_object(ObjectId id, HostAddr dst, MoveCallback cb) {
+  auto obj = host_.store().get(id);
+  if (!obj) {
+    if (cb) cb(Error{Errc::not_found, "cannot move absent object"});
+    return;
+  }
+  ++counters_.moves_started;
+  // Byte-level copy: the object's wire image IS its serialized form.
+  Bytes image = (*obj)->raw_bytes();
+  reliable_.send(dst, MsgType::object_adopt, id, std::move(image),
+                 [this, id, cb = std::move(cb)](Status s) {
+                   if (!s) {
+                     if (cb) cb(s);
+                     return;
+                   }
+                   // Adoption confirmed: drop the local replica and let
+                   // discovery withdraw any advertisement.
+                   (void)host_.store().remove(id);
+                   discovery_->on_departed(id);
+                   ++counters_.moves_completed;
+                   if (cb) cb(Status::ok());
+                 });
+}
+
+void ObjNetService::on_reliable_message(HostAddr src, MsgType inner,
+                                        ObjectId object, Bytes payload) {
+  if (inner != MsgType::object_adopt) {
+    if (reliable_fallback_) {
+      reliable_fallback_(src, inner, object, std::move(payload));
+      return;
+    }
+    Log::debug("service", "%s: unhandled reliable inner type %s",
+               host_.name().c_str(), msg_type_name(inner));
+    return;
+  }
+  auto obj = Object::from_bytes(object, std::move(payload));
+  if (!obj) {
+    Log::warn("service", "%s: corrupt object image for %s",
+              host_.name().c_str(), object.to_string().c_str());
+    return;
+  }
+  if (host_.store().contains(object)) {
+    // Replay of a completed move; ignore.
+    return;
+  }
+  if (Status s = host_.store().insert(std::move(*obj)); !s) {
+    Log::warn("service", "%s: cannot adopt %s: %s", host_.name().c_str(),
+              object.to_string().c_str(), s.error().to_string().c_str());
+    return;
+  }
+  ++counters_.objects_adopted;
+  discovery_->on_arrived(object);
+}
+
+void ObjNetService::send_nack(const Frame& cause, Errc code, HostAddr hint) {
+  ++counters_.nacks_sent;
+  Frame nack;
+  nack.type = MsgType::nack;
+  nack.dst_host = cause.src_host;
+  nack.object = cause.object;
+  nack.seq = cause.seq;
+  nack.payload = encode_nack_payload(code, hint);
+  host_.send_frame(std::move(nack));
+}
+
+}  // namespace objrpc

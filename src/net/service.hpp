@@ -1,0 +1,195 @@
+// ObjNetService: the host-side object networking runtime.
+//
+// Binds a host's object store to the wire: it answers memory operations
+// (read/write) for resident objects, answers broadcast discovery, moves
+// whole objects over the reliable channel, and issues outbound accesses
+// addressed through a pluggable discovery strategy.  The figure
+// experiments drive exactly this service.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/discovery.hpp"
+#include "net/host_node.hpp"
+#include "net/reliable.hpp"
+
+namespace objrpc {
+
+/// Per-access accounting surfaced to callers (and to the figure benches:
+/// `rtts` and `used_broadcast` are the series the paper plots).
+struct AccessStats {
+  int rtts = 0;
+  int nacks = 0;
+  int attempts = 0;
+  bool used_broadcast = false;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  SimDuration elapsed() const { return finished_at - started_at; }
+};
+
+struct AccessOptions {
+  int max_attempts = 4;
+  SimDuration timeout = 20 * kMillisecond;
+};
+
+using ReadCallback =
+    std::function<void(Result<Bytes>, const AccessStats&)>;
+using WriteAckCallback = std::function<void(Status, const AccessStats&)>;
+using MoveCallback = std::function<void(Status)>;
+using AtomicCallback =
+    std::function<void(Result<AtomicResponse>, const AccessStats&)>;
+
+class ObjNetService {
+ public:
+  ObjNetService(HostNode& host, std::unique_ptr<DiscoveryStrategy> discovery,
+                ReliableConfig reliable_cfg = {});
+
+  HostNode& host() { return host_; }
+  DiscoveryStrategy& discovery() { return *discovery_; }
+  ReliableChannel& reliable() { return reliable_; }
+
+  /// Create a local object and announce it (advertise / none, scheme-
+  /// dependent).
+  Result<ObjectPtr> create_object(std::uint64_t size);
+  /// Create with a caller-chosen id (tests need stable ids).
+  Result<ObjectPtr> create_object_with_id(ObjectId id, std::uint64_t size);
+
+  /// Read `length` bytes at `ptr` from wherever the object lives.
+  void read(GlobalPtr ptr, std::uint32_t length, ReadCallback cb,
+            AccessOptions opts = {});
+  /// Write bytes at `ptr` on the object's home host.
+  void write(GlobalPtr ptr, Bytes data, WriteAckCallback cb,
+             AccessOptions opts = {});
+
+  /// Atomic fetch-and-add on the u64 word at `ptr` (executed at the
+  /// home, or intercepted in-network by a sync-offload switch — §5's
+  /// "offloading some synchronization and arbitration concerns to the
+  /// programmable network").  Yields the previous value.
+  void atomic_fetch_add(GlobalPtr ptr, std::uint64_t delta,
+                        AtomicCallback cb, AccessOptions opts = {});
+  /// Atomic compare-and-swap on the u64 word at `ptr`.
+  void atomic_cas(GlobalPtr ptr, std::uint64_t expected,
+                  std::uint64_t desired, AtomicCallback cb,
+                  AccessOptions opts = {});
+
+  /// Ship the whole object to `dst` (byte-level copy over the reliable
+  /// channel); the local replica is dropped once the move completes.
+  void move_object(ObjectId id, HostAddr dst, MoveCallback cb);
+
+  /// Handler invoked when an invoke_req frame arrives (wired up by the
+  /// core invocation layer; kept here so the frame dispatch lives in one
+  /// place).
+  using InvokeHandler = std::function<void(const Frame&)>;
+  void set_invoke_handler(InvokeHandler h) { invoke_handler_ = std::move(h); }
+
+  /// Authority predicate: does this host hold `id` as its HOME (not as
+  /// a cached replica)?  Only authoritative holders answer broadcast
+  /// discovery and accept writes — otherwise a cache holder could be
+  /// discovered and mutated, splitting the object's history.  Installed
+  /// by the caching layer; defaults to "any resident object".
+  using AuthorityFilter = std::function<bool(ObjectId)>;
+  void set_authority_filter(AuthorityFilter f) {
+    authority_filter_ = std::move(f);
+  }
+  bool is_authoritative(ObjectId id) const {
+    return host_.store().contains(id) &&
+           (!authority_filter_ || authority_filter_(id));
+  }
+
+  /// Redirect for writes that land on a non-home holder (e.g. a read
+  /// replica): maps the object to the host that should take the write.
+  /// Checked before the authority NACK; the frame is forwarded verbatim
+  /// (original requester stays the reply target).
+  using WriteRedirector = std::function<std::optional<HostAddr>(ObjectId)>;
+  void set_write_redirector(WriteRedirector r) {
+    write_redirector_ = std::move(r);
+  }
+
+  /// Fallback for reliable-channel messages the service itself does not
+  /// consume (anything but object_adopt) — replication and other layers
+  /// register here.
+  using ReliableFallback =
+      std::function<void(HostAddr src, MsgType inner, ObjectId, Bytes)>;
+  void set_reliable_fallback(ReliableFallback f) {
+    reliable_fallback_ = std::move(f);
+  }
+
+  /// Observer fired whenever a write_req mutates a local object — the
+  /// hook the caching layer uses to invalidate remote replicas.
+  using WriteObserver = std::function<void(ObjectId)>;
+  void set_write_observer(WriteObserver o) { write_observer_ = std::move(o); }
+  /// Fire the observer for a local (in-process) mutation.
+  void notify_local_write(ObjectId id) {
+    if (write_observer_) write_observer_(id);
+  }
+
+  struct Counters {
+    std::uint64_t reads_issued = 0;
+    std::uint64_t writes_issued = 0;
+    std::uint64_t reads_served = 0;
+    std::uint64_t writes_served = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t nacks_received = 0;
+    std::uint64_t discover_replies_sent = 0;
+    std::uint64_t moves_started = 0;
+    std::uint64_t moves_completed = 0;
+    std::uint64_t objects_adopted = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t atomics_issued = 0;
+    std::uint64_t atomics_served = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Pending {
+    MsgType kind;  // read_req, write_req, or atomic_req
+    GlobalPtr ptr;
+    std::uint32_t length = 0;
+    Bytes data;  // for writes; encoded AtomicRequest for atomics
+    ReadCallback read_cb;
+    WriteAckCallback write_cb;
+    AtomicCallback atomic_cb;
+    AccessOptions opts;
+    AccessStats stats;
+    std::uint64_t generation = 0;  // invalidates stale timeout checks
+  };
+
+  void start_atomic(GlobalPtr ptr, AtomicRequest req, AtomicCallback cb,
+                    AccessOptions opts);
+  /// Apply an atomic op against a locally resident object.
+  Result<AtomicResponse> apply_atomic(ObjectId id, std::uint64_t offset,
+                                      const AtomicRequest& req);
+  void start_attempt(std::uint64_t token);
+  void finish_read(std::uint64_t token, Result<Bytes> result);
+  void finish_write(std::uint64_t token, Status status);
+  void finish_atomic(std::uint64_t token, Result<AtomicResponse> result);
+  void on_atomic_req(const Frame& f);
+  void arm_timeout(std::uint64_t token, std::uint64_t generation);
+
+  // Inbound handlers.
+  void on_read_req(const Frame& f);
+  void on_write_req(const Frame& f);
+  void on_response(const Frame& f);
+  void on_nack(const Frame& f);
+  void on_discover_req(const Frame& f);
+  void on_reliable_message(HostAddr src, MsgType inner, ObjectId object,
+                           Bytes payload);
+  void send_nack(const Frame& cause, Errc code,
+                 HostAddr hint = kUnspecifiedHost);
+
+  HostNode& host_;
+  std::unique_ptr<DiscoveryStrategy> discovery_;
+  ReliableChannel reliable_;
+  InvokeHandler invoke_handler_;
+  WriteObserver write_observer_;
+  AuthorityFilter authority_filter_;
+  WriteRedirector write_redirector_;
+  ReliableFallback reliable_fallback_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_token_ = 1;
+  Counters counters_;
+};
+
+}  // namespace objrpc

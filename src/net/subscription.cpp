@@ -1,0 +1,185 @@
+#include "net/subscription.hpp"
+
+#include <algorithm>
+
+namespace objrpc {
+
+std::uint32_t sub_field_bits(SubField f) {
+  switch (f) {
+    case SubField::object_id:
+      return 128;
+    case SubField::object_lo64:
+      return 64;
+    case SubField::src_host:
+      return 64;
+    case SubField::msg_type:
+      return 8;
+  }
+  return 0;
+}
+
+namespace {
+/// Field value as (up to) 128 bits.
+U128 field_value(SubField f, const Frame::RoutingView& v) {
+  switch (f) {
+    case SubField::object_id:
+      return v.object.value;
+    case SubField::object_lo64:
+      return U128::from_u64(v.object.value.lo);
+    case SubField::src_host:
+      return U128::from_u64(v.src_host);
+    case SubField::msg_type:
+      return U128::from_u64(static_cast<std::uint64_t>(v.type));
+  }
+  return U128{};
+}
+
+/// Append `bits` low bits of `val` into the key accumulator.
+bool pack_into(U128& key, std::uint32_t& used, const U128& val,
+               std::uint32_t bits) {
+  if (used + bits > 128) return false;
+  // Shift key left by `bits` then or-in the value's low `bits`.
+  for (std::uint32_t i = 0; i < bits; ++i) {
+    key.hi = (key.hi << 1) | (key.lo >> 63);
+    key.lo <<= 1;
+  }
+  U128 masked = val;
+  if (bits < 128) {
+    if (bits >= 64) {
+      const std::uint32_t hi_bits = bits - 64;
+      masked.hi &= hi_bits == 0 ? 0 : (~0ULL >> (64 - hi_bits));
+    } else {
+      masked.hi = 0;
+      masked.lo &= bits == 64 ? ~0ULL : ((1ULL << bits) - 1);
+    }
+  }
+  key.hi |= masked.hi;
+  key.lo |= masked.lo;
+  used += bits;
+  return true;
+}
+}  // namespace
+
+Result<CompiledRule> SubscriptionCompiler::compile(const Subscription& sub) {
+  if (sub.conjuncts.empty()) {
+    return Error{Errc::invalid_argument, "empty subscription"};
+  }
+  // Canonical layout: fields sorted by enum value, no repeats.
+  std::vector<Predicate> preds = sub.conjuncts;
+  std::sort(preds.begin(), preds.end(), [](const auto& a, const auto& b) {
+    return static_cast<int>(a.field) < static_cast<int>(b.field);
+  });
+  for (std::size_t i = 1; i < preds.size(); ++i) {
+    if (preds[i].field == preds[i - 1].field) {
+      return Error{Errc::invalid_argument, "repeated field in conjunction"};
+    }
+  }
+  CompiledRule rule;
+  std::uint32_t used = 0;
+  for (const auto& p : preds) {
+    rule.key_fields.push_back(p.field);
+    if (!pack_into(rule.key, used, p.value, sub_field_bits(p.field))) {
+      return Error{Errc::capacity_exceeded, "packed key exceeds 128 bits"};
+    }
+  }
+  rule.key_bits = used;
+  rule.action = Action::forward_to(sub.deliver_to);
+  return rule;
+}
+
+std::optional<U128> SubscriptionCompiler::extract_key(
+    const std::vector<SubField>& key_fields, const Frame::RoutingView& v) {
+  U128 key;
+  std::uint32_t used = 0;
+  for (SubField f : key_fields) {
+    if (!pack_into(key, used, field_value(f, v), sub_field_bits(f))) {
+      return std::nullopt;
+    }
+  }
+  return key;
+}
+
+std::uint64_t SubscriptionCompiler::capacity_for_layout(
+    const std::vector<SubField>& key_fields) {
+  std::uint32_t bits = 0;
+  for (SubField f : key_fields) bits += sub_field_bits(f);
+  return tofino_exact_capacity(bits);
+}
+
+Status SubscriptionTable::add(const Subscription& sub) {
+  auto rule = SubscriptionCompiler::compile(sub);
+  if (!rule) return rule.error();
+  Group* group = nullptr;
+  for (auto& g : groups_) {
+    if (g.key_fields == rule->key_fields) {
+      group = &g;
+      break;
+    }
+  }
+  if (group == nullptr) {
+    groups_.emplace_back(rule->key_fields, rule->key_bits);
+    group = &groups_.back();
+  }
+  auto& fanout = group->fanout[rule->key];
+  if (fanout.empty()) {
+    // First subscriber occupies the capacity-modelled stage entry.
+    if (Status s = group->table.insert(rule->key, rule->action); !s) {
+      group->fanout.erase(rule->key);
+      return s;
+    }
+  }
+  fanout.push_back(rule->action);
+  return Status::ok();
+}
+
+std::optional<Action> SubscriptionTable::match(const Frame::RoutingView& v) {
+  for (auto& g : groups_) {
+    auto key = SubscriptionCompiler::extract_key(g.key_fields, v);
+    if (!key) continue;
+    if (auto action = g.table.lookup(*key)) return action;
+  }
+  return std::nullopt;
+}
+
+std::vector<Action> SubscriptionTable::match_all(
+    const Frame::RoutingView& v) {
+  std::vector<Action> out;
+  for (auto& g : groups_) {
+    auto key = SubscriptionCompiler::extract_key(g.key_fields, v);
+    if (!key) continue;
+    auto it = g.fanout.find(*key);
+    if (it == g.fanout.end()) continue;
+    (void)g.table.lookup(*key);  // keep stage hit counters honest
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+std::size_t SubscriptionTable::rule_count() const {
+  std::size_t n = 0;
+  for (const auto& g : groups_) n += g.table.size();
+  return n;
+}
+
+void program_subscription_delivery(
+    SwitchNode& sw, std::shared_ptr<SubscriptionTable> table) {
+  const auto next_hook = sw.pre_match_hook();
+  sw.set_pre_match_hook([table, next_hook](SwitchNode& self, PortId in_port,
+                                           const Packet& pkt) {
+    if (next_hook && next_hook(self, in_port, pkt)) return true;
+    auto view = Frame::peek(pkt);
+    if (!view) return false;
+    const std::vector<Action> actions = table->match_all(*view);
+    if (actions.empty()) return false;  // normal pipeline handles it
+    for (const Action& action : actions) {
+      if (action.kind != ActionKind::forward || action.port == in_port) {
+        continue;  // never reflect to the publisher
+      }
+      Packet copy = pkt;
+      self.forward(action.port, std::move(copy));
+    }
+    return true;
+  });
+}
+
+}  // namespace objrpc

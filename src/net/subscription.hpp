@@ -1,0 +1,109 @@
+// Packet Subscriptions (lite) — predicate-based forwarding (§3.2).
+//
+// The paper prototyped identifier routing with Packet Subscriptions
+// [Jepsen et al., CoNEXT '20]: receivers declare predicates over
+// user-defined packet fields and the compiler turns them into
+// match-action rules installed in the P4 pipeline.  This module
+// implements the subset our fabric needs: conjunctions of equality
+// predicates over frame fields, compiled into exact-match entries, with
+// the per-entry key width determining how many fit (the 1.8M vs 850K
+// capacity trade the paper reports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/objnet.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/switch_node.hpp"
+
+namespace objrpc {
+
+/// Frame fields a predicate may test.
+enum class SubField : std::uint8_t {
+  object_id,   // 128-bit
+  object_lo64, // low 64 bits of the object id (the narrow-key variant)
+  src_host,    // 64-bit
+  msg_type,    // 8-bit
+};
+
+std::uint32_t sub_field_bits(SubField f);
+
+/// An equality predicate over one field.
+struct Predicate {
+  SubField field = SubField::object_id;
+  U128 value;
+};
+
+/// A subscription: a conjunction of predicates delivered to a port.
+struct Subscription {
+  std::vector<Predicate> conjuncts;
+  PortId deliver_to = kInvalidPort;
+};
+
+/// A compiled rule: one exact-match entry in one logical table.  Rules
+/// from the same table share a key layout (ordered field list).
+struct CompiledRule {
+  std::vector<SubField> key_fields;  // layout, sorted by field id
+  U128 key;                          // packed field values
+  std::uint32_t key_bits = 0;
+  Action action;
+};
+
+/// Compiles subscriptions into exact-match rules and reports the table
+/// resources they need.
+class SubscriptionCompiler {
+ public:
+  /// Compile one subscription.  Fails if the packed key exceeds 128 bits
+  /// or a field is repeated.
+  static Result<CompiledRule> compile(const Subscription& sub);
+
+  /// Pack the corresponding fields of a live frame into a lookup key
+  /// with the same layout.  Returns nullopt if the frame lacks a field.
+  static std::optional<U128> extract_key(
+      const std::vector<SubField>& key_fields, const Frame::RoutingView& v);
+
+  /// How many compiled rules with this layout fit a Tofino-like stage.
+  static std::uint64_t capacity_for_layout(
+      const std::vector<SubField>& key_fields);
+};
+
+/// A software subscription table: groups rules by layout and matches
+/// frames against every layout group (one logical stage per layout).
+/// Multiple subscribers may share a predicate; `match_all` returns the
+/// full fan-out set (Packet Subscriptions' multicast delivery).
+class SubscriptionTable {
+ public:
+  Status add(const Subscription& sub);
+  /// First matching action, testing layout groups in insertion order.
+  std::optional<Action> match(const Frame::RoutingView& v);
+  /// Every matching action across all layouts and subscribers.
+  std::vector<Action> match_all(const Frame::RoutingView& v);
+
+  std::size_t rule_count() const;
+  std::size_t layout_count() const { return groups_.size(); }
+
+ private:
+  struct Group {
+    std::vector<SubField> key_fields;
+    /// Capacity-modelled exact-match stage (first subscriber per key).
+    MatchActionTable table;
+    /// Full fan-out lists (the multicast group table beside the stage).
+    std::unordered_map<U128, std::vector<Action>> fanout;
+    Group(std::vector<SubField> fields, std::uint32_t key_bits)
+        : key_fields(std::move(fields)), table(key_bits) {}
+  };
+  std::vector<Group> groups_;
+};
+
+/// Program `sw` to deliver frames by subscription matching: every frame
+/// is matched against `table` and forwarded to ALL matching ports
+/// (one copy each); non-matching frames continue down the normal
+/// pipeline.  This is the pub/sub forwarding mode the paper prototyped
+/// with Packet Subscriptions on Tofino (§3.2).
+void program_subscription_delivery(SwitchNode& sw,
+                                   std::shared_ptr<SubscriptionTable> table);
+
+}  // namespace objrpc

@@ -1,0 +1,58 @@
+// Object identity: 128-bit IDs allocated without coordination.
+//
+// The paper's global address space is keyed by 128-bit object IDs
+// (§3.1): the space is large enough that secure-random allocation makes
+// collisions vanishingly unlikely, so no centralized arbiter is needed.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/u128.hpp"
+
+namespace objrpc {
+
+/// Strongly-typed 128-bit object identifier.
+struct ObjectId {
+  U128 value;
+
+  constexpr ObjectId() = default;
+  explicit constexpr ObjectId(U128 v) : value(v) {}
+  constexpr ObjectId(std::uint64_t hi, std::uint64_t lo) : value{hi, lo} {}
+
+  constexpr bool is_null() const { return value.is_zero(); }
+  friend constexpr auto operator<=>(const ObjectId&, const ObjectId&) =
+      default;
+
+  std::string to_string() const { return value.to_hex().substr(16); }
+  std::string to_full_hex() const { return value.to_hex(); }
+};
+
+/// Allocates fresh object IDs from a deterministic stream (the simulated
+/// analogue of Twizzler's secure-random ID allocation).  Distinct hosts
+/// fork distinct substreams, so allocation needs no cross-host
+/// coordination — the property the paper's design rests on.
+class IdAllocator {
+ public:
+  explicit IdAllocator(Rng rng) : rng_(rng) {}
+
+  ObjectId allocate() {
+    U128 v = rng_.next_u128();
+    // Reserve the all-zero ID as the null object.
+    if (v.is_zero()) v.lo = 1;
+    return ObjectId{v};
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace objrpc
+
+template <>
+struct std::hash<objrpc::ObjectId> {
+  std::size_t operator()(const objrpc::ObjectId& id) const noexcept {
+    return std::hash<objrpc::U128>{}(id.value);
+  }
+};

@@ -1,0 +1,66 @@
+// 64-bit encoded cross-object pointers (Twizzler's pointer model, §3.1).
+//
+// A pointer names data in a 128-bit object space yet occupies only 64
+// bits: the top bits index the containing object's foreign-object table
+// (FOT), which maps small indices to full 128-bit object IDs, and the low
+// bits are an offset into the target object.  Index 0 means "this object",
+// so intra-object pointers need no FOT entry.  Because the encoding is
+// relative to the containing object rather than to any address space, a
+// byte-level copy of an object preserves every pointer — the property that
+// lets the system move data with no serialization (§3.1 "Serialization").
+#pragma once
+
+#include <cstdint>
+
+namespace objrpc {
+
+/// A 64-bit encoded pointer: [ fot_index : 20 bits | offset : 44 bits ].
+class Ptr64 {
+ public:
+  static constexpr int kOffsetBits = 44;
+  static constexpr int kIndexBits = 20;
+  static constexpr std::uint64_t kMaxOffset =
+      (std::uint64_t{1} << kOffsetBits) - 1;
+  static constexpr std::uint32_t kMaxFotIndex =
+      (std::uint32_t{1} << kIndexBits) - 1;
+  /// FOT index naming the containing object itself.
+  static constexpr std::uint32_t kSelfIndex = 0;
+
+  constexpr Ptr64() = default;
+
+  /// Pointer to data inside the same object.
+  static constexpr Ptr64 internal(std::uint64_t offset) {
+    return Ptr64{(std::uint64_t{kSelfIndex} << kOffsetBits) |
+                 (offset & kMaxOffset)};
+  }
+
+  /// Pointer through FOT entry `fot_index` (>= 1) into a foreign object.
+  static constexpr Ptr64 foreign(std::uint32_t fot_index,
+                                 std::uint64_t offset) {
+    return Ptr64{(static_cast<std::uint64_t>(fot_index) << kOffsetBits) |
+                 (offset & kMaxOffset)};
+  }
+
+  static constexpr Ptr64 null() { return Ptr64{}; }
+  static constexpr Ptr64 from_raw(std::uint64_t raw) { return Ptr64{raw}; }
+
+  constexpr std::uint64_t raw() const { return bits_; }
+  constexpr std::uint32_t fot_index() const {
+    return static_cast<std::uint32_t>(bits_ >> kOffsetBits);
+  }
+  constexpr std::uint64_t offset() const { return bits_ & kMaxOffset; }
+  constexpr bool is_internal() const { return fot_index() == kSelfIndex; }
+  /// The all-zero word is the canonical null pointer (internal, offset 0 —
+  /// which the object layout reserves so no real datum lives there).
+  constexpr bool is_null() const { return bits_ == 0; }
+
+  friend constexpr auto operator<=>(const Ptr64&, const Ptr64&) = default;
+
+ private:
+  explicit constexpr Ptr64(std::uint64_t bits) : bits_(bits) {}
+  std::uint64_t bits_ = 0;
+};
+
+static_assert(sizeof(Ptr64) == 8, "encoded pointers must stay 64-bit");
+
+}  // namespace objrpc

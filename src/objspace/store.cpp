@@ -1,0 +1,85 @@
+#include "objspace/store.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace objrpc {
+
+Status ObjectStore::check_capacity(std::uint64_t incoming) const {
+  if (capacity_ != 0 && bytes_used_ + incoming > capacity_) {
+    return Error{Errc::capacity_exceeded,
+                 "store over capacity: " + std::to_string(bytes_used_) +
+                     " + " + std::to_string(incoming) + " > " +
+                     std::to_string(capacity_)};
+  }
+  return Status::ok();
+}
+
+Result<ObjectPtr> ObjectStore::create(ObjectId id, std::uint64_t size) {
+  if (contains(id)) {
+    return Error{Errc::conflict, "object already exists: " + id.to_string()};
+  }
+  if (Status s = check_capacity(size); !s) return s.error();
+  auto obj = Object::create(id, size);
+  if (!obj) return obj.error();
+  auto ptr = std::make_shared<Object>(std::move(*obj));
+  objects_.emplace(id, ptr);
+  insertion_order_.push_back(id);
+  bytes_used_ += size;
+  return ptr;
+}
+
+Status ObjectStore::insert(Object obj) {
+  if (contains(obj.id())) {
+    return Error{Errc::conflict,
+                 "object already exists: " + obj.id().to_string()};
+  }
+  if (Status s = check_capacity(obj.size()); !s) return s;
+  const ObjectId id = obj.id();
+  bytes_used_ += obj.size();
+  objects_.emplace(id, std::make_shared<Object>(std::move(obj)));
+  insertion_order_.push_back(id);
+  return Status::ok();
+}
+
+Result<Object> ObjectStore::remove(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Error{Errc::not_found, "no such object: " + id.to_string()};
+  }
+  ObjectPtr ptr = std::move(it->second);
+  objects_.erase(it);
+  insertion_order_.erase(
+      std::find(insertion_order_.begin(), insertion_order_.end(), id));
+  bytes_used_ -= ptr->size();
+  // The store held the only strong owner for removal semantics; copy out
+  // if anything else still shares it.
+  if (ptr.use_count() == 1) {
+    return std::move(*ptr);
+  }
+  return ptr->clone_as(ptr->id());
+}
+
+Result<ObjectPtr> ObjectStore::get(ObjectId id) const {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Error{Errc::not_found, "no such object: " + id.to_string()};
+  }
+  return it->second;
+}
+
+std::uint64_t ObjectStore::bytes_available() const {
+  if (capacity_ == 0) return std::numeric_limits<std::uint64_t>::max();
+  return capacity_ > bytes_used_ ? capacity_ - bytes_used_ : 0;
+}
+
+std::vector<ObjectId> ObjectStore::ids() const { return insertion_order_; }
+
+void ObjectStore::for_each(
+    const std::function<void(const ObjectPtr&)>& fn) const {
+  for (const auto& id : insertion_order_) {
+    fn(objects_.at(id));
+  }
+}
+
+}  // namespace objrpc

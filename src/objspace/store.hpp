@@ -1,0 +1,63 @@
+// Per-host object store.
+//
+// Each simulated host owns a store: the set of objects for which it is
+// currently the authoritative home.  The store is the OS-level piece the
+// paper co-designs with the network — discovery protocols advertise its
+// contents, and the placement engine consults it when scheduling a
+// rendezvous of code and data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "objspace/object.hpp"
+
+namespace objrpc {
+
+/// Owning map from ObjectId to Object, with an optional byte-capacity
+/// limit (models host memory constraints used by the placement engine).
+class ObjectStore {
+ public:
+  /// `capacity_bytes == 0` means unlimited.
+  explicit ObjectStore(std::uint64_t capacity_bytes = 0)
+      : capacity_(capacity_bytes) {}
+
+  /// Create a fresh object of `size` bytes under `id`.
+  Result<ObjectPtr> create(ObjectId id, std::uint64_t size);
+
+  /// Insert an object that arrived from elsewhere (takes ownership).
+  Status insert(Object obj);
+
+  /// Remove an object (e.g. after it migrated away).  Returns the evicted
+  /// object so the caller can forward its bytes.
+  Result<Object> remove(ObjectId id);
+
+  bool contains(ObjectId id) const { return objects_.count(id) != 0; }
+  Result<ObjectPtr> get(ObjectId id) const;
+
+  std::size_t count() const { return objects_.size(); }
+  std::uint64_t bytes_used() const { return bytes_used_; }
+  std::uint64_t capacity() const { return capacity_; }
+  /// Remaining byte budget; UINT64_MAX when unlimited.
+  std::uint64_t bytes_available() const;
+
+  /// Enumerate all resident IDs (order unspecified but deterministic for
+  /// a deterministic insertion history).
+  std::vector<ObjectId> ids() const;
+
+  void for_each(const std::function<void(const ObjectPtr&)>& fn) const;
+
+ private:
+  Status check_capacity(std::uint64_t incoming) const;
+
+  std::unordered_map<ObjectId, ObjectPtr> objects_;
+  std::vector<ObjectId> insertion_order_;
+  std::uint64_t capacity_;
+  std::uint64_t bytes_used_ = 0;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,29 @@
+#include "rpc/rpc_message.hpp"
+
+namespace objrpc {
+
+Bytes RpcEnvelope::encode() const {
+  BufWriter w(32 + method.size() + body.size());
+  w.put_u8(static_cast<std::uint8_t>(kind));
+  w.put_u64(call_id);
+  w.put_string(method);
+  w.put_u16(errc);
+  w.put_blob(body);
+  return std::move(w).take();
+}
+
+Result<RpcEnvelope> RpcEnvelope::decode(ByteSpan data) {
+  BufReader r(data);
+  RpcEnvelope env;
+  env.kind = static_cast<RpcKind>(r.get_u8());
+  env.call_id = r.get_u64();
+  env.method = r.get_string();
+  env.errc = r.get_u16();
+  env.body = r.get_blob();
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "bad rpc envelope"};
+  }
+  return env;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,36 @@
+// RPC envelope: what a conventional, location-centric RPC framework puts
+// on the wire (§1, §2 — the baseline the paper argues against).
+//
+// Calls are addressed to a HOST (not to data), name a method by string,
+// and carry fully serialized arguments; responses carry fully serialized
+// results.  The envelope rides inside the simulator's frames as
+// invoke_req / invoke_resp with a null object id — the network cannot
+// see any data identity, which is precisely the limitation under study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace objrpc {
+
+enum class RpcKind : std::uint8_t {
+  request = 0,
+  response = 1,
+  error = 2,
+};
+
+struct RpcEnvelope {
+  RpcKind kind = RpcKind::request;
+  std::uint64_t call_id = 0;
+  std::string method;   // request only
+  std::uint16_t errc = 0;  // error only
+  Bytes body;           // serialized arguments or results
+
+  Bytes encode() const;
+  static Result<RpcEnvelope> decode(ByteSpan data);
+};
+
+}  // namespace objrpc

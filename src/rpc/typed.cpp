@@ -1,0 +1,54 @@
+#include "rpc/typed.hpp"
+
+namespace objrpc {
+
+void TypedRpcClient::call(HostAddr dst, const std::string& method,
+                          const Message& args,
+                          std::uint32_t response_schema,
+                          TypedResponseCallback cb, RpcCallOptions opts) {
+  auto wire = codec_.encode(args);
+  if (!wire) {
+    if (cb) cb(wire.error(), RpcCallStats{});
+    return;
+  }
+  client_.call(dst, method, std::move(*wire),
+               [this, response_schema, cb = std::move(cb)](
+                   Result<Bytes> r, const RpcCallStats& stats) {
+                 if (!r) {
+                   if (cb) cb(r.error(), stats);
+                   return;
+                 }
+                 auto msg = codec_.decode(response_schema, *r);
+                 if (cb) cb(std::move(msg), stats);
+               },
+               opts);
+}
+
+void TypedRpcServer::register_method(const std::string& name,
+                                     std::uint32_t request_schema,
+                                     TypedHandler handler) {
+  server_.register_method(
+      name, [this, request_schema, handler = std::move(handler)](
+                HostAddr caller, ByteSpan args, RpcServer::ReplyFn reply) {
+        auto msg = codec_.decode(request_schema, args);
+        if (!msg) {
+          reply(Error{Errc::malformed, "bad request message"});
+          return;
+        }
+        handler(caller, *msg, [this, reply = std::move(reply)](
+                                  Result<Message> result) {
+          if (!result) {
+            reply(result.error());
+            return;
+          }
+          auto wire = codec_.encode(*result);
+          if (!wire) {
+            reply(Error{Errc::malformed, "unencodable response"});
+            return;
+          }
+          reply(std::move(*wire));
+        });
+      });
+}
+
+}  // namespace objrpc

@@ -1,0 +1,237 @@
+#include "serialize/swizzle.hpp"
+
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+namespace objrpc {
+
+HeapNode* HeapGraph::add_node(std::uint64_t key, Bytes payload) {
+  nodes_.push_back(std::make_unique<HeapNode>());
+  HeapNode* n = nodes_.back().get();
+  n->key = key;
+  n->payload = std::move(payload);
+  return n;
+}
+
+std::uint64_t HeapGraph::payload_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->payload.size();
+  return total;
+}
+
+HeapGraph build_random_graph(const GraphSpec& spec) {
+  Rng rng(spec.seed);
+  HeapGraph g;
+  for (std::size_t i = 0; i < spec.nodes; ++i) {
+    Bytes payload(spec.payload_bytes);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    g.add_node(rng.next_u64(), std::move(payload));
+  }
+  // Spanning structure: node i's parent is a random earlier node, so the
+  // root reaches everything.  Extra edges bring mean fanout to spec.
+  for (std::size_t i = 1; i < spec.nodes; ++i) {
+    const std::size_t parent = rng.next_below(i);
+    g.node(parent)->children.push_back(g.node(i));
+  }
+  if (spec.nodes > 1 && spec.fanout > 1.0) {
+    const auto extra = static_cast<std::size_t>(
+        (spec.fanout - 1.0) * static_cast<double>(spec.nodes));
+    for (std::size_t e = 0; e < extra; ++e) {
+      const std::size_t to = 1 + rng.next_below(spec.nodes - 1);
+      const std::size_t from = rng.next_below(to);
+      g.node(from)->children.push_back(g.node(to));
+    }
+  }
+  return g;
+}
+
+bool graphs_equal(const HeapGraph& a, const HeapGraph& b) {
+  if (a.node_count() != b.node_count()) return false;
+  // Nodes are stored in creation order, which serialization preserves, so
+  // positional comparison with positional edge identity is sound.
+  std::unordered_map<const HeapNode*, std::size_t> index_a, index_b;
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    index_a[a.node(i)] = i;
+    index_b[b.node(i)] = i;
+  }
+  for (std::size_t i = 0; i < a.node_count(); ++i) {
+    const HeapNode* na = a.node(i);
+    const HeapNode* nb = b.node(i);
+    if (na->key != nb->key || na->payload != nb->payload ||
+        na->children.size() != nb->children.size()) {
+      return false;
+    }
+    for (std::size_t c = 0; c < na->children.size(); ++c) {
+      if (index_a.at(na->children[c]) != index_b.at(nb->children[c])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Bytes serialize_graph(const HeapGraph& g) {
+  std::unordered_map<const HeapNode*, std::uint64_t> index;
+  for (std::size_t i = 0; i < g.node_count(); ++i) index[g.node(i)] = i;
+  BufWriter w(g.node_count() * 32);
+  w.put_varint(g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const HeapNode* n = g.node(i);
+    w.put_u64(n->key);
+    w.put_blob(n->payload);
+    w.put_varint(n->children.size());
+    for (const HeapNode* c : n->children) w.put_varint(index.at(c));
+  }
+  return std::move(w).take();
+}
+
+Result<HeapGraph> deserialize_graph(ByteSpan wire) {
+  BufReader r(wire);
+  const std::uint64_t count = r.get_varint();
+  if (!r.ok()) return Error{Errc::malformed, "bad node count"};
+  if (count > (std::uint64_t{1} << 32)) {
+    return Error{Errc::malformed, "absurd node count"};
+  }
+  HeapGraph g;
+  // Pass 1: parse and allocate every node (the "loading" cost).
+  std::vector<std::vector<std::uint64_t>> edges(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = r.get_u64();
+    Bytes payload = r.get_blob();
+    const std::uint64_t nchildren = r.get_varint();
+    if (!r.ok() || nchildren > count) {
+      return Error{Errc::malformed, "truncated node"};
+    }
+    edges[i].reserve(nchildren);
+    for (std::uint64_t c = 0; c < nchildren; ++c) {
+      edges[i].push_back(r.get_varint());
+    }
+    if (!r.ok()) return Error{Errc::malformed, "truncated edges"};
+    g.add_node(key, std::move(payload));
+  }
+  if (r.remaining() != 0) return Error{Errc::malformed, "trailing bytes"};
+  // Pass 2: swizzle indices into pointers.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    HeapNode* n = g.node(i);
+    n->children.reserve(edges[i].size());
+    for (std::uint64_t target : edges[i]) {
+      if (target >= count) {
+        return Error{Errc::malformed, "edge target out of range"};
+      }
+      n->children.push_back(g.node(target));
+    }
+  }
+  return g;
+}
+
+// --- object-space encoding ---------------------------------------------------
+
+namespace {
+constexpr std::uint64_t kNodeFixed = 16;  // key + payload_len + child_count
+}
+
+Result<ObjGraph> graph_to_object(ObjectStore& store, IdAllocator& ids,
+                                 const HeapGraph& g) {
+  // Size: per-node fixed header + 8 per edge + payload, plus object
+  // header/FOT slack.
+  std::uint64_t need = Object::kDataStart + 64;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    need += kNodeFixed + g.node(i)->children.size() * 8 +
+            g.node(i)->payload.size() + 8 /* alignment slack */;
+  }
+  auto obj = store.create(ids.allocate(), need + 64);
+  if (!obj) return obj.error();
+  ObjectPtr o = *obj;
+
+  // Pass 1: allocate space for every node, recording offsets.
+  std::unordered_map<const HeapNode*, std::uint64_t> offsets;
+  std::vector<std::uint64_t> offset_by_index(g.node_count());
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const HeapNode* n = g.node(i);
+    auto off =
+        o->alloc(kNodeFixed + n->children.size() * 8 + n->payload.size(), 8);
+    if (!off) return off.error();
+    offsets[n] = *off;
+    offset_by_index[i] = *off;
+  }
+  // Pass 2: write node contents; children become internal Ptr64s.
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const HeapNode* n = g.node(i);
+    const std::uint64_t off = offset_by_index[i];
+    if (Status s = o->write_u64(off, n->key); !s) return s.error();
+    std::uint8_t meta[8];
+    const auto plen = static_cast<std::uint32_t>(n->payload.size());
+    const auto ccount = static_cast<std::uint32_t>(n->children.size());
+    std::memcpy(meta, &plen, 4);
+    std::memcpy(meta + 4, &ccount, 4);
+    if (Status s = o->write(off + 8, ByteSpan{meta, 8}); !s) return s.error();
+    for (std::size_t c = 0; c < n->children.size(); ++c) {
+      const Ptr64 p = Ptr64::internal(offsets.at(n->children[c]));
+      if (Status s = o->store_ptr(off + kNodeFixed + c * 8, p); !s) {
+        return s.error();
+      }
+    }
+    if (!n->payload.empty()) {
+      if (Status s = o->write(off + kNodeFixed + n->children.size() * 8,
+                              n->payload);
+          !s) {
+        return s.error();
+      }
+    }
+  }
+  return ObjGraph{o->id(), g.node_count() ? offset_by_index[0] : 0,
+                  g.node_count()};
+}
+
+Result<HeapGraph> graph_from_object(const ObjectStore& store,
+                                    const ObjGraph& og) {
+  auto obj = store.get(og.object);
+  if (!obj) return obj.error();
+  const ObjectPtr& o = *obj;
+  HeapGraph g;
+  if (og.node_count == 0) return g;
+
+  // BFS from the root, assigning discovery indices.
+  std::unordered_map<std::uint64_t, std::size_t> index_by_offset;
+  std::vector<std::uint64_t> offsets;
+  std::deque<std::uint64_t> frontier{og.root_offset};
+  index_by_offset[og.root_offset] = 0;
+  offsets.push_back(og.root_offset);
+  std::vector<std::vector<std::uint64_t>> edges;
+
+  while (!frontier.empty()) {
+    const std::uint64_t off = frontier.front();
+    frontier.pop_front();
+    auto key = o->read_u64(off);
+    if (!key) return key.error();
+    auto meta = o->read(off + 8, 8);
+    if (!meta) return meta.error();
+    std::uint32_t plen, ccount;
+    std::memcpy(&plen, meta->data(), 4);
+    std::memcpy(&ccount, meta->data() + 4, 4);
+    auto payload = o->read(off + kNodeFixed + ccount * 8, plen);
+    if (!payload) return payload.error();
+    g.add_node(*key, Bytes(payload->begin(), payload->end()));
+    edges.emplace_back();
+    for (std::uint32_t c = 0; c < ccount; ++c) {
+      auto p = o->load_ptr(off + kNodeFixed + c * 8);
+      if (!p) return p.error();
+      const std::uint64_t child_off = p->offset();
+      edges.back().push_back(child_off);
+      if (!index_by_offset.count(child_off)) {
+        index_by_offset[child_off] = offsets.size();
+        offsets.push_back(child_off);
+        frontier.push_back(child_off);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::uint64_t child_off : edges[i]) {
+      g.node(i)->children.push_back(g.node(index_by_offset.at(child_off)));
+    }
+  }
+  return g;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,105 @@
+// Pointer swizzling — the "loading" half of RPC's serialization tax.
+//
+// §2 reports that model-serving applications spend as much as 70% of
+// processing time "deserializing and loading the sparse personalized
+// models into main memory at request time": not just parsing bytes, but
+// allocating native nodes and fixing up every pointer.  This module
+// models that cost precisely:
+//
+//   HeapGraph  — a native pointer-linked structure (what the app uses)
+//   serialize  — flatten to index-based wire form (what RPC ships)
+//   deserialize— parse + allocate + swizzle indices back into pointers
+//
+// The object-space alternative needs none of this: a Ptr64-encoded graph
+// is copied byte-for-byte (see objspace/object.hpp).  CLAIM-SER races
+// the two.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "objspace/store.hpp"
+
+namespace objrpc {
+
+/// One node of a native, pointer-linked structure.
+struct HeapNode {
+  std::uint64_t key = 0;
+  Bytes payload;
+  std::vector<HeapNode*> children;  // non-owning; graph owns all nodes
+};
+
+/// An owning pointer graph.  `root()` is nodes[0] when non-empty.
+class HeapGraph {
+ public:
+  HeapGraph() = default;
+  HeapGraph(HeapGraph&&) = default;
+  HeapGraph& operator=(HeapGraph&&) = default;
+
+  HeapNode* add_node(std::uint64_t key, Bytes payload);
+  HeapNode* root() { return nodes_.empty() ? nullptr : nodes_[0].get(); }
+  const HeapNode* root() const {
+    return nodes_.empty() ? nullptr : nodes_[0].get();
+  }
+  std::size_t node_count() const { return nodes_.size(); }
+  HeapNode* node(std::size_t i) { return nodes_[i].get(); }
+  const HeapNode* node(std::size_t i) const { return nodes_[i].get(); }
+
+  /// Total payload bytes (the irreducible data-transfer cost).
+  std::uint64_t payload_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<HeapNode>> nodes_;
+};
+
+/// Graph generation parameters for workloads.
+struct GraphSpec {
+  std::size_t nodes = 1000;
+  std::size_t payload_bytes = 64;
+  /// Mean out-degree; edges target random earlier nodes plus a spanning
+  /// link so the whole graph is reachable from the root.
+  double fanout = 2.0;
+  std::uint64_t seed = 1;
+};
+
+/// Build a random connected DAG per `spec`.
+HeapGraph build_random_graph(const GraphSpec& spec);
+
+/// Deep structural comparison (keys, payloads, edge structure).
+bool graphs_equal(const HeapGraph& a, const HeapGraph& b);
+
+/// Flatten to wire form: node table with index-based edges.
+Bytes serialize_graph(const HeapGraph& g);
+
+/// Parse + allocate + swizzle.  This is the step the global object space
+/// eliminates.
+Result<HeapGraph> deserialize_graph(ByteSpan wire);
+
+// --- object-space encoding of the same graph --------------------------------
+
+/// The graph laid out inside a single object, nodes linked by Ptr64.
+/// Byte-copying the object *is* its serialization.
+struct ObjGraph {
+  ObjectId object;
+  std::uint64_t root_offset = 0;
+  std::uint64_t node_count = 0;
+};
+
+/// Encode `g` into a fresh object in `store`.  Node layout:
+///   +0  u64 key
+///   +8  u32 payload_len   +12 u32 child_count
+///   +16 Ptr64 child[child_count]
+///   +.. payload bytes
+Result<ObjGraph> graph_to_object(ObjectStore& store, IdAllocator& ids,
+                                 const HeapGraph& g);
+
+/// Rebuild a HeapGraph by walking the object encoding (used to verify the
+/// byte-copied object carries identical structure).
+Result<HeapGraph> graph_from_object(const ObjectStore& store,
+                                    const ObjGraph& og);
+
+}  // namespace objrpc

@@ -1,0 +1,245 @@
+#include "serialize/wire.hpp"
+
+#include <algorithm>
+
+namespace objrpc {
+
+namespace {
+constexpr int kMaxNestingDepth = 64;
+
+// Zigzag for signed ints.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+}  // namespace
+
+const FieldDesc* Schema::field_by_id(std::uint32_t id) const {
+  for (const auto& f : fields) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+std::uint32_t SchemaRegistry::add(Schema schema) {
+  schemas_.push_back(std::move(schema));
+  return static_cast<std::uint32_t>(schemas_.size() - 1);
+}
+
+std::size_t Message::count(std::uint32_t field_id) const {
+  auto it = fields_.find(field_id);
+  return it == fields_.end() ? 0 : it->second.size();
+}
+
+const Value* Message::get(std::uint32_t field_id) const {
+  auto it = fields_.find(field_id);
+  if (it == fields_.end() || it->second.empty()) return nullptr;
+  return &it->second.front();
+}
+
+const std::vector<Value>& Message::get_all(std::uint32_t field_id) const {
+  static const std::vector<Value> kEmpty;
+  auto it = fields_.find(field_id);
+  return it == fields_.end() ? kEmpty : it->second;
+}
+
+namespace {
+bool values_equal(const Value& a, const Value& b) {
+  if (a.index() != b.index()) return false;
+  if (std::holds_alternative<MessagePtr>(a)) {
+    const auto& ma = std::get<MessagePtr>(a);
+    const auto& mb = std::get<MessagePtr>(b);
+    if (!ma || !mb) return ma == mb;
+    return ma->equals(*mb);
+  }
+  return a == b;
+}
+}  // namespace
+
+bool Message::equals(const Message& other) const {
+  if (schema_index_ != other.schema_index_) return false;
+  if (fields_.size() != other.fields_.size()) return false;
+  for (const auto& [id, vals] : fields_) {
+    auto it = other.fields_.find(id);
+    if (it == other.fields_.end() || it->second.size() != vals.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      if (!values_equal(vals[i], it->second[i])) return false;
+    }
+  }
+  return true;
+}
+
+Message Message::clone() const {
+  Message copy(schema_index_);
+  for (const auto& [id, vals] : fields_) {
+    for (const auto& v : vals) {
+      std::visit(
+          [&](const auto& held) {
+            using T = std::decay_t<decltype(held)>;
+            if constexpr (std::is_same_v<T, MessagePtr>) {
+              copy.add(id, held ? std::make_unique<Message>(held->clone())
+                                : MessagePtr{});
+            } else {
+              copy.add(id, T(held));
+            }
+          },
+          v);
+    }
+  }
+  return copy;
+}
+
+Result<Bytes> Codec::encode(const Message& msg) const {
+  BufWriter w(256);
+  if (Status s = encode_into(msg, w); !s) return s.error();
+  return std::move(w).take();
+}
+
+Status Codec::encode_into(const Message& msg, BufWriter& w) const {
+  if (msg.schema_index() >= registry_.count()) {
+    return Error{Errc::invalid_argument, "unknown schema index"};
+  }
+  const Schema& schema = registry_.at(msg.schema_index());
+  for (const auto& [id, vals] : msg.fields()) {
+    const FieldDesc* fd = schema.field_by_id(id);
+    if (fd == nullptr) {
+      return Error{Errc::invalid_argument,
+                   "field id " + std::to_string(id) + " not in schema " +
+                       schema.name};
+    }
+    if (!fd->repeated && vals.size() > 1) {
+      return Error{Errc::invalid_argument,
+                   "repeated values on singular field " + fd->name};
+    }
+    for (const auto& v : vals) {
+      w.put_varint(id);
+      switch (fd->type) {
+        case FieldType::u64:
+          if (!std::holds_alternative<std::uint64_t>(v)) {
+            return Error{Errc::invalid_argument, "type mismatch: " + fd->name};
+          }
+          w.put_varint(std::get<std::uint64_t>(v));
+          break;
+        case FieldType::i64:
+          if (!std::holds_alternative<std::int64_t>(v)) {
+            return Error{Errc::invalid_argument, "type mismatch: " + fd->name};
+          }
+          w.put_varint(zigzag(std::get<std::int64_t>(v)));
+          break;
+        case FieldType::f64:
+          if (!std::holds_alternative<double>(v)) {
+            return Error{Errc::invalid_argument, "type mismatch: " + fd->name};
+          }
+          w.put_f64(std::get<double>(v));
+          break;
+        case FieldType::str:
+          if (!std::holds_alternative<std::string>(v)) {
+            return Error{Errc::invalid_argument, "type mismatch: " + fd->name};
+          }
+          w.put_string(std::get<std::string>(v));
+          break;
+        case FieldType::bytes:
+          if (!std::holds_alternative<Bytes>(v)) {
+            return Error{Errc::invalid_argument, "type mismatch: " + fd->name};
+          }
+          w.put_blob(std::get<Bytes>(v));
+          break;
+        case FieldType::message: {
+          if (!std::holds_alternative<MessagePtr>(v) ||
+              std::get<MessagePtr>(v) == nullptr) {
+            return Error{Errc::invalid_argument, "type mismatch: " + fd->name};
+          }
+          const Message& nested = *std::get<MessagePtr>(v);
+          if (nested.schema_index() != fd->nested_schema) {
+            return Error{Errc::invalid_argument,
+                         "nested schema mismatch: " + fd->name};
+          }
+          BufWriter inner;
+          if (Status s = encode_into(nested, inner); !s) return s;
+          w.put_blob(inner.view());
+          break;
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Result<Message> Codec::decode(std::uint32_t schema_index,
+                              ByteSpan data) const {
+  BufReader r(data);
+  auto msg = decode_from(schema_index, r, data.size(), 0);
+  if (!msg) return msg;
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::malformed, "trailing or truncated bytes"};
+  }
+  return msg;
+}
+
+Result<Message> Codec::decode_from(std::uint32_t schema_index, BufReader& r,
+                                   std::size_t limit, int depth) const {
+  if (depth > kMaxNestingDepth) {
+    return Error{Errc::malformed, "nesting too deep"};
+  }
+  if (schema_index >= registry_.count()) {
+    return Error{Errc::invalid_argument, "unknown schema index"};
+  }
+  const Schema& schema = registry_.at(schema_index);
+  Message msg(schema_index);
+  const std::size_t end = r.position() + limit;
+  while (r.position() < end) {
+    const std::uint64_t id = r.get_varint();
+    if (!r.ok()) return Error{Errc::malformed, "bad field tag"};
+    const FieldDesc* fd = schema.field_by_id(static_cast<std::uint32_t>(id));
+    if (fd == nullptr) {
+      return Error{Errc::malformed,
+                   "unknown field id " + std::to_string(id) + " in " +
+                       schema.name};
+    }
+    if (!fd->repeated && msg.has(fd->id)) {
+      return Error{Errc::malformed, "duplicate singular field " + fd->name};
+    }
+    switch (fd->type) {
+      case FieldType::u64:
+        msg.add(fd->id, r.get_varint());
+        break;
+      case FieldType::i64:
+        msg.add(fd->id, unzigzag(r.get_varint()));
+        break;
+      case FieldType::f64:
+        msg.add(fd->id, r.get_f64());
+        break;
+      case FieldType::str:
+        msg.add(fd->id, r.get_string());
+        break;
+      case FieldType::bytes:
+        msg.add(fd->id, r.get_blob());
+        break;
+      case FieldType::message: {
+        const std::uint64_t len = r.get_varint();
+        if (!r.ok() || len > r.remaining()) {
+          return Error{Errc::malformed, "bad nested length"};
+        }
+        auto nested =
+            decode_from(fd->nested_schema, r, static_cast<std::size_t>(len),
+                        depth + 1);
+        if (!nested) return nested.error();
+        msg.add(fd->id, std::make_unique<Message>(std::move(*nested)));
+        break;
+      }
+    }
+    if (!r.ok()) return Error{Errc::malformed, "truncated field " + fd->name};
+    if (r.position() > end) {
+      return Error{Errc::malformed, "field overruns message bounds"};
+    }
+  }
+  return msg;
+}
+
+}  // namespace objrpc

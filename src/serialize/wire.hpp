@@ -1,0 +1,130 @@
+// Schema-driven wire codec — the cost RPC pays on every call (§1, §2).
+//
+// Conventional RPC must flatten every argument and result into a
+// self-describing wire format and rebuild native structures on the far
+// side.  This module is a deliberately realistic protobuf-style codec:
+// tagged fields, varints, length-delimited blobs, nested messages,
+// repeated fields.  The RPC baseline (src/rpc) uses it for every call;
+// the CLAIM-SER bench measures its encode/decode cost against the object
+// space's byte-level copy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace objrpc {
+
+enum class FieldType : std::uint8_t {
+  u64 = 0,
+  i64 = 1,
+  f64 = 2,
+  str = 3,
+  bytes = 4,
+  message = 5,
+};
+
+/// One field in a schema.  `repeated` fields may appear any number of
+/// times on the wire.
+struct FieldDesc {
+  std::uint32_t id = 0;  // wire tag, must be unique within the schema
+  std::string name;
+  FieldType type = FieldType::u64;
+  bool repeated = false;
+  /// For FieldType::message: index of the nested schema in the registry.
+  std::uint32_t nested_schema = 0;
+};
+
+/// A message schema: an ordered set of field descriptors.
+struct Schema {
+  std::string name;
+  std::vector<FieldDesc> fields;
+
+  const FieldDesc* field_by_id(std::uint32_t id) const;
+};
+
+/// Registry of schemas so nested messages can reference each other.
+class SchemaRegistry {
+ public:
+  /// Returns the index of the added schema.
+  std::uint32_t add(Schema schema);
+  const Schema& at(std::uint32_t index) const { return schemas_.at(index); }
+  std::size_t count() const { return schemas_.size(); }
+
+ private:
+  std::vector<Schema> schemas_;
+};
+
+class Message;
+using MessagePtr = std::unique_ptr<Message>;
+
+/// A decoded field value.
+using Value = std::variant<std::uint64_t, std::int64_t, double, std::string,
+                           Bytes, MessagePtr>;
+
+/// A dynamic message instance: field id -> one or more values.
+class Message {
+ public:
+  explicit Message(std::uint32_t schema_index = 0)
+      : schema_index_(schema_index) {}
+
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+  Message(Message&&) = default;
+  Message& operator=(Message&&) = default;
+
+  std::uint32_t schema_index() const { return schema_index_; }
+
+  void add(std::uint32_t field_id, Value v) {
+    fields_[field_id].push_back(std::move(v));
+  }
+
+  bool has(std::uint32_t field_id) const { return fields_.count(field_id); }
+  std::size_t count(std::uint32_t field_id) const;
+  /// First value of a field; nullptr if absent.
+  const Value* get(std::uint32_t field_id) const;
+  const std::vector<Value>& get_all(std::uint32_t field_id) const;
+
+  const std::map<std::uint32_t, std::vector<Value>>& fields() const {
+    return fields_;
+  }
+
+  /// Deep structural equality (for tests).
+  bool equals(const Message& other) const;
+
+  /// Deep copy.
+  Message clone() const;
+
+ private:
+  std::uint32_t schema_index_;
+  std::map<std::uint32_t, std::vector<Value>> fields_;
+};
+
+/// Encoder/decoder pair over a schema registry.
+class Codec {
+ public:
+  explicit Codec(const SchemaRegistry& registry) : registry_(registry) {}
+
+  /// Encode `msg` against its schema.  Unknown field ids or type
+  /// mismatches are caller bugs and fail fast.
+  Result<Bytes> encode(const Message& msg) const;
+
+  /// Decode bytes against schema `schema_index`.  Fails with `malformed`
+  /// on truncation, bad tags, or type mismatches.
+  Result<Message> decode(std::uint32_t schema_index, ByteSpan data) const;
+
+ private:
+  Status encode_into(const Message& msg, BufWriter& w) const;
+  Result<Message> decode_from(std::uint32_t schema_index, BufReader& r,
+                              std::size_t limit, int depth) const;
+
+  const SchemaRegistry& registry_;
+};
+
+}  // namespace objrpc

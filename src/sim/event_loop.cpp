@@ -1,0 +1,37 @@
+#include "sim/event_loop.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace objrpc {
+
+void EventLoop::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) at = now_;  // never schedule into the past
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the header fields and steal the function.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,65 @@
+// Discrete-event simulation core.
+//
+// The paper's evaluation ran on Mininet, which emulates a network in real
+// time (and, as the authors note, "emulation affected timings").  We
+// substitute a deterministic discrete-event loop: virtual time advances
+// only through scheduled events, so identical seeds produce identical
+// traces and the figure benches are exactly reproducible (DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace objrpc {
+
+/// A deterministic priority-queue event loop over virtual time.
+/// Ties are broken by scheduling order, never by pointer or hash order.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now).
+  void schedule_at(SimTime at, Callback fn);
+  /// Schedule `fn` after `delay` from now.
+  void schedule_after(SimDuration delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Run one event; returns false when the queue is empty.
+  bool step();
+  /// Run until the queue drains.
+  void run();
+  /// Run until the queue drains or virtual time would pass `deadline`;
+  /// events at exactly `deadline` execute.
+  void run_until(SimTime deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace objrpc

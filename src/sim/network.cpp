@@ -1,0 +1,106 @@
+#include "sim/network.hpp"
+
+#include "common/log.hpp"
+
+namespace objrpc {
+
+std::size_t NetworkNode::port_count() const { return net_.port_count(id_); }
+
+void NetworkNode::send(PortId port, Packet pkt) {
+  net_.transmit(id_, port, std::move(pkt));
+}
+
+EventLoop& NetworkNode::loop() { return net_.loop(); }
+
+std::pair<PortId, PortId> Network::connect(NodeId a, NodeId b,
+                                           LinkParams params) {
+  const auto port_a = static_cast<PortId>(ports_.at(a).size());
+  const auto port_b = static_cast<PortId>(ports_.at(b).size());
+  ports_[a].push_back(Direction{b, port_b, params, 0, 0});
+  ports_[b].push_back(Direction{a, port_a, params, 0, 0});
+  return {port_a, port_b};
+}
+
+NodeId Network::peer_of(NodeId id, PortId port) const {
+  const auto& plist = ports_.at(id);
+  if (port >= plist.size()) return kInvalidNode;
+  return plist[port].dst;
+}
+
+void Network::set_link_up(NodeId id, PortId port, bool up) {
+  auto& dir = ports_.at(id).at(port);
+  dir.up = up;
+  // The reverse direction lives on the peer.
+  if (dir.dst != kInvalidNode) {
+    ports_.at(dir.dst).at(dir.dst_port).up = up;
+  }
+}
+
+bool Network::link_up(NodeId id, PortId port) const {
+  return ports_.at(id).at(port).up;
+}
+
+void Network::transmit(NodeId from, PortId port, Packet pkt) {
+  auto& plist = ports_.at(from);
+  if (port >= plist.size()) {
+    Log::warn("net", "%s: send on unbound port %u",
+              nodes_[from]->name().c_str(), port);
+    return;
+  }
+  Direction& dir = plist[port];
+  if (!dir.up) {
+    ++stats_.frames_dropped_down;
+    return;
+  }
+  if (pkt.trace_id == 0) {
+    pkt.trace_id = next_trace_id_++;
+    pkt.created_at = loop_.now();
+  }
+  if (pkt.hops >= Packet::kMaxHops) {
+    ++stats_.frames_dropped_ttl;
+    return;
+  }
+
+  const std::uint64_t size = pkt.wire_size();
+  ++stats_.frames_sent;
+  stats_.bytes_sent += size;
+
+  // Drop-tail queue: bound the bytes waiting for the transmitter.
+  if (dir.params.queue_bytes != 0 &&
+      dir.queued_bytes + size > dir.params.queue_bytes) {
+    ++stats_.frames_dropped_queue;
+    return;
+  }
+
+  // Serialization: the transmitter sends one frame at a time.
+  const auto tx_ns = static_cast<SimDuration>(
+      static_cast<double>(size) * 8.0 / dir.params.bandwidth_bps * 1e9);
+  const SimTime start = std::max(loop_.now(), dir.busy_until);
+  const SimTime done = start + std::max<SimDuration>(tx_ns, 1);
+  dir.busy_until = done;
+  dir.queued_bytes += size;
+
+  // Random loss is decided at enqueue so the draw order is deterministic.
+  const bool lost =
+      dir.params.loss_rate > 0.0 && rng_.next_bool(dir.params.loss_rate);
+
+  const SimTime arrive = done + dir.params.latency;
+  const NodeId dst = dir.dst;
+  const PortId dst_port = dir.dst_port;
+  loop_.schedule_at(
+      arrive, [this, from, port, dst, dst_port, lost,
+               pkt = std::move(pkt)]() mutable {
+        ports_[from][port].queued_bytes -= pkt.wire_size();
+        if (lost) {
+          ++stats_.frames_dropped_loss;
+          return;
+        }
+        ++stats_.frames_delivered;
+        stats_.bytes_delivered += pkt.wire_size();
+        ++pkt.hops;
+        if (tap_) tap_(from, dst, pkt);
+        nodes_[dst]->on_packet(dst_port, std::move(pkt));
+      });
+}
+
+}  // namespace objrpc

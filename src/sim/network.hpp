@@ -1,0 +1,139 @@
+// The simulated network fabric: nodes, links, delivery, statistics.
+//
+// This is the Mininet substitute (DESIGN.md §7): a graph of nodes joined
+// by full-duplex links with propagation delay, finite bandwidth, optional
+// drop-tail queues, and optional loss.  All behaviour is deterministic in
+// the seed.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/packet.hpp"
+
+namespace objrpc {
+
+class Network;
+
+/// Base class for anything attached to the fabric (hosts, switches,
+/// controllers).  Subclasses react to frames in `on_packet` and emit
+/// frames with `send`.
+class NetworkNode {
+ public:
+  NetworkNode(Network& net, NodeId id, std::string name)
+      : net_(net), id_(id), name_(std::move(name)) {}
+  virtual ~NetworkNode() = default;
+  NetworkNode(const NetworkNode&) = delete;
+  NetworkNode& operator=(const NetworkNode&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  std::size_t port_count() const;
+
+  /// Called by the network when a frame arrives.
+  virtual void on_packet(PortId in_port, Packet pkt) = 0;
+
+ protected:
+  /// Transmit out of `port`.  Frames to unconnected ports are dropped.
+  void send(PortId port, Packet pkt);
+  Network& net() { return net_; }
+  const Network& net() const { return net_; }
+  EventLoop& loop();
+
+ private:
+  Network& net_;
+  NodeId id_;
+  std::string name_;
+};
+
+/// Aggregate traffic counters, exposed per network and per link.
+struct TrafficStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped_queue = 0;
+  std::uint64_t frames_dropped_loss = 0;
+  std::uint64_t frames_dropped_ttl = 0;
+  std::uint64_t frames_dropped_down = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// The fabric: owns the event loop, the nodes, and the links.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed) : rng_(seed) {}
+
+  EventLoop& loop() { return loop_; }
+  SimTime now() const { return loop_.now(); }
+  Rng& rng() { return rng_; }
+
+  /// Construct a node of type T in place.  T's constructor must take
+  /// (Network&, NodeId, ...) — the id is assigned here.
+  template <typename T, typename... Args>
+  T& add_node(Args&&... args) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    auto node = std::make_unique<T>(*this, id, std::forward<Args>(args)...);
+    T& ref = *node;
+    nodes_.push_back(std::move(node));
+    ports_.emplace_back();
+    return ref;
+  }
+
+  /// Join two nodes with a full-duplex link; each side gains one port.
+  /// Returns {port on a, port on b}.
+  std::pair<PortId, PortId> connect(NodeId a, NodeId b,
+                                    LinkParams params = {});
+
+  NetworkNode& node(NodeId id) { return *nodes_.at(id); }
+  const NetworkNode& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t port_count(NodeId id) const { return ports_.at(id).size(); }
+
+  /// The node on the far side of (node, port); kInvalidNode if unbound.
+  NodeId peer_of(NodeId id, PortId port) const;
+
+  /// Fail or restore both directions of the link at (node, port).
+  /// Frames sent into a down link are dropped (and counted); frames
+  /// already in flight still arrive (they left before the cut).
+  void set_link_up(NodeId id, PortId port, bool up);
+  bool link_up(NodeId id, PortId port) const;
+
+  /// Enqueue a frame for transmission (called via NetworkNode::send).
+  void transmit(NodeId from, PortId port, Packet pkt);
+
+  const TrafficStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TrafficStats{}; }
+
+  /// Observation hook for tests: sees every delivered frame.
+  using PacketTap =
+      std::function<void(NodeId from, NodeId to, const Packet&)>;
+  void set_tap(PacketTap tap) { tap_ = std::move(tap); }
+
+ private:
+  struct Direction {
+    NodeId dst = kInvalidNode;
+    PortId dst_port = kInvalidPort;
+    LinkParams params;
+    /// Time the transmitter is busy until (models serialization delay).
+    SimTime busy_until = 0;
+    /// Bytes currently queued awaiting transmission.
+    std::uint64_t queued_bytes = 0;
+    /// Administrative / failure state.
+    bool up = true;
+  };
+
+  EventLoop loop_;
+  Rng rng_;
+  std::vector<std::unique_ptr<NetworkNode>> nodes_;
+  /// ports_[node][port] -> outgoing direction state.
+  std::vector<std::vector<Direction>> ports_;
+  TrafficStats stats_;
+  PacketTap tap_;
+  std::uint64_t next_trace_id_ = 1;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,53 @@
+// Packets and identifiers shared by the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace objrpc {
+
+/// Index of a node within its Network.
+using NodeId = std::uint32_t;
+/// Index of a port within its node.
+using PortId = std::uint32_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+constexpr PortId kInvalidPort = std::numeric_limits<PortId>::max();
+
+/// A frame in flight.  The payload bytes are opaque to the simulator;
+/// switches parse them through their pipeline's key extractor and hosts
+/// through their protocol stack.
+struct Packet {
+  Bytes data;
+  /// Unique per-Network id assigned at first send, for tracing.
+  std::uint64_t trace_id = 0;
+  /// Switch hops so far; the network drops frames exceeding a TTL to
+  /// contain accidental broadcast loops.
+  std::uint32_t hops = 0;
+  /// When the original send happened (set once).
+  SimTime created_at = 0;
+
+  /// Bytes occupied on the wire (payload + fixed framing overhead).
+  std::uint64_t wire_size() const { return data.size() + kFrameOverhead; }
+
+  static constexpr std::uint64_t kFrameOverhead = 24;
+  static constexpr std::uint32_t kMaxHops = 32;
+};
+
+/// Link shaping parameters.
+struct LinkParams {
+  /// One-way propagation delay.
+  SimDuration latency = 5 * kMicrosecond;
+  /// Transmission rate in bits per second.
+  double bandwidth_bps = 10e9;
+  /// Drop-tail queue bound per direction, in bytes (0 = unbounded).
+  std::uint64_t queue_bytes = 0;
+  /// Probability a frame is lost in transit (exercised by transport
+  /// tests; the figure benches run lossless like the paper's emulation).
+  double loss_rate = 0.0;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,82 @@
+#include "sim/switch_node.hpp"
+
+namespace objrpc {
+
+SwitchNode::SwitchNode(Network& net, NodeId id, std::string name,
+                       SwitchConfig cfg)
+    : NetworkNode(net, id, std::move(name)),
+      cfg_(cfg),
+      table_(cfg.key_bits, cfg.table_capacity) {}
+
+void SwitchNode::on_packet(PortId in_port, Packet pkt) {
+  ++counters_.received;
+  // The pipeline takes cfg_.pipeline_delay to process a frame.
+  loop().schedule_after(cfg_.pipeline_delay,
+                        [this, in_port, pkt = std::move(pkt)]() mutable {
+                          run_pipeline(in_port, std::move(pkt));
+                        });
+}
+
+void SwitchNode::run_pipeline(PortId in_port, Packet pkt) {
+  if (pre_match_ && pre_match_(*this, in_port, pkt)) {
+    ++counters_.consumed_by_hook;
+    return;
+  }
+  std::optional<ParsedKey> parsed =
+      extract_ ? extract_(pkt) : std::nullopt;
+  if (!parsed) {
+    apply(cfg_.default_action, in_port, std::move(pkt));
+    return;
+  }
+  if (parsed->broadcast) {
+    apply(Action::flood(), in_port, std::move(pkt));
+    return;
+  }
+  if (auto action = table_.lookup(parsed->key)) {
+    apply(*action, in_port, std::move(pkt));
+    return;
+  }
+  // Second match stage: aggregate routes (hierarchical overlays).
+  if (parsed->fallback) {
+    if (auto action = table_.lookup(*parsed->fallback)) {
+      apply(*action, in_port, std::move(pkt));
+      return;
+    }
+  }
+  apply(cfg_.default_action, in_port, std::move(pkt));
+}
+
+void SwitchNode::apply(const Action& action, PortId in_port, Packet pkt) {
+  switch (action.kind) {
+    case ActionKind::forward:
+      ++counters_.forwarded;
+      forward(action.port, std::move(pkt));
+      break;
+    case ActionKind::flood:
+      ++counters_.flooded;
+      flood(in_port, pkt);
+      break;
+    case ActionKind::drop:
+      ++counters_.dropped;
+      break;
+    case ActionKind::punt:
+      if (cfg_.punt_port != kInvalidPort) {
+        ++counters_.punted;
+        forward(cfg_.punt_port, std::move(pkt));
+      } else {
+        ++counters_.dropped;
+      }
+      break;
+  }
+}
+
+void SwitchNode::flood(PortId except, const Packet& pkt) {
+  const std::size_t n = port_count();
+  for (PortId p = 0; p < n; ++p) {
+    if (p == except) continue;
+    Packet copy = pkt;
+    send(p, std::move(copy));
+  }
+}
+
+}  // namespace objrpc

@@ -1,0 +1,94 @@
+// A programmable switch node.
+//
+// Models the forwarding behaviour the paper programs onto Tofino with P4:
+// a parser (key extractor) feeding an exact-match table over identifiers,
+// with flood / forward / drop / punt actions and a fixed pipeline delay.
+// The control plane reaches the switch two ways, mirroring practice:
+// a pre-match hook (for in-band self-learning, ARP-style) and direct
+// table programming (for the SDN controller scheme).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "sim/network.hpp"
+#include "sim/pipeline.hpp"
+
+namespace objrpc {
+
+/// Result of parsing a frame in the switch pipeline.
+struct ParsedKey {
+  U128 key;
+  /// Frame explicitly requests flooding (e.g. a discovery broadcast).
+  bool broadcast = false;
+  /// Second-stage key tried when `key` misses (e.g. a hierarchical
+  /// region aggregate when the exact object route is absent).
+  std::optional<U128> fallback;
+
+  ParsedKey() = default;
+  ParsedKey(U128 k, bool bcast) : key(k), broadcast(bcast) {}
+};
+
+struct SwitchConfig {
+  std::uint32_t key_bits = 128;
+  /// 0 = derive from the Tofino model.
+  std::uint64_t table_capacity = 0;
+  /// Per-frame processing latency of the match-action pipeline.
+  SimDuration pipeline_delay = 1 * kMicrosecond;
+  /// Port leading to the control plane, for ActionKind::punt.
+  PortId punt_port = kInvalidPort;
+  /// Applied when the table misses and the frame is not a broadcast.
+  Action default_action = Action::drop();
+};
+
+class SwitchNode : public NetworkNode {
+ public:
+  /// Parses a frame into a lookup key; nullopt -> default action.
+  using KeyExtractor = std::function<std::optional<ParsedKey>(const Packet&)>;
+  /// Runs before the match stage (learning, control messages).  Return
+  /// true to consume the frame.
+  using PreMatchHook =
+      std::function<bool(SwitchNode&, PortId in_port, const Packet&)>;
+
+  SwitchNode(Network& net, NodeId id, std::string name,
+             SwitchConfig cfg = {});
+
+  void set_key_extractor(KeyExtractor fn) { extract_ = std::move(fn); }
+  void set_pre_match_hook(PreMatchHook fn) { pre_match_ = std::move(fn); }
+  /// The installed hook, so offload stages can compose around it.
+  const PreMatchHook& pre_match_hook() const { return pre_match_; }
+  void set_punt_port(PortId p) { cfg_.punt_port = p; }
+  void set_default_action(Action a) { cfg_.default_action = a; }
+
+  MatchActionTable& table() { return table_; }
+  const SwitchConfig& config() const { return cfg_; }
+
+  /// Emit on every port except `except`; pass kInvalidPort to use all.
+  void flood(PortId except, const Packet& pkt);
+  void forward(PortId out, Packet pkt) { send(out, std::move(pkt)); }
+
+  struct Counters {
+    std::uint64_t received = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t flooded = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t punted = 0;
+    std::uint64_t consumed_by_hook = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  void on_packet(PortId in_port, Packet pkt) override;
+
+ private:
+  void run_pipeline(PortId in_port, Packet pkt);
+  void apply(const Action& action, PortId in_port, Packet pkt);
+
+  SwitchConfig cfg_;
+  MatchActionTable table_;
+  KeyExtractor extract_;
+  PreMatchHook pre_match_;
+  Counters counters_;
+};
+
+}  // namespace objrpc

@@ -1,0 +1,36 @@
+#include "sim/topology.hpp"
+
+namespace objrpc {
+
+void connect_line(Network& net, const std::vector<NodeId>& nodes,
+                  LinkParams params) {
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    net.connect(nodes[i], nodes[i + 1], params);
+  }
+}
+
+void connect_ring(Network& net, const std::vector<NodeId>& nodes,
+                  LinkParams params) {
+  connect_line(net, nodes, params);
+  if (nodes.size() > 2) {
+    net.connect(nodes.back(), nodes.front(), params);
+  }
+}
+
+void connect_star(Network& net, NodeId hub,
+                  const std::vector<NodeId>& spokes, LinkParams params) {
+  for (NodeId s : spokes) {
+    net.connect(hub, s, params);
+  }
+}
+
+void connect_full_mesh(Network& net, const std::vector<NodeId>& nodes,
+                       LinkParams params) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      net.connect(nodes[i], nodes[j], params);
+    }
+  }
+}
+
+}  // namespace objrpc

@@ -1,0 +1,30 @@
+// Topology helpers: wire sets of nodes into standard shapes.
+//
+// The paper's §4 testbed is three hosts attached to four interconnected
+// switches; the net layer builds that with these helpers, and larger
+// shapes (line, star, ring, full mesh) support scale sweeps.
+#pragma once
+
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace objrpc {
+
+/// s[0]-s[1]-s[2]-...-s[n-1]
+void connect_line(Network& net, const std::vector<NodeId>& nodes,
+                  LinkParams params = {});
+
+/// s[0]-s[1]-...-s[n-1]-s[0]
+void connect_ring(Network& net, const std::vector<NodeId>& nodes,
+                  LinkParams params = {});
+
+/// hub connected to every spoke.
+void connect_star(Network& net, NodeId hub,
+                  const std::vector<NodeId>& spokes, LinkParams params = {});
+
+/// Every pair connected ("interconnected switches").
+void connect_full_mesh(Network& net, const std::vector<NodeId>& nodes,
+                       LinkParams params = {});
+
+}  // namespace objrpc

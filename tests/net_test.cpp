@@ -1,0 +1,771 @@
+// Integration tests for the object network: frame codec, hosts, reliable
+// transport, both discovery schemes, object movement, subscriptions.
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "net/subscription.hpp"
+
+namespace objrpc {
+namespace {
+
+ObjectId fixed_id(std::uint64_t n) { return ObjectId{0x1234, n}; }
+
+// --- frame codec --------------------------------------------------------------
+
+TEST(Frame, EncodeDecodeRoundTrip) {
+  Frame f;
+  f.type = MsgType::read_req;
+  f.flags = kFlagBroadcast;
+  f.src_host = 7;
+  f.dst_host = 9;
+  f.object = fixed_id(42);
+  f.seq = 123456;
+  f.offset = 64;
+  f.length = 256;
+  f.payload = Bytes{1, 2, 3};
+  auto back = Frame::decode(f.encode());
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->type, MsgType::read_req);
+  EXPECT_TRUE(back->is_broadcast());
+  EXPECT_EQ(back->src_host, 7u);
+  EXPECT_EQ(back->dst_host, 9u);
+  EXPECT_EQ(back->object, fixed_id(42));
+  EXPECT_EQ(back->seq, 123456u);
+  EXPECT_EQ(back->offset, 64u);
+  EXPECT_EQ(back->length, 256u);
+  EXPECT_EQ(back->payload, (Bytes{1, 2, 3}));
+}
+
+TEST(Frame, PeekMatchesFullDecode) {
+  Frame f;
+  f.type = MsgType::write_req;
+  f.src_host = 3;
+  f.dst_host = 4;
+  f.object = fixed_id(9);
+  f.payload = Bytes(100, 0xCC);
+  Packet pkt;
+  pkt.data = f.encode();
+  auto view = Frame::peek(pkt);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->type, MsgType::write_req);
+  EXPECT_EQ(view->src_host, 3u);
+  EXPECT_EQ(view->dst_host, 4u);
+  EXPECT_EQ(view->object, fixed_id(9));
+}
+
+TEST(Frame, DecodeRejectsGarbage) {
+  Bytes garbage{1, 2, 3};
+  EXPECT_FALSE(Frame::decode(garbage));
+  Frame f;
+  f.type = MsgType::nack;
+  Bytes good = f.encode();
+  good[0] = 9;  // bad version
+  EXPECT_FALSE(Frame::decode(good));
+}
+
+TEST(Frame, NackPayloadRoundTrip) {
+  auto payload = encode_nack_payload(Errc::permission_denied);
+  auto info = decode_nack_payload(payload);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->code, Errc::permission_denied);
+  EXPECT_EQ(info->hint, kUnspecifiedHost);
+  EXPECT_FALSE(decode_nack_payload(Bytes{}).has_value());
+
+  auto hinted = decode_nack_payload(encode_nack_payload(Errc::moved, 7));
+  ASSERT_TRUE(hinted.has_value());
+  EXPECT_EQ(hinted->code, Errc::moved);
+  EXPECT_EQ(hinted->hint, 7u);
+}
+
+TEST(Frame, InstallRuleRoundTrip) {
+  InstallRule rule{U128{5, 6}, 3};
+  auto back = decode_install_rule(encode_install_rule(rule));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->key, (U128{5, 6}));
+  EXPECT_EQ(back->out_port, 3u);
+}
+
+TEST(Frame, HostAndObjectKeysDisjoint) {
+  // Host keys live under the reserved prefix.
+  EXPECT_EQ(host_route_key(5).hi, kHostKeyPrefix);
+  EXPECT_NE(host_route_key(5), object_route_key(fixed_id(5)));
+}
+
+// --- fabric fixtures ------------------------------------------------------------
+
+FabricConfig base_config(DiscoveryScheme scheme, std::uint64_t seed = 7) {
+  FabricConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Creates an object on `owner` filled with a recognizable pattern and
+/// returns a pointer to its payload.
+GlobalPtr make_test_object(Fabric& fabric, std::size_t owner,
+                           std::uint64_t size = 4096) {
+  auto obj = fabric.service(owner).create_object(size);
+  EXPECT_TRUE(obj);
+  auto off = (*obj)->alloc(256);
+  EXPECT_TRUE(off);
+  Bytes pattern(256);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::uint8_t>(i);
+  }
+  EXPECT_TRUE((*obj)->write(*off, pattern));
+  return GlobalPtr{(*obj)->id(), *off};
+}
+
+// --- E2E scheme ------------------------------------------------------------------
+
+TEST(E2EScheme, FirstAccessBroadcastsSecondIsCached) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+
+  Result<Bytes> r1{Errc::unavailable};
+  AccessStats s1;
+  fabric->service(0).read(ptr, 16, [&](Result<Bytes> r, const AccessStats& s) {
+    r1 = std::move(r);
+    s1 = s;
+  });
+  fabric->settle();
+  ASSERT_TRUE(r1) << r1.error().to_string();
+  EXPECT_EQ((*r1)[5], 5);
+  EXPECT_TRUE(s1.used_broadcast);
+  EXPECT_EQ(s1.rtts, 2);  // discover + access
+  EXPECT_EQ(fabric->service(0).discovery().broadcasts_sent(), 1u);
+
+  Result<Bytes> r2{Errc::unavailable};
+  AccessStats s2;
+  fabric->service(0).read(ptr, 16, [&](Result<Bytes> r, const AccessStats& s) {
+    r2 = std::move(r);
+    s2 = s;
+  });
+  fabric->settle();
+  ASSERT_TRUE(r2);
+  EXPECT_FALSE(s2.used_broadcast);
+  EXPECT_EQ(s2.rtts, 1);  // cached: unicast access only
+  EXPECT_EQ(fabric->service(0).discovery().broadcasts_sent(), 1u);
+  EXPECT_LT(s2.elapsed(), s1.elapsed());
+}
+
+TEST(E2EScheme, LocalAccessIsFree) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  GlobalPtr ptr = make_test_object(*fabric, 0);
+  Result<Bytes> r{Errc::unavailable};
+  AccessStats s;
+  fabric->service(0).read(ptr, 8, [&](Result<Bytes> res, const AccessStats& st) {
+    r = std::move(res);
+    s = st;
+  });
+  fabric->settle();
+  ASSERT_TRUE(r);
+  EXPECT_EQ(s.rtts, 0);
+  EXPECT_EQ(s.elapsed(), 0);
+}
+
+TEST(E2EScheme, WriteGoesToHome) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  Status ws{Errc::unavailable};
+  fabric->service(0).write(ptr, Bytes{9, 9, 9},
+                           [&](Status s, const AccessStats&) { ws = s; });
+  fabric->settle();
+  ASSERT_TRUE(ws.is_ok());
+  auto obj = fabric->host(1).store().get(ptr.object);
+  ASSERT_TRUE(obj);
+  auto span = (*obj)->read(ptr.offset, 3);
+  ASSERT_TRUE(span);
+  EXPECT_EQ((*span)[0], 9);
+}
+
+TEST(E2EScheme, MissingObjectFailsDiscovery) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  Result<Bytes> r{Errc::ok};
+  fabric->service(0).read(GlobalPtr{fixed_id(999), 64}, 8,
+                          [&](Result<Bytes> res, const AccessStats&) {
+                            r = std::move(res);
+                          });
+  fabric->settle();
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.error().code, Errc::not_found);
+  // Discovery retried its full budget of broadcasts.
+  EXPECT_EQ(fabric->service(0).discovery().broadcasts_sent(), 3u);
+}
+
+TEST(E2EScheme, StaleCacheNackTriggersRediscovery) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+
+  // Warm host0's cache.
+  fabric->service(0).read(ptr, 8, [](Result<Bytes>, const AccessStats&) {});
+  fabric->settle();
+  ASSERT_TRUE(fabric->e2e_of(0)->is_cached(ptr.object));
+
+  // Move the object to host2.
+  Status moved{Errc::unavailable};
+  fabric->service(1).move_object(ptr.object, fabric->host(2).addr(),
+                                 [&](Status s) { moved = s; });
+  fabric->settle();
+  ASSERT_TRUE(moved.is_ok());
+  EXPECT_FALSE(fabric->host(1).store().contains(ptr.object));
+  EXPECT_TRUE(fabric->host(2).store().contains(ptr.object));
+
+  // The stale cached route NACKs, is evicted, and rediscovery succeeds.
+  Result<Bytes> r{Errc::unavailable};
+  AccessStats s;
+  fabric->service(0).read(ptr, 8, [&](Result<Bytes> res, const AccessStats& st) {
+    r = std::move(res);
+    s = st;
+  });
+  fabric->settle();
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_EQ(s.nacks, 1);
+  EXPECT_EQ(s.rtts, 3);  // failed access + discover + access
+  EXPECT_TRUE(s.used_broadcast);
+}
+
+TEST(E2EScheme, KnownInvalidationCostsTwoRtts) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->service(0).read(ptr, 8, [](Result<Bytes>, const AccessStats&) {});
+  fabric->settle();
+
+  fabric->service(1).move_object(ptr.object, fabric->host(2).addr(),
+                                 [](Status) {});
+  fabric->settle();
+  // The Fig. 3 model: the host knows movement invalidated its entry.
+  fabric->e2e_of(0)->invalidate(ptr.object);
+
+  Result<Bytes> r{Errc::unavailable};
+  AccessStats s;
+  fabric->service(0).read(ptr, 8, [&](Result<Bytes> res, const AccessStats& st) {
+    r = std::move(res);
+    s = st;
+  });
+  fabric->settle();
+  ASSERT_TRUE(r);
+  EXPECT_EQ(s.rtts, 2);
+  EXPECT_EQ(s.nacks, 0);
+}
+
+TEST(E2EScheme, ConcurrentResolvesCoalesce) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    fabric->service(0).read(
+        ptr, 8, [&](Result<Bytes> r, const AccessStats&) {
+          EXPECT_TRUE(r);
+          ++done;
+        });
+  }
+  fabric->settle();
+  EXPECT_EQ(done, 5);
+  // One broadcast served all five.
+  EXPECT_EQ(fabric->service(0).discovery().broadcasts_sent(), 1u);
+}
+
+TEST(E2EScheme, SwitchesLearnHostRoutes) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->service(0).read(ptr, 8, [](Result<Bytes>, const AccessStats&) {});
+  fabric->settle();
+  // Host0's broadcast taught every switch where host0 lives.
+  for (std::size_t i = 0; i < fabric->switch_count(); ++i) {
+    EXPECT_TRUE(fabric->switch_at(i)
+                    .table()
+                    .lookup(host_route_key(fabric->host(0).addr()))
+                    .has_value())
+        << "switch " << i;
+  }
+}
+
+// --- controller scheme ------------------------------------------------------------
+
+TEST(ControllerScheme, UniformOneRttNoBroadcast) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::controller));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();  // let the advertise install routes
+
+  Result<Bytes> r{Errc::unavailable};
+  AccessStats s;
+  fabric->service(0).read(ptr, 16, [&](Result<Bytes> res, const AccessStats& st) {
+    r = std::move(res);
+    s = st;
+  });
+  fabric->settle();
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_EQ((*r)[3], 3);
+  EXPECT_EQ(s.rtts, 1);
+  EXPECT_FALSE(s.used_broadcast);
+  EXPECT_EQ(fabric->service(0).discovery().broadcasts_sent(), 0u);
+  ASSERT_NE(fabric->controller(), nullptr);
+  EXPECT_EQ(fabric->controller()->directory_size(), 1u);
+}
+
+TEST(ControllerScheme, RepeatedAccessSameLatency) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::controller));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();
+
+  SimDuration first = 0, second = 0;
+  fabric->service(0).read(ptr, 8, [&](Result<Bytes> r, const AccessStats& s) {
+    ASSERT_TRUE(r);
+    first = s.elapsed();
+  });
+  fabric->settle();
+  fabric->service(0).read(ptr, 8, [&](Result<Bytes> r, const AccessStats& s) {
+    ASSERT_TRUE(r);
+    second = s.elapsed();
+  });
+  fabric->settle();
+  EXPECT_EQ(first, second);  // uniform latency — the paper's key property
+}
+
+TEST(ControllerScheme, MoveUpdatesRoutes) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::controller));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();
+
+  Status moved{Errc::unavailable};
+  fabric->service(1).move_object(ptr.object, fabric->host(2).addr(),
+                                 [&](Status s) { moved = s; });
+  fabric->settle();
+  ASSERT_TRUE(moved.is_ok());
+  EXPECT_TRUE(fabric->host(2).store().contains(ptr.object));
+
+  Result<Bytes> r{Errc::unavailable};
+  AccessStats s;
+  fabric->service(0).read(ptr, 8, [&](Result<Bytes> res, const AccessStats& st) {
+    r = std::move(res);
+    s = st;
+  });
+  fabric->settle();
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_EQ(s.rtts, 1);  // still uniform after movement
+  // Directory follows the object.
+  auto home = fabric->controller()->locate(ptr.object);
+  ASSERT_TRUE(home);
+  EXPECT_EQ(*home, fabric->host(2).addr());
+}
+
+TEST(ControllerScheme, PuntFallbackRedirects) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::controller));
+  // Create the object but remove its route from every switch, leaving
+  // the directory intact: accesses must miss, punt, and be redirected.
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();
+  for (std::size_t i = 0; i < fabric->switch_count(); ++i) {
+    (void)fabric->switch_at(i).table().erase(object_route_key(ptr.object));
+  }
+  Result<Bytes> r{Errc::unavailable};
+  fabric->service(0).read(ptr, 8, [&](Result<Bytes> res, const AccessStats&) {
+    r = std::move(res);
+  });
+  fabric->settle();
+  ASSERT_TRUE(r) << r.error().to_string();
+  EXPECT_GE(fabric->controller()->counters().punts_redirected, 1u);
+}
+
+TEST(ControllerScheme, WithdrawOnlyIfStillOwner) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::controller));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();
+  // Move 1 -> 2; the new advertise must survive the old withdraw.
+  fabric->service(1).move_object(ptr.object, fabric->host(2).addr(),
+                                 [](Status) {});
+  fabric->settle();
+  EXPECT_EQ(fabric->controller()->directory_size(), 1u);
+  auto home = fabric->controller()->locate(ptr.object);
+  ASSERT_TRUE(home);
+  EXPECT_EQ(*home, fabric->host(2).addr());
+}
+
+// --- scheme-parameterized properties ------------------------------------------------
+
+class SchemeParam : public ::testing::TestWithParam<DiscoveryScheme> {};
+
+TEST_P(SchemeParam, ReadBackMatchesWrittenData) {
+  auto fabric = Fabric::build(base_config(GetParam()));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();
+  Result<Bytes> r{Errc::unavailable};
+  fabric->service(0).read(ptr, 256, [&](Result<Bytes> res, const AccessStats&) {
+    r = std::move(res);
+  });
+  fabric->settle();
+  ASSERT_TRUE(r);
+  ASSERT_EQ(r->size(), 256u);
+  for (std::size_t i = 0; i < 256; ++i) {
+    EXPECT_EQ((*r)[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST_P(SchemeParam, OutOfRangeReadNacks) {
+  auto fabric = Fabric::build(base_config(GetParam()));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();
+  Result<Bytes> r{Errc::ok};
+  fabric->service(0).read(GlobalPtr{ptr.object, 1 << 20}, 8,
+                          [&](Result<Bytes> res, const AccessStats&) {
+                            r = std::move(res);
+                          });
+  fabric->settle();
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.error().code, Errc::out_of_range);
+}
+
+TEST_P(SchemeParam, MovedObjectContentIdentical) {
+  auto fabric = Fabric::build(base_config(GetParam()));
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  fabric->settle();
+  auto before = fabric->host(1).store().get(ptr.object);
+  ASSERT_TRUE(before);
+  const Bytes image = (*before)->raw_bytes();
+
+  Status moved{Errc::unavailable};
+  fabric->service(1).move_object(ptr.object, fabric->host(2).addr(),
+                                 [&](Status s) { moved = s; });
+  fabric->settle();
+  ASSERT_TRUE(moved.is_ok());
+  auto after = fabric->host(2).store().get(ptr.object);
+  ASSERT_TRUE(after);
+  EXPECT_EQ((*after)->raw_bytes(), image);  // byte-exact movement
+}
+
+TEST_P(SchemeParam, ManySequentialAccessesAllSucceed) {
+  auto fabric = Fabric::build(base_config(GetParam()));
+  std::vector<GlobalPtr> ptrs;
+  for (int i = 0; i < 10; ++i) {
+    ptrs.push_back(make_test_object(*fabric, 1 + (i % 2)));
+  }
+  fabric->settle();
+  int ok = 0;
+  for (const auto& ptr : ptrs) {
+    fabric->service(0).read(ptr, 8, [&](Result<Bytes> r, const AccessStats&) {
+      ok += r.has_value();
+    });
+  }
+  fabric->settle();
+  EXPECT_EQ(ok, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SchemeParam,
+                         ::testing::Values(DiscoveryScheme::e2e,
+                                           DiscoveryScheme::controller));
+
+// --- reliable channel ---------------------------------------------------------------
+
+TEST(Reliable, LargeObjectMovesAcrossFragments) {
+  auto cfg = base_config(DiscoveryScheme::e2e);
+  auto fabric = Fabric::build(cfg);
+  // 64 KiB object: ~47 fragments at the default 1400-byte MTU.
+  auto obj = fabric->service(1).create_object(64 * 1024);
+  ASSERT_TRUE(obj);
+  ASSERT_TRUE((*obj)->write_u64(Object::kDataStart, 0xFEEDFACE));
+  Status moved{Errc::unavailable};
+  fabric->service(1).move_object((*obj)->id(), fabric->host(2).addr(),
+                                 [&](Status s) { moved = s; });
+  fabric->settle();
+  ASSERT_TRUE(moved.is_ok());
+  EXPECT_GE(fabric->service(1).reliable().counters().fragments_sent, 45u);
+  auto arrived = fabric->host(2).store().get((*obj)->id());
+  ASSERT_TRUE(arrived);
+  auto v = (*arrived)->read_u64(Object::kDataStart);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(*v, 0xFEEDFACEu);
+}
+
+TEST(Reliable, SurvivesLossyLinks) {
+  auto cfg = base_config(DiscoveryScheme::e2e, 99);
+  cfg.host_link.loss_rate = 0.15;
+  cfg.switch_link.loss_rate = 0.15;
+  auto fabric = Fabric::build(cfg);
+  auto obj = fabric->service(1).create_object(32 * 1024);
+  ASSERT_TRUE(obj);
+  Status moved{Errc::unavailable};
+  fabric->service(1).move_object((*obj)->id(), fabric->host(2).addr(),
+                                 [&](Status s) { moved = s; });
+  fabric->settle();
+  ASSERT_TRUE(moved.is_ok());
+  EXPECT_GT(fabric->service(1).reliable().counters().retransmissions, 0u);
+  EXPECT_TRUE(fabric->host(2).store().contains((*obj)->id()));
+  // Exactly-once adoption despite duplicates.
+  EXPECT_EQ(fabric->service(2).counters().objects_adopted, 1u);
+}
+
+TEST(Reliable, UnreachablePeerTimesOut) {
+  auto cfg = base_config(DiscoveryScheme::e2e);
+  cfg.host_link.loss_rate = 1.0;  // black hole
+  auto fabric = Fabric::build(cfg);
+  auto obj = fabric->service(1).create_object(1024);
+  ASSERT_TRUE(obj);
+  Status moved{Errc::ok};
+  fabric->service(1).move_object((*obj)->id(), fabric->host(2).addr(),
+                                 [&](Status s) { moved = s; });
+  fabric->settle();
+  EXPECT_FALSE(moved.is_ok());
+  EXPECT_EQ(moved.error().code, Errc::timeout);
+  // The object stays at its home on failure.
+  EXPECT_TRUE(fabric->host(1).store().contains((*obj)->id()));
+}
+
+TEST(Reliable, EmptyPayloadDelivered) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  bool got = false;
+  fabric->service(2).reliable().set_message_handler(
+      [&](HostAddr, MsgType inner, ObjectId, Bytes payload) {
+        EXPECT_EQ(inner, MsgType::invalidate);
+        EXPECT_TRUE(payload.empty());
+        got = true;
+      });
+  Status sent{Errc::unavailable};
+  fabric->service(0).reliable().send(fabric->host(2).addr(),
+                                     MsgType::invalidate, fixed_id(1), {},
+                                     [&](Status s) { sent = s; });
+  fabric->settle();
+  EXPECT_TRUE(sent.is_ok());
+  EXPECT_TRUE(got);
+}
+
+// --- subscriptions -------------------------------------------------------------------
+
+TEST(Subscriptions, CompileSingleField) {
+  Subscription sub;
+  sub.conjuncts = {{SubField::object_id, U128{1, 2}}};
+  sub.deliver_to = 4;
+  auto rule = SubscriptionCompiler::compile(sub);
+  ASSERT_TRUE(rule);
+  EXPECT_EQ(rule->key_bits, 128u);
+  EXPECT_EQ(rule->key, (U128{1, 2}));
+  EXPECT_EQ(rule->action.port, 4u);
+}
+
+TEST(Subscriptions, CompileConjunction) {
+  Subscription sub;
+  sub.conjuncts = {{SubField::msg_type,
+                    U128::from_u64(static_cast<std::uint64_t>(MsgType::read_req))},
+                   {SubField::object_lo64, U128::from_u64(0xAB)}};
+  sub.deliver_to = 2;
+  auto rule = SubscriptionCompiler::compile(sub);
+  ASSERT_TRUE(rule);
+  EXPECT_EQ(rule->key_bits, 72u);  // 64 + 8
+  EXPECT_EQ(rule->key_fields.size(), 2u);
+}
+
+TEST(Subscriptions, RejectsOversizedAndRepeated) {
+  Subscription too_big;
+  too_big.conjuncts = {{SubField::object_id, U128{}},
+                       {SubField::src_host, U128{}}};
+  EXPECT_EQ(SubscriptionCompiler::compile(too_big).error().code,
+            Errc::capacity_exceeded);
+
+  Subscription repeated;
+  repeated.conjuncts = {{SubField::src_host, U128{}},
+                        {SubField::src_host, U128{}}};
+  EXPECT_EQ(SubscriptionCompiler::compile(repeated).error().code,
+            Errc::invalid_argument);
+
+  Subscription empty;
+  EXPECT_FALSE(SubscriptionCompiler::compile(empty));
+}
+
+TEST(Subscriptions, TableMatchesLiveFrames) {
+  SubscriptionTable table;
+  Subscription by_object;
+  by_object.conjuncts = {{SubField::object_id, fixed_id(7).value}};
+  by_object.deliver_to = 1;
+  ASSERT_TRUE(table.add(by_object));
+  Subscription by_type;
+  by_type.conjuncts = {
+      {SubField::msg_type,
+       U128::from_u64(static_cast<std::uint64_t>(MsgType::invalidate))}};
+  by_type.deliver_to = 2;
+  ASSERT_TRUE(table.add(by_type));
+  EXPECT_EQ(table.layout_count(), 2u);
+  EXPECT_EQ(table.rule_count(), 2u);
+
+  Frame f;
+  f.type = MsgType::read_req;
+  f.object = fixed_id(7);
+  Packet pkt;
+  pkt.data = f.encode();
+  auto view = Frame::peek(pkt);
+  ASSERT_TRUE(view.has_value());
+  auto action = table.match(*view);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->port, 1u);
+
+  f.object = fixed_id(8);
+  f.type = MsgType::invalidate;
+  pkt.data = f.encode();
+  view = Frame::peek(pkt);
+  action = table.match(*view);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->port, 2u);
+
+  f.type = MsgType::read_req;
+  pkt.data = f.encode();
+  view = Frame::peek(pkt);
+  EXPECT_FALSE(table.match(*view).has_value());
+}
+
+TEST(Subscriptions, CapacityHalvesForWideKeys) {
+  const auto narrow =
+      SubscriptionCompiler::capacity_for_layout({SubField::object_lo64});
+  const auto wide =
+      SubscriptionCompiler::capacity_for_layout({SubField::object_id});
+  EXPECT_EQ(narrow, 1'800'000u);
+  EXPECT_EQ(wide, 850'000u);
+}
+
+
+// --- topology x scheme sweep -----------------------------------------------------
+
+class TopologySweep
+    : public ::testing::TestWithParam<
+          std::tuple<DiscoveryScheme, SwitchTopology>> {};
+
+TEST_P(TopologySweep, ReadsAndMovesWorkEverywhere) {
+  FabricConfig cfg;
+  cfg.scheme = std::get<0>(GetParam());
+  cfg.topology = std::get<1>(GetParam());
+  cfg.seed = 777;
+  cfg.num_switches = 4;
+  cfg.num_hosts = 4;
+  auto fabric = Fabric::build(cfg);
+
+  // One object per responder host; read each from host 0.
+  std::vector<GlobalPtr> ptrs;
+  for (std::size_t h = 1; h < 4; ++h) {
+    auto obj = fabric->service(h).create_object(4096);
+    ASSERT_TRUE(obj);
+    auto off = (*obj)->alloc(8);
+    ASSERT_TRUE(off);
+    ASSERT_TRUE((*obj)->write_u64(*off, h * 11));
+    ptrs.push_back(GlobalPtr{(*obj)->id(), *off});
+  }
+  fabric->settle();
+  int ok = 0;
+  for (std::size_t i = 0; i < ptrs.size(); ++i) {
+    fabric->service(0).read(ptrs[i], 8,
+                            [&, i](Result<Bytes> r, const AccessStats&) {
+                              ASSERT_TRUE(r) << r.error().to_string();
+                              std::uint64_t v;
+                              std::memcpy(&v, r->data(), 8);
+                              EXPECT_EQ(v, (i + 1) * 11);
+                              ++ok;
+                            });
+  }
+  fabric->settle();
+  EXPECT_EQ(ok, 3);
+
+  // Movement works across every shape too.
+  Status moved{Errc::unavailable};
+  fabric->service(1).move_object(ptrs[0].object, fabric->host(3).addr(),
+                                 [&](Status s) { moved = s; });
+  fabric->settle();
+  ASSERT_TRUE(moved.is_ok());
+  Result<Bytes> after{Errc::unavailable};
+  fabric->service(0).read(ptrs[0], 8,
+                          [&](Result<Bytes> r, const AccessStats&) {
+                            after = std::move(r);
+                          });
+  fabric->settle();
+  EXPECT_TRUE(after);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologySweep,
+    ::testing::Combine(::testing::Values(DiscoveryScheme::e2e,
+                                         DiscoveryScheme::controller),
+                       ::testing::Values(SwitchTopology::full_mesh,
+                                         SwitchTopology::ring,
+                                         SwitchTopology::line,
+                                         SwitchTopology::star)));
+
+// --- E2E broadcast containment ------------------------------------------------------
+
+TEST(E2EScheme, FloodDedupContainsBroadcastStorms) {
+  // On a full mesh (cyclic!) a broadcast must visit each switch once,
+  // not amplify forever.
+  FabricConfig cfg;
+  cfg.scheme = DiscoveryScheme::e2e;
+  cfg.seed = 31;
+  cfg.topology = SwitchTopology::full_mesh;
+  auto fabric = Fabric::build(cfg);
+  GlobalPtr ptr = make_test_object(*fabric, 1);
+  const auto frames_before = fabric->network().stats().frames_sent;
+  fabric->service(0).read(ptr, 8, [](Result<Bytes>, const AccessStats&) {});
+  fabric->settle();
+  // discover flood: <= switches * ports frames; plus reply and access.
+  // A storm would blow far past this bound (TTL 32 x fanout 5).
+  EXPECT_LT(fabric->network().stats().frames_sent - frames_before, 40u);
+  EXPECT_EQ(fabric->network().stats().frames_dropped_ttl, 0u);
+}
+
+
+// --- subscription fan-out (multicast delivery) -------------------------------------
+
+TEST(Subscriptions, MatchAllReturnsEverySubscriber) {
+  SubscriptionTable table;
+  for (PortId p : {1u, 2u, 3u}) {
+    Subscription sub;
+    sub.conjuncts = {{SubField::object_id, fixed_id(5).value}};
+    sub.deliver_to = p;
+    ASSERT_TRUE(table.add(sub));
+  }
+  Frame f;
+  f.type = MsgType::invoke_resp;
+  f.object = fixed_id(5);
+  Packet pkt;
+  pkt.data = f.encode();
+  auto view = Frame::peek(pkt);
+  ASSERT_TRUE(view.has_value());
+  auto actions = table.match_all(*view);
+  ASSERT_EQ(actions.size(), 3u);
+  std::set<PortId> ports;
+  for (const auto& a : actions) ports.insert(a.port);
+  EXPECT_EQ(ports, (std::set<PortId>{1, 2, 3}));
+  // Capacity stage holds ONE entry per predicate regardless of fan-out.
+  EXPECT_EQ(table.rule_count(), 1u);
+}
+
+TEST(Subscriptions, LiveDeliveryThroughSwitch) {
+  FabricConfig cfg;
+  cfg.scheme = DiscoveryScheme::e2e;
+  cfg.seed = 3;
+  cfg.num_switches = 1;
+  cfg.num_hosts = 3;
+  auto fabric = Fabric::build(cfg);
+  const ObjectId topic = fixed_id(77);
+  auto table = std::make_shared<SubscriptionTable>();
+  Subscription sub;
+  sub.conjuncts = {{SubField::object_id, topic.value}};
+  sub.deliver_to = 1;  // host1's switch port
+  ASSERT_TRUE(table->add(sub));
+  sub.deliver_to = 2;  // host2's switch port
+  ASSERT_TRUE(table->add(sub));
+  program_subscription_delivery(fabric->switch_at(0), table);
+
+  int got1 = 0, got2 = 0;
+  fabric->host(1).set_default_handler([&](const Frame&) { ++got1; });
+  fabric->host(2).set_default_handler([&](const Frame&) { ++got2; });
+
+  Frame event;
+  event.type = MsgType::invoke_resp;
+  event.object = topic;
+  event.payload = Bytes{1, 2, 3};
+  fabric->host(0).send_frame(std::move(event));
+  // A frame on an unsubscribed topic follows the NORMAL pipeline
+  // (unknown unicast with dst 0 -> extractor returns host key? no:
+  // dst==0 in E2E extractor yields nullopt -> default flood; hosts
+  // filter by type handler, so it reaches the default handlers too).
+  fabric->settle();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+}
+
+}  // namespace
+}  // namespace objrpc

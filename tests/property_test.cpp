@@ -1,0 +1,265 @@
+// Cross-cutting property tests: randomized sweeps asserting the
+// system-level invariants the design rests on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/cluster.hpp"
+#include "net/fabric.hpp"
+#include "objspace/object.hpp"
+
+namespace objrpc {
+namespace {
+
+// --- object allocator: regions never overlap --------------------------------
+
+class AllocProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocProperty, AllocationsAreDisjointAndOrdered) {
+  Rng rng(GetParam());
+  auto obj = Object::create(ObjectId{1, GetParam()}, 16384);
+  ASSERT_TRUE(obj);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> regions;  // [start,end)
+  while (true) {
+    const std::uint64_t n = 1 + rng.next_below(256);
+    const std::uint64_t align = std::uint64_t{1} << rng.next_below(7);
+    auto off = obj->alloc(n, align);
+    if (!off) {
+      EXPECT_EQ(off.error().code, Errc::capacity_exceeded);
+      break;
+    }
+    EXPECT_EQ(*off % align, 0u) << "alignment violated";
+    EXPECT_GE(*off, Object::kDataStart);
+    for (const auto& [s, e] : regions) {
+      EXPECT_TRUE(*off >= e || *off + n <= s) << "overlap";
+    }
+    regions.emplace_back(*off, *off + n);
+    // Interleave FOT growth; it must never collide with data.
+    if (rng.next_bool(0.3)) {
+      (void)obj->add_fot_entry(ObjectId{rng.next_u128()}, Perm::read);
+    }
+  }
+  // Every allocated region is still writable after the object filled up.
+  for (const auto& [s, e] : regions) {
+    EXPECT_TRUE(obj->write_u64(s, 0xFF).is_ok() || e - s < 8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- reliable transport: exactly-once delivery under any loss ----------------
+
+class ReliableProperty
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ReliableProperty, ExactlyOnceInAnyWeather) {
+  const double loss = std::get<0>(GetParam());
+  const int seed = std::get<1>(GetParam());
+  FabricConfig cfg;
+  cfg.scheme = DiscoveryScheme::e2e;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.host_link.loss_rate = loss;
+  cfg.switch_link.loss_rate = loss;
+  cfg.reliable_cfg.max_retries = 40;
+  auto fabric = Fabric::build(cfg);
+
+  // Ship several objects of varied size; all must arrive intact and be
+  // adopted exactly once.
+  Rng rng(static_cast<std::uint64_t>(seed) * 7 + 1);
+  const int kObjects = 5;
+  std::vector<ObjectId> ids;
+  std::vector<Bytes> images;
+  int moved = 0;
+  for (int i = 0; i < kObjects; ++i) {
+    auto obj = fabric->service(1).create_object(512 + rng.next_below(8192));
+    ASSERT_TRUE(obj);
+    auto off = (*obj)->alloc(64);
+    ASSERT_TRUE(off);
+    for (int w = 0; w < 8; ++w) {
+      ASSERT_TRUE((*obj)->write_u64(*off + 8 * w, rng.next_u64()));
+    }
+    ids.push_back((*obj)->id());
+    images.push_back((*obj)->raw_bytes());
+    fabric->service(1).move_object((*obj)->id(), fabric->host(2).addr(),
+                                   [&](Status s) { moved += s.is_ok(); });
+  }
+  fabric->settle();
+  ASSERT_EQ(moved, kObjects);
+  EXPECT_EQ(fabric->service(2).counters().objects_adopted,
+            static_cast<std::uint64_t>(kObjects));
+  for (int i = 0; i < kObjects; ++i) {
+    auto arrived = fabric->host(2).store().get(ids[i]);
+    ASSERT_TRUE(arrived);
+    EXPECT_EQ((*arrived)->raw_bytes(), images[i]) << "corruption in flight";
+    EXPECT_FALSE(fabric->host(1).store().contains(ids[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSeeds, ReliableProperty,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.25),
+                       ::testing::Values(1, 2, 3)));
+
+// --- E2E cache: bounded capacity obeys FIFO ----------------------------------
+
+TEST(E2ECacheProperty, CapacityBoundHolds) {
+  FabricConfig cfg;
+  cfg.scheme = DiscoveryScheme::e2e;
+  cfg.seed = 77;
+  cfg.e2e_cfg.cache_capacity = 8;
+  auto fabric = Fabric::build(cfg);
+  std::vector<GlobalPtr> ptrs;
+  for (int i = 0; i < 24; ++i) {
+    auto obj = fabric->service(1).create_object(1024);
+    ASSERT_TRUE(obj);
+    ptrs.push_back(GlobalPtr{(*obj)->id(), Object::kDataStart});
+  }
+  for (const auto& ptr : ptrs) {
+    fabric->service(0).read(ptr, 8, [](Result<Bytes>, const AccessStats&) {});
+    fabric->settle();
+    EXPECT_LE(fabric->e2e_of(0)->cache_size(), 8u);
+  }
+  // The most recent entries survived; the oldest were evicted.
+  EXPECT_TRUE(fabric->e2e_of(0)->is_cached(ptrs.back().object));
+  EXPECT_FALSE(fabric->e2e_of(0)->is_cached(ptrs.front().object));
+  // Evicted entries re-discover transparently (costs a broadcast).
+  const auto bcast = fabric->service(0).discovery().broadcasts_sent();
+  Result<Bytes> r{Errc::unavailable};
+  fabric->service(0).read(ptrs.front(), 8,
+                          [&](Result<Bytes> res, const AccessStats&) {
+                            r = std::move(res);
+                          });
+  fabric->settle();
+  EXPECT_TRUE(r);
+  EXPECT_EQ(fabric->service(0).discovery().broadcasts_sent(), bcast + 1);
+}
+
+// --- invocation: results are location-transparent ------------------------------
+
+class LocationTransparency
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LocationTransparency, SameResultWhereverExecuted) {
+  const int data_host = std::get<0>(GetParam());
+  const int executor = std::get<1>(GetParam());
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::controller;
+  cfg.fabric.seed = 41;
+  auto cluster = Cluster::build(cfg);
+  const FuncId checksum = cluster->code().register_function(
+      "checksum",
+      [](InvokeContext& ctx, const std::vector<GlobalPtr>& args,
+         ByteSpan) -> Result<Bytes> {
+        auto obj = ctx.resolve(args.at(0));
+        if (!obj) return obj.error();
+        std::uint64_t acc = 0;
+        for (int i = 0; i < 16; ++i) {
+          auto v = (*obj)->read_u64(args.at(0).offset + 8 * i);
+          if (!v) return v.error();
+          acc = acc * 31 + *v;
+        }
+        BufWriter w;
+        w.put_u64(acc);
+        return std::move(w).take();
+      });
+  auto obj = cluster->create_object(static_cast<std::size_t>(data_host),
+                                    8192);
+  ASSERT_TRUE(obj);
+  auto off = (*obj)->alloc(128);
+  ASSERT_TRUE(off);
+  Rng rng(4242);  // identical data regardless of placement
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE((*obj)->write_u64(*off + 8 * i, rng.next_u64()));
+  }
+  cluster->settle();
+
+  Result<Bytes> r{Errc::unavailable};
+  cluster->invoke_at(0, cluster->addr_of(static_cast<std::size_t>(executor)),
+                     checksum, {GlobalPtr{(*obj)->id(), *off}}, {},
+                     [&](Result<Bytes> res, const InvokeStats&) {
+                       r = std::move(res);
+                     });
+  cluster->settle();
+  ASSERT_TRUE(r) << r.error().to_string();
+  BufReader reader(*r);
+  // Golden value computed from the seed: every (data_host, executor)
+  // combination must agree.
+  static std::uint64_t golden = 0;
+  const std::uint64_t got = reader.get_u64();
+  if (golden == 0) {
+    golden = got;
+  } else {
+    EXPECT_EQ(got, golden);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, LocationTransparency,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2)));
+
+// --- movement preserves reachability graphs ------------------------------------
+
+class MovementProperty2 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MovementProperty2, FotGraphsSurviveRepeatedMoves) {
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::controller;
+  cfg.fabric.seed = GetParam();
+  auto cluster = Cluster::build(cfg);
+  Rng rng(GetParam() ^ 0xF00D);
+
+  // Build a small random object graph on host 0.
+  std::vector<ObjectPtr> objs;
+  for (int i = 0; i < 6; ++i) {
+    auto obj = cluster->create_object(0, 4096);
+    ASSERT_TRUE(obj);
+    objs.push_back(*obj);
+  }
+  for (int e = 0; e < 10; ++e) {
+    const auto a = rng.next_below(objs.size());
+    const auto b = rng.next_below(objs.size());
+    if (a == b) continue;
+    ASSERT_TRUE(objs[a]->add_fot_entry(objs[b]->id(), Perm::read));
+  }
+  cluster->settle();
+
+  // Record FOT fingerprints, then bounce every object around the
+  // cluster a few times.
+  std::map<std::string, std::vector<std::string>> before;
+  for (const auto& o : objs) {
+    auto& list = before[o->id().to_full_hex()];
+    for (std::uint32_t i = 1; i <= o->fot_count(); ++i) {
+      list.push_back(o->fot_entry(i)->target.to_full_hex());
+    }
+  }
+  std::vector<std::size_t> where(objs.size(), 0);
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < objs.size(); ++i) {
+      const std::size_t next = (where[i] + 1 + rng.next_below(2)) % 3;
+      if (next == where[i]) continue;
+      Status moved{Errc::unavailable};
+      cluster->move_object(objs[i]->id(), where[i], next,
+                           [&](Status s) { moved = s; });
+      cluster->settle();
+      ASSERT_TRUE(moved.is_ok());
+      where[i] = next;
+    }
+  }
+  // FOTs must be byte-identical to the originals wherever they ended up.
+  for (std::size_t i = 0; i < objs.size(); ++i) {
+    auto obj = cluster->host(where[i]).store().get(objs[i]->id());
+    ASSERT_TRUE(obj);
+    const auto& expect = before[(*obj)->id().to_full_hex()];
+    ASSERT_EQ((*obj)->fot_count(), expect.size());
+    for (std::uint32_t f = 1; f <= (*obj)->fot_count(); ++f) {
+      EXPECT_EQ((*obj)->fot_entry(f)->target.to_full_hex(), expect[f - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MovementProperty2,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace objrpc

@@ -1,0 +1,365 @@
+// Tests for the wire codec and the pointer-swizzling loader.
+#include <gtest/gtest.h>
+
+#include "serialize/swizzle.hpp"
+#include "serialize/wire.hpp"
+
+namespace objrpc {
+namespace {
+
+// Schema fixture: a Person { id: u64, name: str, score: f64,
+// tags: repeated str, friend: Person }.
+class CodecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema person;
+    person.name = "Person";
+    person.fields = {
+        {1, "id", FieldType::u64, false, 0},
+        {2, "name", FieldType::str, false, 0},
+        {3, "score", FieldType::f64, false, 0},
+        {4, "tags", FieldType::str, true, 0},
+        {5, "friend", FieldType::message, false, 0},
+        {6, "blob", FieldType::bytes, false, 0},
+        {7, "delta", FieldType::i64, false, 0},
+    };
+    person_schema_ = registry_.add(std::move(person));
+  }
+
+  SchemaRegistry registry_;
+  std::uint32_t person_schema_ = 0;
+};
+
+TEST_F(CodecTest, ScalarRoundTrip) {
+  Codec codec(registry_);
+  Message m(person_schema_);
+  m.add(1, std::uint64_t{42});
+  m.add(2, std::string("alice"));
+  m.add(3, 3.5);
+  m.add(7, std::int64_t{-99});
+  auto wire = codec.encode(m);
+  ASSERT_TRUE(wire);
+  auto back = codec.decode(person_schema_, *wire);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->equals(m));
+  EXPECT_EQ(std::get<std::int64_t>(*back->get(7)), -99);
+}
+
+TEST_F(CodecTest, RepeatedFields) {
+  Codec codec(registry_);
+  Message m(person_schema_);
+  m.add(4, std::string("a"));
+  m.add(4, std::string("b"));
+  m.add(4, std::string("c"));
+  auto wire = codec.encode(m);
+  ASSERT_TRUE(wire);
+  auto back = codec.decode(person_schema_, *wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->count(4), 3u);
+  EXPECT_EQ(std::get<std::string>(back->get_all(4)[1]), "b");
+}
+
+TEST_F(CodecTest, NestedMessages) {
+  Codec codec(registry_);
+  Message inner(person_schema_);
+  inner.add(1, std::uint64_t{7});
+  inner.add(2, std::string("bob"));
+  Message outer(person_schema_);
+  outer.add(1, std::uint64_t{1});
+  outer.add(5, std::make_unique<Message>(std::move(inner)));
+  auto wire = codec.encode(outer);
+  ASSERT_TRUE(wire);
+  auto back = codec.decode(person_schema_, *wire);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->equals(outer));
+  const auto& nested = std::get<MessagePtr>(*back->get(5));
+  EXPECT_EQ(std::get<std::string>(*nested->get(2)), "bob");
+}
+
+TEST_F(CodecTest, DeepNestingRoundTrips) {
+  Codec codec(registry_);
+  Message root(person_schema_);
+  Message* cur = &root;
+  for (int i = 0; i < 20; ++i) {
+    auto child = std::make_unique<Message>(person_schema_);
+    child->add(1, static_cast<std::uint64_t>(i));
+    Message* next = child.get();
+    cur->add(5, std::move(child));
+    cur = next;
+  }
+  auto wire = codec.encode(root);
+  ASSERT_TRUE(wire);
+  auto back = codec.decode(person_schema_, *wire);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->equals(root));
+}
+
+TEST_F(CodecTest, UnknownFieldRejectedOnEncode) {
+  Codec codec(registry_);
+  Message m(person_schema_);
+  m.add(99, std::uint64_t{1});
+  EXPECT_EQ(codec.encode(m).error().code, Errc::invalid_argument);
+}
+
+TEST_F(CodecTest, TypeMismatchRejectedOnEncode) {
+  Codec codec(registry_);
+  Message m(person_schema_);
+  m.add(1, std::string("not a u64"));
+  EXPECT_EQ(codec.encode(m).error().code, Errc::invalid_argument);
+}
+
+TEST_F(CodecTest, RepeatedValuesOnSingularFieldRejected) {
+  Codec codec(registry_);
+  Message m(person_schema_);
+  m.add(1, std::uint64_t{1});
+  m.add(1, std::uint64_t{2});
+  EXPECT_EQ(codec.encode(m).error().code, Errc::invalid_argument);
+}
+
+TEST_F(CodecTest, TruncatedWireRejected) {
+  Codec codec(registry_);
+  Message m(person_schema_);
+  m.add(2, std::string("hello world"));
+  auto wire = codec.encode(m);
+  ASSERT_TRUE(wire);
+  Bytes cut(wire->begin(), wire->end() - 4);
+  EXPECT_EQ(codec.decode(person_schema_, cut).error().code, Errc::malformed);
+}
+
+TEST_F(CodecTest, GarbageRejected) {
+  Codec codec(registry_);
+  Bytes garbage{0xFF, 0xFF, 0xFF, 0x01, 0x02};
+  EXPECT_FALSE(codec.decode(person_schema_, garbage));
+}
+
+TEST_F(CodecTest, UnknownFieldOnWireRejected) {
+  Codec codec(registry_);
+  BufWriter w;
+  w.put_varint(42);  // not in schema
+  w.put_varint(0);
+  EXPECT_EQ(codec.decode(person_schema_, w.view()).error().code,
+            Errc::malformed);
+}
+
+TEST_F(CodecTest, CloneIsDeepAndEqual) {
+  Message m(person_schema_);
+  m.add(1, std::uint64_t{1});
+  auto inner = std::make_unique<Message>(person_schema_);
+  inner->add(2, std::string("x"));
+  m.add(5, std::move(inner));
+  Message copy = m.clone();
+  EXPECT_TRUE(copy.equals(m));
+}
+
+TEST_F(CodecTest, EmptyMessageRoundTrips) {
+  Codec codec(registry_);
+  Message m(person_schema_);
+  auto wire = codec.encode(m);
+  ASSERT_TRUE(wire);
+  EXPECT_EQ(wire->size(), 0u);
+  auto back = codec.decode(person_schema_, *wire);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(back->equals(m));
+}
+
+// Property: randomized messages round-trip.
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecProperty, RandomMessagesRoundTrip) {
+  SchemaRegistry registry;
+  Schema s;
+  s.name = "Rand";
+  s.fields = {
+      {1, "a", FieldType::u64, true, 0},
+      {2, "b", FieldType::str, true, 0},
+      {3, "c", FieldType::f64, true, 0},
+      {4, "d", FieldType::bytes, true, 0},
+      {5, "e", FieldType::i64, true, 0},
+      {6, "nested", FieldType::message, true, 0},
+  };
+  const auto idx = registry.add(std::move(s));
+  Codec codec(registry);
+  Rng rng(GetParam());
+
+  std::function<Message(int)> random_message = [&](int depth) {
+    Message m(idx);
+    const int n = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n; ++i) {
+      switch (rng.next_below(depth > 0 ? 6 : 5)) {
+        case 0:
+          m.add(1, rng.next_u64());
+          break;
+        case 1: {
+          std::string str(rng.next_below(32), 'x');
+          for (auto& c : str) {
+            c = static_cast<char>('a' + rng.next_below(26));
+          }
+          m.add(2, std::move(str));
+          break;
+        }
+        case 2:
+          m.add(3, rng.next_double());
+          break;
+        case 3: {
+          Bytes blob(rng.next_below(64));
+          for (auto& byte : blob) {
+            byte = static_cast<std::uint8_t>(rng.next_u64());
+          }
+          m.add(4, std::move(blob));
+          break;
+        }
+        case 4:
+          m.add(5, static_cast<std::int64_t>(rng.next_u64()));
+          break;
+        case 5:
+          m.add(6, std::make_unique<Message>(random_message(depth - 1)));
+          break;
+      }
+    }
+    return m;
+  };
+
+  for (int trial = 0; trial < 25; ++trial) {
+    Message m = random_message(3);
+    auto wire = codec.encode(m);
+    ASSERT_TRUE(wire);
+    auto back = codec.decode(idx, *wire);
+    ASSERT_TRUE(back) << back.error().to_string();
+    EXPECT_TRUE(back->equals(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- swizzle -------------------------------------------------------------------
+
+TEST(Swizzle, EmptyGraphRoundTrips) {
+  HeapGraph g;
+  Bytes wire = serialize_graph(g);
+  auto back = deserialize_graph(wire);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->node_count(), 0u);
+}
+
+TEST(Swizzle, SmallGraphRoundTrips) {
+  HeapGraph g;
+  auto* a = g.add_node(1, Bytes{10, 11});
+  auto* b = g.add_node(2, Bytes{20});
+  auto* c = g.add_node(3, {});
+  a->children = {b, c};
+  b->children = {c};
+  Bytes wire = serialize_graph(g);
+  auto back = deserialize_graph(wire);
+  ASSERT_TRUE(back);
+  EXPECT_TRUE(graphs_equal(g, *back));
+}
+
+TEST(Swizzle, RandomGraphsRoundTrip) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    GraphSpec spec;
+    spec.nodes = 500;
+    spec.payload_bytes = 32;
+    spec.fanout = 2.5;
+    spec.seed = seed;
+    HeapGraph g = build_random_graph(spec);
+    EXPECT_EQ(g.node_count(), 500u);
+    auto back = deserialize_graph(serialize_graph(g));
+    ASSERT_TRUE(back);
+    EXPECT_TRUE(graphs_equal(g, *back));
+  }
+}
+
+TEST(Swizzle, CorruptEdgeRejected) {
+  HeapGraph g;
+  auto* a = g.add_node(1, {});
+  g.add_node(2, {});
+  a->children = {g.node(1)};
+  Bytes wire = serialize_graph(g);
+  wire.back() = 0x7F;  // edge index 127 out of range
+  EXPECT_EQ(deserialize_graph(wire).error().code, Errc::malformed);
+}
+
+TEST(Swizzle, TruncationRejected) {
+  GraphSpec spec;
+  spec.nodes = 10;
+  HeapGraph g = build_random_graph(spec);
+  Bytes wire = serialize_graph(g);
+  wire.resize(wire.size() / 2);
+  EXPECT_FALSE(deserialize_graph(wire));
+}
+
+TEST(Swizzle, GraphsEqualDetectsDifferences) {
+  GraphSpec spec;
+  spec.nodes = 50;
+  HeapGraph a = build_random_graph(spec);
+  HeapGraph b = build_random_graph(spec);
+  EXPECT_TRUE(graphs_equal(a, b));
+  b.node(10)->key ^= 1;
+  EXPECT_FALSE(graphs_equal(a, b));
+}
+
+TEST(Swizzle, ObjectEncodingMatchesHeapGraph) {
+  GraphSpec spec;
+  spec.nodes = 200;
+  spec.payload_bytes = 24;
+  spec.seed = 9;
+  HeapGraph g = build_random_graph(spec);
+
+  ObjectStore store;
+  IdAllocator ids{Rng(1)};
+  auto og = graph_to_object(store, ids, g);
+  ASSERT_TRUE(og) << og.error().to_string();
+  auto back = graph_from_object(store, *og);
+  ASSERT_TRUE(back);
+  // BFS discovery order in graph_from_object matches creation order
+  // because build_random_graph parents always precede children… it does
+  // not in general, so compare structurally via serialization of sorted
+  // key multisets and reachable counts instead.
+  EXPECT_EQ(back->node_count(), g.node_count());
+  std::vector<std::uint64_t> keys_a, keys_b;
+  std::uint64_t payload_a = 0, payload_b = 0;
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    keys_a.push_back(g.node(i)->key);
+    keys_b.push_back(back->node(i)->key);
+    payload_a += g.node(i)->payload.size();
+    payload_b += back->node(i)->payload.size();
+  }
+  std::sort(keys_a.begin(), keys_a.end());
+  std::sort(keys_b.begin(), keys_b.end());
+  EXPECT_EQ(keys_a, keys_b);
+  EXPECT_EQ(payload_a, payload_b);
+}
+
+TEST(Swizzle, ObjectGraphSurvivesByteCopy) {
+  GraphSpec spec;
+  spec.nodes = 100;
+  spec.seed = 4;
+  HeapGraph g = build_random_graph(spec);
+  ObjectStore src;
+  IdAllocator ids{Rng(2)};
+  auto og = graph_to_object(src, ids, g);
+  ASSERT_TRUE(og);
+  // Byte-level move to another store: the paper's zero-deserialization
+  // transfer.
+  auto obj = src.get(og->object);
+  ASSERT_TRUE(obj);
+  auto copied = Object::from_bytes(og->object, (*obj)->raw_bytes());
+  ASSERT_TRUE(copied);
+  ObjectStore dst;
+  ASSERT_TRUE(dst.insert(std::move(*copied)));
+  auto back = graph_from_object(dst, *og);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->node_count(), g.node_count());
+}
+
+TEST(Swizzle, PayloadBytesAccounting) {
+  GraphSpec spec;
+  spec.nodes = 10;
+  spec.payload_bytes = 100;
+  HeapGraph g = build_random_graph(spec);
+  EXPECT_EQ(g.payload_bytes(), 1000u);
+}
+
+}  // namespace
+}  // namespace objrpc

@@ -1,0 +1,578 @@
+// Tests for the discrete-event simulator: event loop, links, switches,
+// match-action tables, topologies.
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.hpp"
+#include "sim/network.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/switch_node.hpp"
+#include "sim/topology.hpp"
+
+namespace objrpc {
+namespace {
+
+// --- EventLoop ---------------------------------------------------------------
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, StableTieBreaking) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, ScheduleAfterUsesNow) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_after(50, [&] { fired_at = loop.now(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventLoop, PastSchedulingClamps) {
+  EventLoop loop;
+  SimTime fired_at = -1;
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(10, [&] { fired_at = loop.now(); });  // in the past
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(10, [&] { ++count; });
+  loop.schedule_at(20, [&] { ++count; });
+  loop.schedule_at(30, [&] { ++count; });
+  loop.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) loop.schedule_after(1, recurse);
+  };
+  loop.schedule_at(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.events_executed(), 100u);
+}
+
+// --- MatchActionTable ---------------------------------------------------------
+
+TEST(MatchActionTable, InsertLookupErase) {
+  MatchActionTable t(128, 10);
+  EXPECT_TRUE(t.insert(U128{1, 2}, Action::forward_to(3)));
+  auto a = t.lookup(U128{1, 2});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, ActionKind::forward);
+  EXPECT_EQ(a->port, 3u);
+  EXPECT_TRUE(t.erase(U128{1, 2}));
+  EXPECT_FALSE(t.lookup(U128{1, 2}).has_value());
+  EXPECT_FALSE(t.erase(U128{1, 2}));
+}
+
+TEST(MatchActionTable, CapacityEnforced) {
+  MatchActionTable t(128, 2);
+  EXPECT_TRUE(t.insert(U128{0, 1}, Action::drop()));
+  EXPECT_TRUE(t.insert(U128{0, 2}, Action::drop()));
+  EXPECT_EQ(t.insert(U128{0, 3}, Action::drop()).error().code,
+            Errc::capacity_exceeded);
+  // Updates to existing keys always succeed.
+  EXPECT_TRUE(t.insert(U128{0, 1}, Action::flood()));
+  EXPECT_EQ(t.lookup(U128{0, 1})->kind, ActionKind::flood);
+}
+
+TEST(MatchActionTable, HitMissCounters) {
+  MatchActionTable t(128, 10);
+  ASSERT_TRUE(t.insert(U128{0, 1}, Action::drop()));
+  (void)t.lookup(U128{0, 1});
+  (void)t.lookup(U128{0, 2});
+  (void)t.lookup(U128{0, 1});
+  EXPECT_EQ(t.hits(), 2u);
+  EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(TofinoCapacity, CalibratedToPaperPoints) {
+  // §3.2: "With 64-bit ID fields, we could store ~1.8M exact entries and
+  // with 128-bit IDs, we could fit ~850K."
+  EXPECT_EQ(tofino_exact_capacity(64), 1'800'000u);
+  EXPECT_EQ(tofino_exact_capacity(128), 850'000u);
+}
+
+TEST(TofinoCapacity, MonotoneNonIncreasingInWidth) {
+  std::uint64_t prev = tofino_exact_capacity(8);
+  for (std::uint32_t bits = 16; bits <= 256; bits += 8) {
+    const std::uint64_t cap = tofino_exact_capacity(bits);
+    EXPECT_LE(cap, prev) << bits;
+    prev = cap;
+  }
+}
+
+// --- Network / links ----------------------------------------------------------
+
+/// Minimal sink node recording arrivals.
+class SinkNode : public NetworkNode {
+ public:
+  SinkNode(Network& net, NodeId id, std::string name)
+      : NetworkNode(net, id, std::move(name)) {}
+  void on_packet(PortId in_port, Packet pkt) override {
+    arrivals.push_back({in_port, std::move(pkt), loop().now()});
+  }
+  void transmit(PortId port, Packet pkt) { send(port, std::move(pkt)); }
+  struct Arrival {
+    PortId port;
+    Packet pkt;
+    SimTime at;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+Packet make_packet(std::size_t payload_size) {
+  Packet p;
+  p.data.assign(payload_size, 0xAB);
+  return p;
+}
+
+TEST(Network, DeliversWithLatencyAndTxDelay) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  LinkParams lp;
+  lp.latency = 10 * kMicrosecond;
+  lp.bandwidth_bps = 8e9;  // 1 byte/ns
+  net.connect(a.id(), b.id(), lp);
+
+  a.transmit(0, make_packet(1000));
+  net.loop().run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  // tx = 1024 bytes at 1 B/ns = 1024ns; then 10us propagation.
+  EXPECT_EQ(b.arrivals[0].at, 1024 + 10 * kMicrosecond);
+  EXPECT_EQ(net.stats().frames_delivered, 1u);
+}
+
+TEST(Network, SerializationDelayQueuesFrames) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  LinkParams lp;
+  lp.latency = 0;
+  lp.bandwidth_bps = 8e9;
+  net.connect(a.id(), b.id(), lp);
+
+  a.transmit(0, make_packet(1000));  // 1024ns on the wire
+  a.transmit(0, make_packet(1000));
+  net.loop().run();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(b.arrivals[0].at, 1024);
+  EXPECT_EQ(b.arrivals[1].at, 2048);  // waited for the first
+}
+
+TEST(Network, QueueBoundDropsExcess) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  LinkParams lp;
+  lp.latency = 0;
+  lp.bandwidth_bps = 8e6;  // slow: 1 byte per us
+  lp.queue_bytes = 2100;   // fits two 1024B frames, not three
+  net.connect(a.id(), b.id(), lp);
+
+  for (int i = 0; i < 3; ++i) a.transmit(0, make_packet(1000));
+  net.loop().run();
+  EXPECT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(net.stats().frames_dropped_queue, 1u);
+}
+
+TEST(Network, LossRateDropsDeterministically) {
+  Network net(42);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  LinkParams lp;
+  lp.loss_rate = 0.5;
+  net.connect(a.id(), b.id(), lp);
+  for (int i = 0; i < 1000; ++i) a.transmit(0, make_packet(10));
+  net.loop().run();
+  const auto delivered = b.arrivals.size();
+  EXPECT_GT(delivered, 400u);
+  EXPECT_LT(delivered, 600u);
+  EXPECT_EQ(net.stats().frames_dropped_loss, 1000u - delivered);
+
+  // Determinism: a rerun with the same seed gives identical results.
+  Network net2(42);
+  auto& a2 = net2.add_node<SinkNode>("a");
+  auto& b2 = net2.add_node<SinkNode>("b");
+  net2.connect(a2.id(), b2.id(), lp);
+  for (int i = 0; i < 1000; ++i) a2.transmit(0, make_packet(10));
+  net2.loop().run();
+  EXPECT_EQ(b2.arrivals.size(), delivered);
+}
+
+TEST(Network, TtlDropsLoopingFrames) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  net.connect(a.id(), b.id(), LinkParams{});
+  Packet p = make_packet(10);
+  p.hops = Packet::kMaxHops;
+  a.transmit(0, std::move(p));
+  net.loop().run();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(net.stats().frames_dropped_ttl, 1u);
+}
+
+TEST(Network, PeerOfReportsTopology) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  auto& c = net.add_node<SinkNode>("c");
+  auto [pa, pb] = net.connect(a.id(), b.id());
+  net.connect(b.id(), c.id());
+  EXPECT_EQ(net.peer_of(a.id(), pa), b.id());
+  EXPECT_EQ(net.peer_of(b.id(), pb), a.id());
+  EXPECT_EQ(net.peer_of(b.id(), 1), c.id());
+  EXPECT_EQ(net.peer_of(a.id(), 9), kInvalidNode);
+}
+
+TEST(Network, TapSeesDeliveredFrames) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  net.connect(a.id(), b.id());
+  int taps = 0;
+  net.set_tap([&](NodeId from, NodeId to, const Packet&) {
+    EXPECT_EQ(from, a.id());
+    EXPECT_EQ(to, b.id());
+    ++taps;
+  });
+  a.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_EQ(taps, 1);
+}
+
+// --- SwitchNode ----------------------------------------------------------------
+
+/// Gives every packet the same key so table actions can be tested.
+std::optional<ParsedKey> const_key(const Packet&) {
+  return ParsedKey{U128{0, 7}, false};
+}
+
+TEST(SwitchNode, ForwardsOnTableHit) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());  // sw port 0
+  net.connect(sw.id(), h2.id());  // sw port 1
+  sw.set_key_extractor(const_key);
+  ASSERT_TRUE(sw.table().insert(U128{0, 7}, Action::forward_to(1)));
+
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_EQ(h2.arrivals.size(), 1u);
+  EXPECT_EQ(sw.counters().forwarded, 1u);
+}
+
+TEST(SwitchNode, DefaultDropOnMiss) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  sw.set_key_extractor(const_key);
+
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_TRUE(h2.arrivals.empty());
+  EXPECT_EQ(sw.counters().dropped, 1u);
+}
+
+TEST(SwitchNode, FloodReachesAllButIngress) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  auto& h3 = net.add_node<SinkNode>("h3");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  net.connect(sw.id(), h3.id());
+  sw.set_key_extractor(
+      [](const Packet&) { return ParsedKey{U128{}, true}; });
+
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_EQ(h2.arrivals.size(), 1u);
+  EXPECT_EQ(h3.arrivals.size(), 1u);
+  EXPECT_TRUE(h1.arrivals.empty());
+  EXPECT_EQ(sw.counters().flooded, 1u);
+}
+
+TEST(SwitchNode, PreMatchHookConsumes) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  sw.set_key_extractor(const_key);
+  ASSERT_TRUE(sw.table().insert(U128{0, 7}, Action::forward_to(1)));
+  sw.set_pre_match_hook(
+      [](SwitchNode&, PortId, const Packet&) { return true; });
+
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_TRUE(h2.arrivals.empty());
+  EXPECT_EQ(sw.counters().consumed_by_hook, 1u);
+}
+
+TEST(SwitchNode, PuntGoesToConfiguredPort) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& ctrl = net.add_node<SinkNode>("ctrl");
+  net.connect(h1.id(), sw.id());    // port 0
+  net.connect(sw.id(), ctrl.id());  // port 1
+  sw.set_key_extractor(const_key);
+  sw.set_default_action(Action::punt());
+  sw.set_punt_port(1);
+
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_EQ(ctrl.arrivals.size(), 1u);
+  EXPECT_EQ(sw.counters().punted, 1u);
+}
+
+TEST(SwitchNode, PipelineDelayApplied) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  SwitchConfig cfg;
+  cfg.pipeline_delay = 7 * kMicrosecond;
+  auto& sw = net.add_node<SwitchNode>("sw", cfg);
+  auto& h2 = net.add_node<SinkNode>("h2");
+  LinkParams lp;
+  lp.latency = 1 * kMicrosecond;
+  lp.bandwidth_bps = 1e12;  // negligible tx time
+  net.connect(h1.id(), sw.id(), lp);
+  net.connect(sw.id(), h2.id(), lp);
+  sw.set_key_extractor(const_key);
+  ASSERT_TRUE(sw.table().insert(U128{0, 7}, Action::forward_to(1)));
+
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  ASSERT_EQ(h2.arrivals.size(), 1u);
+  // ~1us in + 7us pipeline + ~1us out (plus sub-us tx times).
+  EXPECT_GE(h2.arrivals[0].at, 9 * kMicrosecond);
+  EXPECT_LT(h2.arrivals[0].at, 10 * kMicrosecond);
+}
+
+// --- topologies -----------------------------------------------------------------
+
+TEST(Topology, LineRingStarMeshPortCounts) {
+  Network net(1);
+  std::vector<NodeId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(net.add_node<SinkNode>("n" + std::to_string(i)).id());
+  }
+  connect_line(net, ids);
+  EXPECT_EQ(net.port_count(ids[0]), 1u);
+  EXPECT_EQ(net.port_count(ids[1]), 2u);
+
+  Network net2(1);
+  ids.clear();
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(net2.add_node<SinkNode>("n" + std::to_string(i)).id());
+  }
+  connect_ring(net2, ids);
+  for (auto id : ids) EXPECT_EQ(net2.port_count(id), 2u);
+
+  Network net3(1);
+  ids.clear();
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(net3.add_node<SinkNode>("n" + std::to_string(i)).id());
+  }
+  connect_full_mesh(net3, ids);
+  for (auto id : ids) EXPECT_EQ(net3.port_count(id), 3u);
+
+  Network net4(1);
+  ids.clear();
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(net4.add_node<SinkNode>("n" + std::to_string(i)).id());
+  }
+  connect_star(net4, ids[0], {ids[1], ids[2], ids[3]});
+  EXPECT_EQ(net4.port_count(ids[0]), 3u);
+  EXPECT_EQ(net4.port_count(ids[1]), 1u);
+}
+
+// Property: simulator determinism — same seed, same trace.
+class SimDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimDeterminism, IdenticalTraces) {
+  auto run = [&](std::uint64_t seed) {
+    Network net(seed);
+    auto& a = net.add_node<SinkNode>("a");
+    auto& b = net.add_node<SinkNode>("b");
+    LinkParams lp;
+    lp.loss_rate = 0.2;
+    lp.latency = 3 * kMicrosecond;
+    net.connect(a.id(), b.id(), lp);
+    Rng workload(seed ^ 0x777);
+    for (int i = 0; i < 200; ++i) {
+      a.transmit(0, make_packet(workload.next_below(500)));
+    }
+    net.loop().run();
+    std::vector<std::pair<SimTime, std::size_t>> trace;
+    for (const auto& arr : b.arrivals) {
+      trace.emplace_back(arr.at, arr.pkt.data.size());
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(GetParam()), run(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimDeterminism,
+                         ::testing::Values(1, 7, 99, 12345));
+
+
+// --- link failure injection -----------------------------------------------------
+
+TEST(LinkFailure, DownLinkDropsAndCounts) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  auto [pa, pb] = net.connect(a.id(), b.id());
+  (void)pb;
+  net.set_link_up(a.id(), pa, false);
+  EXPECT_FALSE(net.link_up(a.id(), pa));
+  a.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_TRUE(b.arrivals.empty());
+  EXPECT_EQ(net.stats().frames_dropped_down, 1u);
+}
+
+TEST(LinkFailure, CutAffectsBothDirections) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  auto [pa, pb] = net.connect(a.id(), b.id());
+  net.set_link_up(a.id(), pa, false);
+  b.transmit(pb, make_packet(10));  // reverse direction also dead
+  net.loop().run();
+  EXPECT_TRUE(a.arrivals.empty());
+  EXPECT_EQ(net.stats().frames_dropped_down, 1u);
+}
+
+TEST(LinkFailure, RestoreResumesDelivery) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  auto [pa, pb] = net.connect(a.id(), b.id());
+  (void)pb;
+  net.set_link_up(a.id(), pa, false);
+  a.transmit(0, make_packet(10));
+  net.loop().run();
+  net.set_link_up(a.id(), pa, true);
+  a.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(LinkFailure, InFlightFramesStillArrive) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  LinkParams lp;
+  lp.latency = 100 * kMicrosecond;
+  auto [pa, pb] = net.connect(a.id(), b.id(), lp);
+  (void)pb;
+  a.transmit(0, make_packet(10));
+  // Cut the link while the frame is mid-flight: it left before the cut.
+  net.loop().schedule_at(10 * kMicrosecond,
+                         [&] { net.set_link_up(a.id(), pa, false); });
+  net.loop().run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+// --- two-stage (fallback) matching ------------------------------------------------
+
+TEST(SwitchNode, FallbackKeyUsedOnExactMiss) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  sw.set_key_extractor([](const Packet&) {
+    ParsedKey k{U128{0, 1}, false};
+    k.fallback = U128{0, 2};
+    return std::optional<ParsedKey>(k);
+  });
+  // Only the AGGREGATE rule exists.
+  ASSERT_TRUE(sw.table().insert(U128{0, 2}, Action::forward_to(1)));
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_EQ(h2.arrivals.size(), 1u);
+}
+
+TEST(SwitchNode, ExactRuleShadowsFallback) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  auto& h3 = net.add_node<SinkNode>("h3");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());  // port 1
+  net.connect(sw.id(), h3.id());  // port 2
+  sw.set_key_extractor([](const Packet&) {
+    ParsedKey k{U128{0, 1}, false};
+    k.fallback = U128{0, 2};
+    return std::optional<ParsedKey>(k);
+  });
+  ASSERT_TRUE(sw.table().insert(U128{0, 1}, Action::forward_to(2)));  // exact
+  ASSERT_TRUE(sw.table().insert(U128{0, 2}, Action::forward_to(1)));  // agg
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_TRUE(h2.arrivals.empty());
+  EXPECT_EQ(h3.arrivals.size(), 1u);  // exact rule won
+}
+
+TEST(SwitchNode, FallbackMissFallsToDefault) {
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  sw.set_key_extractor([](const Packet&) {
+    ParsedKey k{U128{0, 1}, false};
+    k.fallback = U128{0, 2};
+    return std::optional<ParsedKey>(k);
+  });
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_TRUE(h2.arrivals.empty());
+  EXPECT_EQ(sw.counters().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace objrpc
