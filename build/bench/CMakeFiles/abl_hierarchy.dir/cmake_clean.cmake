@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_hierarchy.dir/abl_hierarchy.cpp.o"
+  "CMakeFiles/abl_hierarchy.dir/abl_hierarchy.cpp.o.d"
+  "abl_hierarchy"
+  "abl_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

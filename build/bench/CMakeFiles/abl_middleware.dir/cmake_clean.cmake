@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_middleware.dir/abl_middleware.cpp.o"
+  "CMakeFiles/abl_middleware.dir/abl_middleware.cpp.o.d"
+  "abl_middleware"
+  "abl_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

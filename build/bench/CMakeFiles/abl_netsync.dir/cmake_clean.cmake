@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_netsync.dir/abl_netsync.cpp.o"
+  "CMakeFiles/abl_netsync.dir/abl_netsync.cpp.o.d"
+  "abl_netsync"
+  "abl_netsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_netsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_placement.dir/abl_placement.cpp.o"
+  "CMakeFiles/abl_placement.dir/abl_placement.cpp.o.d"
+  "abl_placement"
+  "abl_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

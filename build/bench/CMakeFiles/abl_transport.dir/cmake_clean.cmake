@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_transport.dir/abl_transport.cpp.o"
+  "CMakeFiles/abl_transport.dir/abl_transport.cpp.o.d"
+  "abl_transport"
+  "abl_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_rpc_vs_ref.dir/claim_rpc_vs_ref.cpp.o"
+  "CMakeFiles/claim_rpc_vs_ref.dir/claim_rpc_vs_ref.cpp.o.d"
+  "claim_rpc_vs_ref"
+  "claim_rpc_vs_ref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_rpc_vs_ref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_serialization.dir/claim_serialization.cpp.o"
+  "CMakeFiles/claim_serialization.dir/claim_serialization.cpp.o.d"
+  "claim_serialization"
+  "claim_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

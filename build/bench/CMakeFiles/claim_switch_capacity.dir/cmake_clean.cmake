@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/claim_switch_capacity.dir/claim_switch_capacity.cpp.o"
+  "CMakeFiles/claim_switch_capacity.dir/claim_switch_capacity.cpp.o.d"
+  "claim_switch_capacity"
+  "claim_switch_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/claim_switch_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

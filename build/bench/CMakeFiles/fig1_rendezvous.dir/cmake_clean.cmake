@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_rendezvous.dir/fig1_rendezvous.cpp.o"
+  "CMakeFiles/fig1_rendezvous.dir/fig1_rendezvous.cpp.o.d"
+  "fig1_rendezvous"
+  "fig1_rendezvous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_rendezvous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

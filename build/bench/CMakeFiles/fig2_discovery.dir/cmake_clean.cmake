@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_discovery.dir/fig2_discovery.cpp.o"
+  "CMakeFiles/fig2_discovery.dir/fig2_discovery.cpp.o.d"
+  "fig2_discovery"
+  "fig2_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

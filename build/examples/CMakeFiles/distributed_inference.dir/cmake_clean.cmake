@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_inference.dir/distributed_inference.cpp.o"
+  "CMakeFiles/distributed_inference.dir/distributed_inference.cpp.o.d"
+  "distributed_inference"
+  "distributed_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

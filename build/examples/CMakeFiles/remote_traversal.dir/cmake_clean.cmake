@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_traversal.dir/remote_traversal.cpp.o"
+  "CMakeFiles/remote_traversal.dir/remote_traversal.cpp.o.d"
+  "remote_traversal"
+  "remote_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_failover.dir/replicated_failover.cpp.o"
+  "CMakeFiles/replicated_failover.dir/replicated_failover.cpp.o.d"
+  "replicated_failover"
+  "replicated_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_common.dir/log.cpp.o"
+  "CMakeFiles/objrpc_common.dir/log.cpp.o.d"
+  "CMakeFiles/objrpc_common.dir/result.cpp.o"
+  "CMakeFiles/objrpc_common.dir/result.cpp.o.d"
+  "CMakeFiles/objrpc_common.dir/rng.cpp.o"
+  "CMakeFiles/objrpc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/objrpc_common.dir/stats.cpp.o"
+  "CMakeFiles/objrpc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/objrpc_common.dir/time.cpp.o"
+  "CMakeFiles/objrpc_common.dir/time.cpp.o.d"
+  "CMakeFiles/objrpc_common.dir/u128.cpp.o"
+  "CMakeFiles/objrpc_common.dir/u128.cpp.o.d"
+  "libobjrpc_common.a"
+  "libobjrpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

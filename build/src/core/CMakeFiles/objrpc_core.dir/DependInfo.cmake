@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/objrpc_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/code.cpp" "src/core/CMakeFiles/objrpc_core.dir/code.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/code.cpp.o.d"
+  "/root/repo/src/core/fetch.cpp" "src/core/CMakeFiles/objrpc_core.dir/fetch.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/fetch.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/objrpc_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/prefetch.cpp" "src/core/CMakeFiles/objrpc_core.dir/prefetch.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/prefetch.cpp.o.d"
+  "/root/repo/src/core/rendezvous.cpp" "src/core/CMakeFiles/objrpc_core.dir/rendezvous.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/rendezvous.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/objrpc_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/replication.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/objrpc_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/objrpc_core.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/objrpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crdt/CMakeFiles/objrpc_crdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/objspace/CMakeFiles/objrpc_objspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/objrpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/objrpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_core.dir/cluster.cpp.o"
+  "CMakeFiles/objrpc_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/objrpc_core.dir/code.cpp.o"
+  "CMakeFiles/objrpc_core.dir/code.cpp.o.d"
+  "CMakeFiles/objrpc_core.dir/fetch.cpp.o"
+  "CMakeFiles/objrpc_core.dir/fetch.cpp.o.d"
+  "CMakeFiles/objrpc_core.dir/placement.cpp.o"
+  "CMakeFiles/objrpc_core.dir/placement.cpp.o.d"
+  "CMakeFiles/objrpc_core.dir/prefetch.cpp.o"
+  "CMakeFiles/objrpc_core.dir/prefetch.cpp.o.d"
+  "CMakeFiles/objrpc_core.dir/rendezvous.cpp.o"
+  "CMakeFiles/objrpc_core.dir/rendezvous.cpp.o.d"
+  "CMakeFiles/objrpc_core.dir/replication.cpp.o"
+  "CMakeFiles/objrpc_core.dir/replication.cpp.o.d"
+  "CMakeFiles/objrpc_core.dir/runtime.cpp.o"
+  "CMakeFiles/objrpc_core.dir/runtime.cpp.o.d"
+  "libobjrpc_core.a"
+  "libobjrpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

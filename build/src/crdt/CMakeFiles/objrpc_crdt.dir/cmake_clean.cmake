@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_crdt.dir/crdt.cpp.o"
+  "CMakeFiles/objrpc_crdt.dir/crdt.cpp.o.d"
+  "libobjrpc_crdt.a"
+  "libobjrpc_crdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_crdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/controller.cpp" "src/net/CMakeFiles/objrpc_net.dir/controller.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/controller.cpp.o.d"
+  "/root/repo/src/net/discovery_e2e.cpp" "src/net/CMakeFiles/objrpc_net.dir/discovery_e2e.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/discovery_e2e.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/objrpc_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/host_node.cpp" "src/net/CMakeFiles/objrpc_net.dir/host_node.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/host_node.cpp.o.d"
+  "/root/repo/src/net/netsync.cpp" "src/net/CMakeFiles/objrpc_net.dir/netsync.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/netsync.cpp.o.d"
+  "/root/repo/src/net/objnet.cpp" "src/net/CMakeFiles/objrpc_net.dir/objnet.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/objnet.cpp.o.d"
+  "/root/repo/src/net/reliable.cpp" "src/net/CMakeFiles/objrpc_net.dir/reliable.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/reliable.cpp.o.d"
+  "/root/repo/src/net/service.cpp" "src/net/CMakeFiles/objrpc_net.dir/service.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/service.cpp.o.d"
+  "/root/repo/src/net/subscription.cpp" "src/net/CMakeFiles/objrpc_net.dir/subscription.cpp.o" "gcc" "src/net/CMakeFiles/objrpc_net.dir/subscription.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/objrpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/objspace/CMakeFiles/objrpc_objspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/objrpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_net.dir/controller.cpp.o"
+  "CMakeFiles/objrpc_net.dir/controller.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/discovery_e2e.cpp.o"
+  "CMakeFiles/objrpc_net.dir/discovery_e2e.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/fabric.cpp.o"
+  "CMakeFiles/objrpc_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/host_node.cpp.o"
+  "CMakeFiles/objrpc_net.dir/host_node.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/netsync.cpp.o"
+  "CMakeFiles/objrpc_net.dir/netsync.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/objnet.cpp.o"
+  "CMakeFiles/objrpc_net.dir/objnet.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/reliable.cpp.o"
+  "CMakeFiles/objrpc_net.dir/reliable.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/service.cpp.o"
+  "CMakeFiles/objrpc_net.dir/service.cpp.o.d"
+  "CMakeFiles/objrpc_net.dir/subscription.cpp.o"
+  "CMakeFiles/objrpc_net.dir/subscription.cpp.o.d"
+  "libobjrpc_net.a"
+  "libobjrpc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objspace/object.cpp" "src/objspace/CMakeFiles/objrpc_objspace.dir/object.cpp.o" "gcc" "src/objspace/CMakeFiles/objrpc_objspace.dir/object.cpp.o.d"
+  "/root/repo/src/objspace/reachability.cpp" "src/objspace/CMakeFiles/objrpc_objspace.dir/reachability.cpp.o" "gcc" "src/objspace/CMakeFiles/objrpc_objspace.dir/reachability.cpp.o.d"
+  "/root/repo/src/objspace/store.cpp" "src/objspace/CMakeFiles/objrpc_objspace.dir/store.cpp.o" "gcc" "src/objspace/CMakeFiles/objrpc_objspace.dir/store.cpp.o.d"
+  "/root/repo/src/objspace/structures.cpp" "src/objspace/CMakeFiles/objrpc_objspace.dir/structures.cpp.o" "gcc" "src/objspace/CMakeFiles/objrpc_objspace.dir/structures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/objrpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_objspace.dir/object.cpp.o"
+  "CMakeFiles/objrpc_objspace.dir/object.cpp.o.d"
+  "CMakeFiles/objrpc_objspace.dir/reachability.cpp.o"
+  "CMakeFiles/objrpc_objspace.dir/reachability.cpp.o.d"
+  "CMakeFiles/objrpc_objspace.dir/store.cpp.o"
+  "CMakeFiles/objrpc_objspace.dir/store.cpp.o.d"
+  "CMakeFiles/objrpc_objspace.dir/structures.cpp.o"
+  "CMakeFiles/objrpc_objspace.dir/structures.cpp.o.d"
+  "libobjrpc_objspace.a"
+  "libobjrpc_objspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_objspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for objrpc_objspace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_rpc.dir/middleware.cpp.o"
+  "CMakeFiles/objrpc_rpc.dir/middleware.cpp.o.d"
+  "CMakeFiles/objrpc_rpc.dir/rpc_core.cpp.o"
+  "CMakeFiles/objrpc_rpc.dir/rpc_core.cpp.o.d"
+  "CMakeFiles/objrpc_rpc.dir/rpc_message.cpp.o"
+  "CMakeFiles/objrpc_rpc.dir/rpc_message.cpp.o.d"
+  "CMakeFiles/objrpc_rpc.dir/typed.cpp.o"
+  "CMakeFiles/objrpc_rpc.dir/typed.cpp.o.d"
+  "libobjrpc_rpc.a"
+  "libobjrpc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

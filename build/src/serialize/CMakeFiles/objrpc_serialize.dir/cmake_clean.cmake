@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_serialize.dir/swizzle.cpp.o"
+  "CMakeFiles/objrpc_serialize.dir/swizzle.cpp.o.d"
+  "CMakeFiles/objrpc_serialize.dir/wire.cpp.o"
+  "CMakeFiles/objrpc_serialize.dir/wire.cpp.o.d"
+  "libobjrpc_serialize.a"
+  "libobjrpc_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

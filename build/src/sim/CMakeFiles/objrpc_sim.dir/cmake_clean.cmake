@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objrpc_sim.dir/event_loop.cpp.o"
+  "CMakeFiles/objrpc_sim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/objrpc_sim.dir/network.cpp.o"
+  "CMakeFiles/objrpc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/objrpc_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/objrpc_sim.dir/pipeline.cpp.o.d"
+  "CMakeFiles/objrpc_sim.dir/switch_node.cpp.o"
+  "CMakeFiles/objrpc_sim.dir/switch_node.cpp.o.d"
+  "CMakeFiles/objrpc_sim.dir/topology.cpp.o"
+  "CMakeFiles/objrpc_sim.dir/topology.cpp.o.d"
+  "libobjrpc_sim.a"
+  "libobjrpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objrpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

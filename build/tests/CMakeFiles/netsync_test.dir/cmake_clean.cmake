@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsync_test.dir/netsync_test.cpp.o"
+  "CMakeFiles/netsync_test.dir/netsync_test.cpp.o.d"
+  "netsync_test"
+  "netsync_test.pdb"
+  "netsync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objspace_test.dir/objspace_test.cpp.o"
+  "CMakeFiles/objspace_test.dir/objspace_test.cpp.o.d"
+  "objspace_test"
+  "objspace_test.pdb"
+  "objspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
