@@ -27,7 +27,7 @@ using namespace objrpc::bench;
 namespace {
 
 struct RunResult {
-  double mean_us = 0;
+  LatencySummary lat_us;
   double total_ms = 0;
   double home_served = 0;
   double switch_served = 0;
@@ -85,7 +85,7 @@ RunResult run(bool offload, int clients, int ops_per_client,
   if (outstanding != 0) std::abort();
 
   RunResult res;
-  res.mean_us = lat_us.mean();
+  res.lat_us = LatencySummary::of(lat_us);
   res.total_ms = to_millis(t_end - t0);
   res.home_served =
       static_cast<double>(cluster->service(home).counters().atomics_served);
@@ -106,8 +106,8 @@ RunResult run(bool offload, int clients, int ops_per_client,
 int main() {
   std::printf("ABL-NETSYNC: contended atomic counter, host-served vs "
               "in-network arbitration\n\n");
-  Table table({"clients", "ops_each", "mode", "mean_us", "total_ms",
-               "home_reqs", "sw_reqs", "count_ok"});
+  Table table({"clients", "ops_each", "mode", "mean_us", "p50_us", "p99_us",
+               "total_ms", "home_reqs", "sw_reqs", "count_ok"});
   for (int clients : {2, 4, 7}) {
     for (int ops : {50}) {
       const RunResult host_run =
@@ -117,12 +117,13 @@ int main() {
       const auto expect =
           static_cast<std::uint64_t>(clients) * static_cast<std::uint64_t>(ops);
       table.row({static_cast<double>(clients), static_cast<double>(ops), 0,
-                 host_run.mean_us, host_run.total_ms, host_run.home_served,
+                 host_run.lat_us.mean, host_run.lat_us.p50, host_run.lat_us.p99,
+                 host_run.total_ms, host_run.home_served,
                  host_run.switch_served,
                  host_run.final_count == expect ? 1.0 : 0.0});
       table.row({static_cast<double>(clients), static_cast<double>(ops), 1,
-                 sw_run.mean_us, sw_run.total_ms, sw_run.home_served,
-                 sw_run.switch_served,
+                 sw_run.lat_us.mean, sw_run.lat_us.p50, sw_run.lat_us.p99,
+                 sw_run.total_ms, sw_run.home_served, sw_run.switch_served,
                  sw_run.final_count == expect ? 1.0 : 0.0});
     }
   }

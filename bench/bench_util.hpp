@@ -32,6 +32,20 @@ inline void run_sequential(int n,
   (*advance)(0);
 }
 
+/// Mean / p50 / p99 of a sample set, in the samples' own unit.  The
+/// figure benches report tails as well as means: a cache or offload that
+/// only moves the mean is indistinguishable from one that actually
+/// shortens the common path.
+struct LatencySummary {
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+
+  static LatencySummary of(const SampleSet& s) {
+    return {s.mean(), s.percentile(50.0), s.percentile(99.0)};
+  }
+};
+
 /// Fixed-width table printing.
 class Table {
  public:

@@ -1,0 +1,141 @@
+// CLAIM-INCCACHE — the switch as an object cache (§5, co-designing the
+// object system with the programmable network).
+//
+//   "the network ... now functions somewhat as a memory bus" — once
+//   reads are object pulls instead of opaque RPCs, the fabric can SEE
+//   what is being read and answer from switch SRAM before the request
+//   ever reaches the home host.
+//
+// One edge client pulls objects homed across the fabric; reads are
+// Zipf-distributed over 64 objects.  Two configurations:
+//
+//   pass-through  — every fetch crosses the fabric to the home.
+//   switch-cache  — the client's access switch runs an IncCacheStage
+//                   under a controller grant sized well below the
+//                   working set, so only genuinely hot keys survive.
+//
+// Reported per skew: mean/p50/p99 fetch latency, the switch hit rate,
+// and how many chunk requests the home actually served.  The cache can
+// only pay off when the access distribution is skewed — at uniform the
+// admission filter and LRU churn give it nothing to hold on to.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/cluster.hpp"
+#include "inc/cache_stage.hpp"
+
+using namespace objrpc;
+using namespace objrpc::bench;
+
+namespace {
+
+constexpr int kObjects = 64;
+constexpr std::uint64_t kObjBytes = 8 * 1024;
+constexpr int kReads = 400;
+
+struct RunResult {
+  LatencySummary lat_us;
+  double hit_pct = 0;
+  double home_chunks = 0;
+  double admissions = 0;
+};
+
+RunResult run(bool cached, double skew, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::controller;
+  cfg.fabric.seed = seed;
+  auto cluster = Cluster::build(cfg);
+  // All objects homed on host 1; the client is host 0 (they attach to
+  // different switches, so every pull crosses the fabric).
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < kObjects; ++i) {
+    auto obj = cluster->create_object(1, kObjBytes);
+    if (!obj) std::abort();
+    ids.push_back((*obj)->id());
+  }
+  cluster->settle();
+
+  std::unique_ptr<IncCacheStage> cache;
+  if (cached) {
+    // The stage sits on the CLIENT's access switch — the one hop every
+    // read crosses regardless of where the object lives.
+    SwitchNode& tor = cluster->fabric().switch_at(0);
+    cache = std::make_unique<IncCacheStage>(tor);
+    CacheGrant grant;
+    // ~15 entries of 64 cached images: the budget forces real eviction
+    // pressure, so hit rate tracks skew rather than capacity.
+    grant.sram_budget_bytes = 128 * 1024;
+    grant.max_entry_bytes = 16 * 1024;
+    grant.admit_threshold = 2;
+    if (!cluster->fabric()
+             .controller()
+             ->enable_switch_cache(tor.id(), grant)
+             .is_ok()) {
+      std::abort();
+    }
+    cluster->settle();
+  }
+
+  Rng rng(seed * 7919 + 17);
+  SampleSet lat_us;
+  run_sequential(
+      kReads,
+      [&](int, std::function<void()> next) {
+        const ObjectId id = ids[rng.next_zipf(ids.size(), skew)];
+        // The edge client has no RAM to spare: drop the local replica so
+        // every read goes back to the fabric.
+        cluster->fetcher(0).evict(id);
+        const SimTime t0 = cluster->loop().now();
+        cluster->fetcher(0).fetch(
+            id, [&, t0, next = std::move(next)](Status s) {
+              if (!s) std::abort();
+              lat_us.add(to_micros(cluster->loop().now() - t0));
+              next();
+            });
+      },
+      [] {});
+  cluster->settle();
+
+  RunResult res;
+  res.lat_us = LatencySummary::of(lat_us);
+  res.home_chunks =
+      static_cast<double>(cluster->fetcher(1).counters().chunks_served);
+  if (cache) {
+    const auto& c = cache->counters();
+    const double looked_up = static_cast<double>(c.hits + c.misses);
+    res.hit_pct = looked_up > 0 ? 100.0 * c.hits / looked_up : 0.0;
+    res.admissions = static_cast<double>(c.admissions);
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CLAIM-INCCACHE: object reads served from switch SRAM, by "
+              "access skew\n");
+  std::printf("(%d objects x %llu KiB on one home, %d reads from one edge "
+              "client)\n\n",
+              kObjects, static_cast<unsigned long long>(kObjBytes / 1024),
+              kReads);
+  Table table({"zipf_s", "mode", "mean_us", "p50_us", "p99_us", "hit_pct",
+               "home_chunks", "admitted"});
+  for (double skew : {0.0, 0.9, 1.2}) {
+    const std::uint64_t seed = 42 + static_cast<std::uint64_t>(skew * 10);
+    const RunResult off = run(false, skew, seed);
+    const RunResult on = run(true, skew, seed);
+    table.row({skew, 0, off.lat_us.mean, off.lat_us.p50, off.lat_us.p99,
+               off.hit_pct, off.home_chunks, off.admissions});
+    table.row({skew, 1, on.lat_us.mean, on.lat_us.p50, on.lat_us.p99,
+               on.hit_pct, on.home_chunks, on.admissions});
+  }
+  std::printf("\n(mode: 0=pass-through, 1=switch-cache)\n");
+  std::printf("series: under skew the hot keys clear the admission "
+              "threshold and stick in\nswitch SRAM — median latency drops "
+              "(one hop instead of the full path) and the\nhome's chunk "
+              "load collapses.  At uniform access the cache admits little "
+              "and the\ntwo modes converge: the win is the workload's, not "
+              "the hardware's.\n");
+  return 0;
+}

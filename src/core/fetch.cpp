@@ -6,11 +6,6 @@
 
 namespace objrpc {
 
-namespace {
-/// chunk_resp offset value meaning "I do not hold this object".
-constexpr std::uint64_t kNotHere = ~0ULL;
-}  // namespace
-
 ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
     : service_(service), cfg_(cfg) {
   service_.set_authority_filter(
@@ -27,12 +22,24 @@ ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
   service_.set_write_observer([this](ObjectId id) {
     auto it = copysets_.find(id);
     if (it == copysets_.end()) return;
-    for (HostAddr member : it->second) {
+    // Version that obsoleted the replicas: the post-write counter.
+    std::uint64_t version = 0;
+    if (auto obj = service_.host().store().get(id)) {
+      version = (*obj)->version();
+    }
+    // Switch cache agents sit on the read path between us and every host
+    // replica — invalidate them FIRST, so a host that re-fetches cannot
+    // be answered by a not-yet-invalidated switch holding the old image.
+    std::vector<HostAddr> members(it->second.begin(), it->second.end());
+    std::stable_partition(members.begin(), members.end(),
+                          [](HostAddr m) { return is_inc_cache_addr(m); });
+    for (HostAddr member : members) {
       ++counters_.invalidates_sent;
       Frame inv;
       inv.type = MsgType::invalidate;
       inv.dst_host = member;
       inv.object = id;
+      inv.obj_version = version;
       service_.host().send_frame(std::move(inv));
     }
     copysets_.erase(it);
@@ -64,6 +71,7 @@ void ObjectFetcher::start(ObjectId id) {
   pf.total_size = 0;
   pf.buffer.clear();
   pf.outstanding_chunks.clear();
+  pf.version = 0;  // re-lock onto whatever version the next stat reports
   const std::uint64_t generation = ++pf.generation;
   service_.discovery().resolve(id, [this, id,
                                     generation](Result<ResolveOutcome> out) {
@@ -127,11 +135,12 @@ void ObjectFetcher::on_chunk_req(const Frame& f) {
   resp.object = f.object;
   resp.seq = f.seq;
   if (!obj) {
-    resp.offset = kNotHere;
+    resp.offset = kChunkNotHere;
     service_.host().send_frame(std::move(resp));
     return;
   }
   ++counters_.chunks_served;
+  resp.obj_version = (*obj)->version();
   const Bytes& image = (*obj)->raw_bytes();
   if (f.length == 0) {
     // stat: report the byte-image size.
@@ -155,7 +164,7 @@ void ObjectFetcher::on_chunk_resp(const Frame& f) {
   auto it = pending_.find(f.object);
   if (it == pending_.end()) return;  // stale / duplicate
   PendingFetch& pf = it->second;
-  if (f.offset == kNotHere) {
+  if (f.offset == kChunkNotHere) {
     // Stale location knowledge; tell discovery and retry.
     service_.discovery().on_stale(f.object, f.src_host);
     start(f.object);
@@ -167,9 +176,17 @@ void ObjectFetcher::on_chunk_resp(const Frame& f) {
       complete(f.object, Error{Errc::malformed, "empty object image"});
       return;
     }
+    if (f.obj_version < pf.version_floor) {
+      // The responder (typically a switch cache that raced our write
+      // invalidate) is offering a version we know is obsolete.  Ignore
+      // it; the retry timer re-resolves toward a fresh source.
+      ++counters_.stale_rejects;
+      return;
+    }
     pf.total_size = f.offset;
     pf.buffer.assign(pf.total_size, 0);
     pf.source = f.src_host;  // lock onto whoever answered
+    pf.version = f.obj_version;
     send_chunk_reqs(f.object);
     return;
   }
@@ -177,12 +194,27 @@ void ObjectFetcher::on_chunk_resp(const Frame& f) {
   if (pf.buffer.empty() || f.offset + f.payload.size() > pf.buffer.size()) {
     return;  // out-of-protocol; ignore
   }
+  if (f.obj_version != pf.version) {
+    // Torn read: this chunk belongs to a different image version than
+    // the stat locked onto (a write landed mid-pull).  Dropping it keeps
+    // the chunk outstanding; the timer restarts the pull from scratch.
+    ++counters_.stale_rejects;
+    return;
+  }
   if (pf.outstanding_chunks.erase(f.offset) == 0) return;  // duplicate
   std::copy(f.payload.begin(), f.payload.end(),
             pf.buffer.begin() + static_cast<std::ptrdiff_t>(f.offset));
   counters_.bytes_pulled += f.payload.size();
   if (!pf.outstanding_chunks.empty()) return;
 
+  if (pf.version < pf.version_floor) {
+    // Defence in depth: an invalidate raised the floor after this pull
+    // locked its version.  Adopting now would resurrect the stale
+    // replica the writer just killed — restart instead.
+    ++counters_.stale_rejects;
+    start(f.object);
+    return;
+  }
   // All chunks in: adopt as a cached replica.  This is the entire
   // "deserialization": header validation of a byte image.
   auto obj = Object::from_bytes(f.object, std::move(pf.buffer));
@@ -232,6 +264,17 @@ void ObjectFetcher::on_invalidate(const Frame& f) {
     (void)service_.host().store().remove(f.object);
   } else if (invalidate_hook_) {
     invalidate_hook_(f.object);
+  }
+  // A fetch in flight is pulling the very image this invalidate just
+  // obsoleted.  Raise the floor past it (unversioned invalidates
+  // obsolete whatever version we locked) and restart through discovery;
+  // straggler chunk_resps from the stale pull fail the version guards.
+  if (auto it = pending_.find(f.object); it != pending_.end()) {
+    PendingFetch& pf = it->second;
+    const std::uint64_t floor =
+        std::max<std::uint64_t>(f.obj_version, pf.version + 1);
+    if (floor > pf.version_floor) pf.version_floor = floor;
+    start(f.object);
   }
   Frame ack;
   ack.type = MsgType::invalidate_ack;

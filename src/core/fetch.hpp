@@ -67,6 +67,10 @@ class ObjectFetcher {
     std::uint64_t invalidates_sent = 0;
     std::uint64_t invalidates_received = 0;
     std::uint64_t evictions = 0;
+    /// Responses ignored by the version guards: stats below the floor a
+    /// mid-fetch invalidate raised, or data chunks from a different
+    /// image version than the stat locked onto (torn read).
+    std::uint64_t stale_rejects = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -97,6 +101,13 @@ class ObjectFetcher {
     int attempts = 0;
     std::uint64_t generation = 0;
     HostAddr source = kUnspecifiedHost;
+    /// Version of the image this pull locked onto (from the stat reply);
+    /// every data chunk must carry the same version or it is torn.
+    std::uint64_t version = 0;
+    /// Minimum version this fetch may adopt.  An invalidate arriving
+    /// mid-fetch raises it past the invalidated version, so an in-flight
+    /// chunk_resp can never resurrect the stale replica.
+    std::uint64_t version_floor = 0;
     bool prefetch = false;  // issued by policy, not demand
   };
 

@@ -1,0 +1,54 @@
+#include "inc/hotkey.hpp"
+
+namespace objrpc {
+
+void HotKeyTracker::roll(Slot& slot, std::uint64_t epoch) {
+  if (slot.epoch == epoch) return;
+  if (slot.epoch + 1 == epoch) {
+    slot.previous = slot.current;
+  } else {
+    slot.previous = 0;  // more than a full window elapsed
+  }
+  slot.current = 0;
+  slot.epoch = epoch;
+}
+
+void HotKeyTracker::sweep(std::uint64_t epoch) {
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    roll(it->second, epoch);
+    if (it->second.current == 0 && it->second.previous == 0) {
+      it = counters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint32_t HotKeyTracker::record(ObjectId key, SimTime now) {
+  const std::uint64_t epoch = epoch_of(now);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    if (counters_.size() >= cfg_.max_keys) {
+      sweep(epoch);  // reclaim cold buckets before giving up
+      if (counters_.size() >= cfg_.max_keys) {
+        ++overflowed_;
+        return 0;
+      }
+    }
+    it = counters_.emplace(key, Slot{epoch, 0, 0}).first;
+  }
+  roll(it->second, epoch);
+  ++it->second.current;
+  return it->second.current + it->second.previous;
+}
+
+std::uint32_t HotKeyTracker::count(ObjectId key, SimTime now) const {
+  auto it = counters_.find(key);
+  if (it == counters_.end()) return 0;
+  const std::uint64_t epoch = epoch_of(now);
+  Slot slot = it->second;  // roll a copy; const lookup
+  roll(slot, epoch);
+  return slot.current + slot.previous;
+}
+
+}  // namespace objrpc

@@ -1,0 +1,72 @@
+// Hot-key detection for the in-network cache (src/inc).
+//
+// A switch cannot afford to cache every object that passes through it:
+// SRAM is the scarcest resource in the pipeline, and a one-shot key that
+// displaces a genuinely hot entry wastes both the SRAM and the fill
+// traffic.  The admission policy therefore counts per-key accesses over
+// a sliding time window and only keys seen at least K times inside the
+// window become candidates.
+//
+// The window is approximated with the classic two-epoch scheme: time is
+// cut into epochs of `window` length, each key keeps a count for the
+// current and the previous epoch, and the windowed count is their sum.
+// That bounds state at two counters per key, which is what a register
+// pair per hash bucket costs on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/time.hpp"
+#include "objspace/id.hpp"
+
+namespace objrpc {
+
+struct HotKeyConfig {
+  /// Sliding-window length the admission threshold is measured over.
+  SimDuration window = 5 * kMillisecond;
+  /// Keys tracked at once (models the counter stage's bucket budget).
+  std::size_t max_keys = 4096;
+};
+
+class HotKeyTracker {
+ public:
+  explicit HotKeyTracker(HotKeyConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Record one access to `key` at simulated time `now`; returns the
+  /// access count inside the current window (including this access).
+  /// Returns 0 if the counter stage is full and cannot track `key`.
+  std::uint32_t record(ObjectId key, SimTime now);
+
+  /// Windowed count without recording (0 if untracked).
+  std::uint32_t count(ObjectId key, SimTime now) const;
+
+  /// Drop a key's counters (e.g. once it has been admitted).
+  void forget(ObjectId key) { counters_.erase(key); }
+
+  std::size_t tracked_keys() const { return counters_.size(); }
+  /// Accesses that could not be counted because the stage was full.
+  std::uint64_t overflowed() const { return overflowed_; }
+
+ private:
+  struct Slot {
+    std::uint64_t epoch = 0;  // epoch `current` belongs to
+    std::uint32_t current = 0;
+    std::uint32_t previous = 0;
+  };
+
+  std::uint64_t epoch_of(SimTime now) const {
+    return static_cast<std::uint64_t>(now) /
+           static_cast<std::uint64_t>(cfg_.window);
+  }
+  /// Shift `slot` forward to `epoch`, aging out stale counts.
+  static void roll(Slot& slot, std::uint64_t epoch);
+  /// Reclaim buckets whose counts aged to zero.
+  void sweep(std::uint64_t epoch);
+
+  HotKeyConfig cfg_;
+  std::unordered_map<ObjectId, Slot> counters_;
+  std::uint64_t overflowed_ = 0;
+};
+
+}  // namespace objrpc

@@ -101,6 +101,45 @@ void ControllerNode::on_punted(const Frame& f, PortId /*in_port*/) {
   }
 }
 
+Result<std::size_t> ControllerNode::switch_index(NodeId switch_node) const {
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i] == switch_node) return i;
+  }
+  return Error{Errc::invalid_argument, "not a managed switch"};
+}
+
+Status ControllerNode::enable_switch_cache(NodeId switch_node,
+                                           CacheGrant grant) {
+  auto idx = switch_index(switch_node);
+  if (!idx) return idx.error();
+  ++counters_.cache_grants;
+  // Teach every OTHER switch how to reach the cache agent: fill replies
+  // from homes and invalidates from writers are addressed to it.
+  const U128 key = host_route_key(inc_cache_addr(switch_node));
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (switches_[i] == switch_node) continue;
+    auto port = next_hop_port(switches_[i], switch_node);
+    if (!port) {
+      Log::warn("ctrl", "no path from switch %u to caching switch %u",
+                switches_[i], switch_node);
+      continue;
+    }
+    ++counters_.rules_installed;
+    send_to_switch(i, MsgType::ctrl_install,
+                   encode_install_rule(InstallRule{key, *port}));
+  }
+  send_to_switch(*idx, MsgType::ctrl_cache_grant, encode_cache_grant(grant));
+  return Status::ok();
+}
+
+Status ControllerNode::disable_switch_cache(NodeId switch_node) {
+  auto idx = switch_index(switch_node);
+  if (!idx) return idx.error();
+  ++counters_.cache_revokes;
+  send_to_switch(*idx, MsgType::ctrl_cache_revoke, Bytes{});
+  return Status::ok();
+}
+
 void ControllerNode::install_everywhere(const U128& key, NodeId dest_node) {
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     auto port = next_hop_port(switches_[i], dest_node);

@@ -41,6 +41,17 @@ class ControllerNode : public HostNode {
   void assign_region(NodeId host, RegionId region);
   bool hierarchical() const { return !regions_.empty(); }
 
+  /// Grant `switch_node` the in-network caching privilege (src/inc):
+  /// install fabric-wide host routes for its cache agent's address (so
+  /// fill replies and invalidates reach it from anywhere) and send the
+  /// budgeted grant over the control link.  The agent's own switch needs
+  /// no route — its pre-match hook intercepts before the match stage.
+  Status enable_switch_cache(NodeId switch_node, CacheGrant grant = {});
+  /// Revoke the privilege.  The cache-agent routes stay installed:
+  /// coherence traffic (invalidates owed to clients the agent served,
+  /// and their acks) must keep flowing after the entries are dropped.
+  Status disable_switch_cache(NodeId switch_node);
+
   struct Counters {
     std::uint64_t advertises = 0;
     std::uint64_t withdraws = 0;
@@ -50,6 +61,8 @@ class ControllerNode : public HostNode {
     std::uint64_t punts_unroutable = 0;
     /// Advertisements covered by a region aggregate (no exact rule).
     std::uint64_t adverts_aggregated = 0;
+    std::uint64_t cache_grants = 0;
+    std::uint64_t cache_revokes = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -64,6 +77,7 @@ class ControllerNode : public HostNode {
   void install_everywhere(const U128& key, NodeId dest_node);
   void remove_everywhere(const U128& key);
   void send_to_switch(std::size_t switch_idx, MsgType type, Bytes payload);
+  Result<std::size_t> switch_index(NodeId switch_node) const;
 
   /// Next-hop port from `from_switch` toward `dest_node` (BFS over the
   /// fabric graph; the controller's global topology view).

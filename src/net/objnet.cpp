@@ -50,6 +50,10 @@ const char* msg_type_name(MsgType t) {
       return "atomic_req";
     case MsgType::atomic_resp:
       return "atomic_resp";
+    case MsgType::ctrl_cache_grant:
+      return "ctrl_cache_grant";
+    case MsgType::ctrl_cache_revoke:
+      return "ctrl_cache_revoke";
   }
   return "unknown";
 }
@@ -66,6 +70,7 @@ Bytes Frame::encode() const {
   w.put_u64(seq);
   w.put_u64(offset);
   w.put_u32(length);
+  w.put_u64(obj_version);
   w.put_blob(payload);
   return std::move(w).take();
 }
@@ -83,6 +88,7 @@ Result<Frame> Frame::decode(ByteSpan data) {
   f.seq = r.get_u64();
   f.offset = r.get_u64();
   f.length = r.get_u32();
+  f.obj_version = r.get_u64();
   f.payload = r.get_blob();
   if (!r.ok() || r.remaining() != 0) {
     return Error{Errc::malformed, "bad frame"};
@@ -165,6 +171,24 @@ std::optional<AtomicResponse> decode_atomic_response(ByteSpan payload) {
   resp.applied = r.get_u8() != 0;
   if (!r.ok()) return std::nullopt;
   return resp;
+}
+
+Bytes encode_cache_grant(const CacheGrant& grant) {
+  BufWriter w(16);
+  w.put_u64(grant.sram_budget_bytes);
+  w.put_u32(grant.max_entry_bytes);
+  w.put_u32(grant.admit_threshold);
+  return std::move(w).take();
+}
+
+Result<CacheGrant> decode_cache_grant(ByteSpan payload) {
+  BufReader r(payload);
+  CacheGrant grant;
+  grant.sram_budget_bytes = r.get_u64();
+  grant.max_entry_bytes = r.get_u32();
+  grant.admit_threshold = r.get_u32();
+  if (!r.ok()) return Error{Errc::malformed, "bad cache grant"};
+  return grant;
 }
 
 Bytes encode_install_rule(const InstallRule& rule) {

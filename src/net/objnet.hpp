@@ -71,6 +71,10 @@ enum class MsgType : std::uint8_t {
   // synchronization offload — servable by the home OR by a switch
   atomic_req = 22,
   atomic_resp = 23,
+  // in-network cache control plane (controller -> switch): grant or
+  // revoke the privilege of answering chunk_req reads from switch SRAM
+  ctrl_cache_grant = 24,
+  ctrl_cache_revoke = 25,
 };
 
 /// Atomic operation codes carried in atomic_req payloads.
@@ -102,7 +106,7 @@ const char* msg_type_name(MsgType t);
 /// Header flags.
 constexpr std::uint16_t kFlagBroadcast = 1u << 0;
 
-/// The fixed frame header.  56 bytes on the wire, followed by a
+/// The fixed frame header.  64 bytes on the wire, followed by a
 /// varint-length payload.
 struct Frame {
   std::uint8_t version = 1;
@@ -116,6 +120,12 @@ struct Frame {
   /// Byte range for memory operations.
   std::uint64_t offset = 0;
   std::uint32_t length = 0;
+  /// Mutation counter of `object` as known by the sender; carried by
+  /// chunk_resp (version of the served image) and invalidate (version
+  /// that obsoleted the replicas).  0 = not applicable / unknown.  The
+  /// coherence layer and the in-network cache use it so no stale image
+  /// can be (re)admitted across a write-invalidate race.
+  std::uint64_t obj_version = 0;
   Bytes payload;
 
   bool is_broadcast() const { return (flags & kFlagBroadcast) != 0; }
@@ -149,6 +159,25 @@ inline U128 host_route_key(HostAddr host) {
 }
 inline U128 object_route_key(ObjectId id) { return id.value; }
 
+/// Switch-resident cache agents participate in the coherence protocol as
+/// first-class copyset members, so they need protocol addresses.  They
+/// live in a reserved high range real hosts (NodeId + 1, small) never
+/// reach; the home's invalidation path uses this to invalidate switches
+/// before host replicas.
+constexpr HostAddr kIncCacheAddrBase = 0xFFFF'FFFF'0000'0000ULL;
+
+inline HostAddr inc_cache_addr(NodeId switch_node) {
+  return kIncCacheAddrBase + static_cast<HostAddr>(switch_node);
+}
+inline bool is_inc_cache_addr(HostAddr addr) {
+  return addr >= kIncCacheAddrBase;
+}
+
+/// chunk_resp offset sentinel: "I do not hold this object" — sent by a
+/// host whose store misses, or by a switch cache whose entry is gone by
+/// the time a locked-on requester asks for more chunks.
+constexpr std::uint64_t kChunkNotHere = ~0ULL;
+
 /// Payload helpers ------------------------------------------------------
 
 /// nack payload: the error code plus an optional redirect hint (used by
@@ -167,5 +196,17 @@ struct InstallRule {
 };
 Bytes encode_install_rule(const InstallRule& rule);
 Result<InstallRule> decode_install_rule(ByteSpan payload);
+
+/// ctrl_cache_grant payload: the caching privilege and its budget.
+struct CacheGrant {
+  /// SRAM the controller lets this switch spend on cached images.
+  std::uint64_t sram_budget_bytes = 256 * 1024;
+  /// Largest single object image the switch may admit.
+  std::uint32_t max_entry_bytes = 16 * 1024;
+  /// Accesses within the sliding window before a key is admitted.
+  std::uint32_t admit_threshold = 3;
+};
+Bytes encode_cache_grant(const CacheGrant& grant);
+Result<CacheGrant> decode_cache_grant(ByteSpan payload);
 
 }  // namespace objrpc

@@ -78,6 +78,8 @@ class SwitchNode : public NetworkNode {
   };
   const Counters& counters() const { return counters_; }
 
+  EventLoop& event_loop() { return loop(); }
+
   void on_packet(PortId in_port, Packet pkt) override;
 
  private:

@@ -189,6 +189,62 @@ TEST_P(FetchTest, WriteAtHomeInvalidatesReplica) {
   EXPECT_EQ(cluster->fetcher(0).counters().evictions, 1u);
 }
 
+TEST_P(FetchTest, InFlightChunkRespCannotResurrectStaleReplica) {
+  // Sweep a home-side write across every interleaving point of a fetch:
+  // before the stat, between stat and chunks, while chunk_resps are in
+  // flight, after adoption.  Whatever the timing, host0 must never end
+  // up holding the pre-write image — the invalidate raises the pending
+  // fetch's version floor and the per-chunk version guard discards
+  // stale/torn responses, forcing a restart that pulls the new image.
+  // With 5us links and 1us switch pipelines the whole pull completes
+  // within ~150us, so step fine enough to land between chunk events.
+  // On this single-path FIFO fabric the invalidate always overtakes the
+  // straggling chunk_resps (same route, sent earlier), so the defence
+  // that fires is the mid-pending restart; the per-chunk version guards
+  // are exercised cycle-exactly by the inc_test injection harness.
+  std::uint64_t mid_pending_invalidates = 0;  // sweep must hit the race
+  for (SimTime delta = 0; delta <= 150 * kMicrosecond;
+       delta += 3 * kMicrosecond) {
+    auto cluster = Cluster::build(small_cluster(GetParam()));
+    auto obj = cluster->create_object(1, 32 * 1024);
+    ASSERT_TRUE(obj);
+    ASSERT_TRUE((*obj)->write_u64(Object::kDataStart, 1));  // old image
+    cluster->settle();
+
+    Status fetched{Errc::unavailable};
+    cluster->fetcher(0).fetch((*obj)->id(), [&](Status s) { fetched = s; });
+    cluster->loop().run_until(cluster->loop().now() + delta);
+
+    // The home mutates the object mid-fetch: version bump + invalidate.
+    Bytes raw(8, 0);
+    raw[0] = 2;
+    Status wrote{Errc::unavailable};
+    cluster->service(1).write(GlobalPtr{(*obj)->id(), Object::kDataStart},
+                              raw,
+                              [&](Status s, const AccessStats&) { wrote = s; });
+    cluster->settle();
+    ASSERT_TRUE(wrote.is_ok());
+    ASSERT_TRUE(fetched.is_ok()) << "delta=" << delta;
+
+    // Either the replica died (fetch finished before the write and the
+    // invalidate killed it) or it holds the post-write image.  The old
+    // image surviving anywhere is the resurrection bug.
+    if (cluster->host(0).store().contains((*obj)->id())) {
+      auto local = cluster->host(0).store().get((*obj)->id());
+      ASSERT_TRUE(local);
+      EXPECT_EQ(*(*local)->read_u64(Object::kDataStart), 2u)
+          << "stale replica resurrected at delta=" << delta;
+    }
+    // An invalidate received without a matching replica eviction means
+    // it landed while the fetch was still pending — the racing case.
+    const auto& fc = cluster->fetcher(0).counters();
+    mid_pending_invalidates += fc.invalidates_received - fc.evictions;
+  }
+  // At least one interleaving point must have delivered the invalidate
+  // mid-fetch — otherwise this sweep proves nothing about the race.
+  EXPECT_GT(mid_pending_invalidates, 0u);
+}
+
 TEST_P(FetchTest, MissingObjectFails) {
   auto cluster = Cluster::build(small_cluster(GetParam()));
   Status fetched{Errc::ok};

@@ -1,0 +1,507 @@
+// Tests for the in-network object cache (src/inc): hot-key admission,
+// SRAM budgeting and LRU eviction, the switch serve path, coherence
+// (invalidation fan-out, obligations that outlive entries), the version
+// floor that kills stale fills, and controller-plane management.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "inc/cache_stage.hpp"
+#include "net/controller.hpp"
+
+namespace objrpc {
+namespace {
+
+// --- HotKeyTracker ----------------------------------------------------------
+
+TEST(HotKey, WindowedCountSlidesByEpoch) {
+  HotKeyConfig cfg;
+  cfg.window = 1 * kMillisecond;
+  HotKeyTracker hk(cfg);
+  const ObjectId k{U128{0, 42}};
+  EXPECT_EQ(hk.record(k, 0), 1u);
+  EXPECT_EQ(hk.record(k, 100), 2u);
+  EXPECT_EQ(hk.count(k, 100), 2u);
+  // Next epoch: current counts roll into previous, window sum persists.
+  EXPECT_EQ(hk.record(k, 1 * kMillisecond + 1), 3u);
+  // Two full epochs of silence: everything ages out.
+  EXPECT_EQ(hk.count(k, 4 * kMillisecond), 0u);
+  EXPECT_EQ(hk.record(k, 4 * kMillisecond), 1u);
+}
+
+TEST(HotKey, CapacityOverflowRejectsThenRecovers) {
+  HotKeyConfig cfg;
+  cfg.window = 1 * kMillisecond;
+  cfg.max_keys = 2;
+  HotKeyTracker hk(cfg);
+  EXPECT_EQ(hk.record(ObjectId{U128{0, 1}}, 0), 1u);
+  EXPECT_EQ(hk.record(ObjectId{U128{0, 2}}, 0), 1u);
+  // Stage full: the third key cannot be counted.
+  EXPECT_EQ(hk.record(ObjectId{U128{0, 3}}, 0), 0u);
+  EXPECT_EQ(hk.overflowed(), 1u);
+  EXPECT_EQ(hk.tracked_keys(), 2u);
+  // After the first two keys age out, their buckets are reclaimed.
+  EXPECT_EQ(hk.record(ObjectId{U128{0, 3}}, 3 * kMillisecond), 1u);
+  EXPECT_EQ(hk.overflowed(), 1u);
+}
+
+TEST(HotKey, ForgetReleasesBucket) {
+  HotKeyTracker hk;
+  const ObjectId k{U128{0, 7}};
+  hk.record(k, 0);
+  EXPECT_EQ(hk.tracked_keys(), 1u);
+  hk.forget(k);
+  EXPECT_EQ(hk.tracked_keys(), 0u);
+  EXPECT_EQ(hk.count(k, 0), 0u);
+}
+
+// --- CacheGrant codec -------------------------------------------------------
+
+TEST(CacheGrant, CodecRoundTrip) {
+  CacheGrant g;
+  g.sram_budget_bytes = 123456;
+  g.max_entry_bytes = 777;
+  g.admit_threshold = 9;
+  auto back = decode_cache_grant(encode_cache_grant(g));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->sram_budget_bytes, 123456u);
+  EXPECT_EQ(back->max_entry_bytes, 777u);
+  EXPECT_EQ(back->admit_threshold, 9u);
+  EXPECT_FALSE(decode_cache_grant(Bytes{1, 2, 3}));
+}
+
+// --- frame-injection harness ------------------------------------------------
+//
+// A bare switch with no links: emitted frames vanish harmlessly, and we
+// drive the stage by handing crafted frames straight to its pre-match
+// hook.  This gives cycle-exact control over orderings the full stack
+// cannot reliably produce (e.g. a fill reply arriving after the write
+// invalidate it raced).
+
+constexpr HostAddr kClient = 5;
+constexpr HostAddr kClient2 = 6;
+constexpr HostAddr kHome = 9;
+
+Frame read_req(ObjectId id, HostAddr src, HostAddr dst, std::uint64_t seq,
+               std::uint32_t length = 0) {
+  Frame f;
+  f.type = MsgType::chunk_req;
+  f.src_host = src;
+  f.dst_host = dst;
+  f.object = id;
+  f.seq = seq;
+  f.length = length;
+  return f;
+}
+
+struct BareCache {
+  Network net{1};
+  SwitchNode& sw;
+  IncCacheStage stage;
+  /// Mirror of the stage's internal sequence counter, so injected fill
+  /// replies can match the requests the stage emitted into the void.
+  std::uint64_t stage_seq = 1;
+
+  explicit BareCache(CacheGrant g) : sw(net.add_node<SwitchNode>("s0")),
+                                     stage(sw) {
+    stage.grant(g);
+  }
+
+  bool inject(const Frame& f, PortId port = 0) {
+    Packet p;
+    p.data = f.encode();
+    return sw.pre_match_hook()(sw, port, p);
+  }
+
+  /// A client read passing through toward the home (counts a hit or a
+  /// miss; at the admission threshold the stage starts a fill).
+  bool transit_read(ObjectId id) {
+    return inject(read_req(id, kClient, kHome, /*seq=*/99));
+  }
+
+  void inject_stat_resp(ObjectId id, std::uint64_t size,
+                        std::uint64_t version) {
+    Frame f;
+    f.type = MsgType::chunk_resp;
+    f.src_host = kHome;
+    f.dst_host = stage.addr();
+    f.object = id;
+    f.seq = stage_seq++;
+    f.offset = size;
+    f.obj_version = version;
+    EXPECT_TRUE(inject(f));
+  }
+
+  void inject_data_resp(ObjectId id, std::uint64_t size,
+                        std::uint64_t version) {
+    Frame f;
+    f.type = MsgType::chunk_resp;
+    f.src_host = kHome;
+    f.dst_host = stage.addr();
+    f.object = id;
+    f.seq = stage_seq++;
+    f.offset = 0;
+    f.length = static_cast<std::uint32_t>(size);
+    f.payload.assign(size, 0xCD);
+    f.obj_version = version;
+    EXPECT_TRUE(inject(f));
+  }
+
+  /// Drive a full fill: the transit read trips the (threshold-1)
+  /// admission, then we play the home's stat and data replies.
+  void fill(ObjectId id, std::uint64_t size, std::uint64_t version) {
+    EXPECT_FALSE(transit_read(id));  // miss: forwarded to the home
+    inject_stat_resp(id, size, version);
+    inject_data_resp(id, size, version);
+  }
+
+  void inject_invalidate(ObjectId id, std::uint64_t version) {
+    Frame f;
+    f.type = MsgType::invalidate;
+    f.src_host = kHome;
+    f.dst_host = stage.addr();
+    f.object = id;
+    f.seq = 1234;
+    f.obj_version = version;
+    EXPECT_TRUE(inject(f));
+  }
+};
+
+CacheGrant tiny_grant(std::uint64_t budget = 64 * 1024,
+                      std::uint32_t max_entry = 16 * 1024,
+                      std::uint32_t threshold = 1) {
+  CacheGrant g;
+  g.sram_budget_bytes = budget;
+  g.max_entry_bytes = max_entry;
+  g.admit_threshold = threshold;
+  return g;
+}
+
+TEST(IncCache, FillAdmitsAndServes) {
+  BareCache c(tiny_grant());
+  const ObjectId id{U128{1, 1}};
+  c.fill(id, 64, /*version=*/1);
+  EXPECT_TRUE(c.stage.contains(id));
+  EXPECT_EQ(c.stage.entry_version(id), 1u);
+  EXPECT_EQ(c.stage.counters().admissions, 1u);
+  EXPECT_EQ(c.stage.counters().fills_started, 1u);
+  // Subsequent transit reads are consumed (served from SRAM).
+  EXPECT_TRUE(c.transit_read(id));
+  EXPECT_EQ(c.stage.counters().hits, 1u);
+  // Direct reads from a locked-on requester are served too.
+  EXPECT_TRUE(c.inject(read_req(id, kClient, c.stage.addr(), 7, 32)));
+  EXPECT_EQ(c.stage.counters().hits, 2u);
+}
+
+TEST(IncCache, BelowThresholdNeverFills) {
+  BareCache c(tiny_grant(64 * 1024, 16 * 1024, /*threshold=*/3));
+  const ObjectId id{U128{1, 2}};
+  EXPECT_FALSE(c.transit_read(id));
+  EXPECT_FALSE(c.transit_read(id));
+  EXPECT_EQ(c.stage.counters().fills_started, 0u);
+  EXPECT_FALSE(c.transit_read(id));  // third access trips the threshold
+  EXPECT_EQ(c.stage.counters().fills_started, 1u);
+}
+
+TEST(IncCache, OversizedImageRejectedAtStat) {
+  BareCache c(tiny_grant(64 * 1024, /*max_entry=*/128));
+  const ObjectId id{U128{1, 3}};
+  EXPECT_FALSE(c.transit_read(id));
+  c.inject_stat_resp(id, 4096, 1);  // image exceeds max_entry_bytes
+  EXPECT_EQ(c.stage.counters().fills_aborted, 1u);
+  EXPECT_FALSE(c.stage.contains(id));
+}
+
+TEST(IncCache, LruEvictsColdestUnderBudget) {
+  // Budget fits exactly two entries of 64B image + 64B overhead.
+  BareCache c(tiny_grant(/*budget=*/256, /*max_entry=*/128));
+  const ObjectId a{U128{2, 1}}, b{U128{2, 2}}, d{U128{2, 3}};
+  c.fill(a, 64, 1);
+  c.fill(b, 64, 1);
+  EXPECT_EQ(c.stage.entry_count(), 2u);
+  // Touch `a` so `b` is coldest, then admit a third entry.
+  EXPECT_TRUE(c.transit_read(a));
+  c.fill(d, 64, 1);
+  EXPECT_EQ(c.stage.entry_count(), 2u);
+  EXPECT_TRUE(c.stage.contains(a));
+  EXPECT_FALSE(c.stage.contains(b));
+  EXPECT_TRUE(c.stage.contains(d));
+  EXPECT_EQ(c.stage.counters().evictions, 1u);
+  EXPECT_LE(c.stage.bytes_cached(), 256u);
+}
+
+TEST(IncCache, StaleFillRejectedByVersionFloor) {
+  BareCache c(tiny_grant());
+  const ObjectId id{U128{3, 1}};
+  // The home's write invalidated us (version 2) before any fill ran.
+  c.inject_invalidate(id, 2);
+  EXPECT_EQ(c.stage.counters().invalidations, 1u);
+
+  // Fill #1: the stat reply carries the PRE-write image (version 1) —
+  // it left the home before the write.  Must be stale-rejected.
+  EXPECT_FALSE(c.transit_read(id));
+  c.inject_stat_resp(id, 64, 1);
+  EXPECT_EQ(c.stage.counters().stale_rejects, 1u);
+  EXPECT_FALSE(c.stage.contains(id));
+
+  // Fill #2: stat is current (v2) but the DATA leg delivers v1 — the
+  // torn variant of the same race.  Also rejected.
+  EXPECT_FALSE(c.transit_read(id));
+  c.inject_stat_resp(id, 64, 2);
+  c.inject_data_resp(id, 64, 1);
+  EXPECT_EQ(c.stage.counters().stale_rejects, 2u);
+  EXPECT_FALSE(c.stage.contains(id));
+
+  // Fill #3: everything at v2 — at the floor, admissible.
+  EXPECT_FALSE(c.transit_read(id));
+  c.inject_stat_resp(id, 64, 2);
+  c.inject_data_resp(id, 64, 2);
+  EXPECT_TRUE(c.stage.contains(id));
+  EXPECT_EQ(c.stage.entry_version(id), 2u);
+}
+
+TEST(IncCache, InvalidateAbortsInFlightFill) {
+  BareCache c(tiny_grant());
+  const ObjectId id{U128{3, 2}};
+  EXPECT_FALSE(c.transit_read(id));
+  c.inject_stat_resp(id, 64, 1);  // stat leg done, data pull in flight
+  c.inject_invalidate(id, 2);
+  EXPECT_EQ(c.stage.counters().fills_aborted, 1u);
+  // The straggling data reply finds no fill to complete.
+  c.inject_data_resp(id, 64, 1);
+  EXPECT_FALSE(c.stage.contains(id));
+  EXPECT_EQ(c.stage.counters().admissions, 0u);
+}
+
+TEST(IncCache, InvalidateDropsEntryAndFansOutToReaders) {
+  BareCache c(tiny_grant());
+  const ObjectId id{U128{3, 3}};
+  c.fill(id, 64, 1);
+  // Serve two distinct clients from SRAM: both become our obligation.
+  EXPECT_TRUE(c.inject(read_req(id, kClient, kHome, 11)));
+  EXPECT_TRUE(c.inject(read_req(id, kClient2, kHome, 12)));
+  c.inject_invalidate(id, 2);
+  EXPECT_FALSE(c.stage.contains(id));
+  EXPECT_EQ(c.stage.counters().invalidations, 1u);
+  EXPECT_EQ(c.stage.counters().invalidates_forwarded, 2u);
+  // A reader's ack addressed to us is absorbed, not forwarded.
+  Frame ack;
+  ack.type = MsgType::invalidate_ack;
+  ack.src_host = kClient;
+  ack.dst_host = c.stage.addr();
+  ack.object = id;
+  EXPECT_TRUE(c.inject(ack));
+}
+
+TEST(IncCache, EvictedEntryStillOwesInvalidates) {
+  // LRU-evicting an entry must NOT drop the served-reader obligation:
+  // the home still counts us in its copyset, and the clients we served
+  // only learn of writes through us.
+  BareCache c(tiny_grant(/*budget=*/256, /*max_entry=*/128));
+  const ObjectId a{U128{4, 1}}, b{U128{4, 2}}, d{U128{4, 3}};
+  c.fill(a, 64, 1);
+  EXPECT_TRUE(c.inject(read_req(a, kClient, kHome, 21)));  // served reader
+  c.fill(b, 64, 1);
+  c.fill(d, 64, 1);  // budget pressure evicts `a`
+  EXPECT_FALSE(c.stage.contains(a));
+  c.inject_invalidate(a, 2);
+  EXPECT_EQ(c.stage.counters().invalidates_forwarded, 1u);
+}
+
+TEST(IncCache, RevokeDropsEntriesKeepsObligations) {
+  BareCache c(tiny_grant());
+  const ObjectId id{U128{5, 1}};
+  c.fill(id, 64, 1);
+  EXPECT_TRUE(c.inject(read_req(id, kClient, kHome, 31)));
+  c.stage.revoke();
+  EXPECT_FALSE(c.stage.enabled());
+  EXPECT_EQ(c.stage.entry_count(), 0u);
+  EXPECT_EQ(c.stage.bytes_cached(), 0u);
+  // Transit reads pass through untouched now.
+  EXPECT_FALSE(c.transit_read(id));
+  EXPECT_EQ(c.stage.counters().fills_started, 1u);  // no new fill
+  // A locked-on requester gets an explicit not-here (consumed).
+  EXPECT_TRUE(c.inject(read_req(id, kClient, c.stage.addr(), 32, 16)));
+  // And the coherence obligation survives the revocation.
+  c.inject_invalidate(id, 2);
+  EXPECT_EQ(c.stage.counters().invalidates_forwarded, 1u);
+}
+
+TEST(IncCache, TighterRegrantShedsEntries) {
+  BareCache c(tiny_grant(/*budget=*/256, /*max_entry=*/128));
+  const ObjectId a{U128{6, 1}}, b{U128{6, 2}};
+  c.fill(a, 64, 1);
+  c.fill(b, 64, 1);
+  EXPECT_EQ(c.stage.entry_count(), 2u);
+  c.stage.grant(tiny_grant(/*budget=*/128, /*max_entry=*/128));
+  EXPECT_EQ(c.stage.entry_count(), 1u);
+  EXPECT_FALSE(c.stage.contains(a));  // coldest went first
+  EXPECT_TRUE(c.stage.contains(b));
+}
+
+// --- full stack -------------------------------------------------------------
+
+ObjectPtr unwrap(Result<ObjectPtr> r) {
+  EXPECT_TRUE(r);
+  return *r;
+}
+
+struct IncWorld {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<IncCacheStage> cache;
+  ObjectPtr obj;
+  ObjectId id;
+
+  explicit IncWorld(CacheGrant g = tiny_grant(64 * 1024, 16 * 1024, 2),
+                    DiscoveryScheme scheme = DiscoveryScheme::controller,
+                    std::uint64_t size = 4096) {
+    ClusterConfig cfg;
+    cfg.fabric.scheme = scheme;
+    cfg.fabric.seed = 77;
+    cluster = Cluster::build(cfg);
+    // Cache at host0's access switch (switch 0), like SyncOffload.
+    cache = std::make_unique<IncCacheStage>(cluster->fabric().switch_at(0));
+    obj = unwrap(cluster->create_object(/*host=*/1, size));
+    id = obj->id();
+    EXPECT_TRUE(obj->write_u64(Object::kDataStart, 0xBEEF));
+    cluster->settle();
+    if (scheme == DiscoveryScheme::controller) {
+      ControllerNode* ctrl = cluster->fabric().controller();
+      EXPECT_NE(ctrl, nullptr);
+      EXPECT_TRUE(ctrl->enable_switch_cache(
+          cluster->fabric().switch_at(0).id(), g).is_ok());
+    } else {
+      cache->grant(g);  // E2E: no controller; grant directly
+    }
+    cluster->settle();
+  }
+
+  Status fetch0() {
+    Status s{Errc::unavailable};
+    cluster->fetcher(0).fetch(id, [&](Status st) { s = st; });
+    cluster->settle();
+    return s;
+  }
+
+  std::uint64_t read0() {
+    auto o = cluster->host(0).store().get(id);
+    EXPECT_TRUE(o);
+    auto v = (*o)->read_u64(Object::kDataStart);
+    EXPECT_TRUE(v);
+    return *v;
+  }
+};
+
+TEST(IncCluster, ControllerGrantAndRevokeInBand) {
+  IncWorld w;
+  EXPECT_TRUE(w.cache->enabled());
+  EXPECT_EQ(w.cache->privilege()->admit_threshold, 2u);
+  EXPECT_EQ(w.cluster->fabric().controller()->counters().cache_grants, 1u);
+  EXPECT_TRUE(w.cluster->fabric().controller()
+                  ->disable_switch_cache(w.cluster->fabric().switch_at(0).id())
+                  .is_ok());
+  w.cluster->settle();
+  EXPECT_FALSE(w.cache->enabled());
+  EXPECT_EQ(w.cluster->fabric().controller()->counters().cache_revokes, 1u);
+  // Granting an unmanaged switch fails loudly.
+  EXPECT_FALSE(w.cluster->fabric().controller()
+                   ->enable_switch_cache(kInvalidNode).is_ok());
+}
+
+TEST(IncCluster, HotObjectServedFromSwitch) {
+  IncWorld w;
+  // First fetch pulls from the home; its chunk stream trips admission
+  // and the switch fills.
+  ASSERT_TRUE(w.fetch0().is_ok());
+  EXPECT_EQ(w.read0(), 0xBEEFu);
+  EXPECT_TRUE(w.cache->contains(w.id));
+  EXPECT_EQ(w.cache->counters().admissions, 1u);
+
+  // Second fetch is answered entirely by the switch.
+  const std::uint64_t home_served =
+      w.cluster->fetcher(1).counters().chunks_served;
+  w.cluster->fetcher(0).evict(w.id);
+  ASSERT_TRUE(w.fetch0().is_ok());
+  EXPECT_EQ(w.read0(), 0xBEEFu);
+  EXPECT_GT(w.cache->counters().hits, 0u);
+  EXPECT_EQ(w.cluster->fetcher(1).counters().chunks_served, home_served);
+}
+
+TEST(IncCluster, SwitchHitIsFasterThanHomePath) {
+  IncWorld w;
+  EventLoop& loop = w.cluster->loop();
+  // Time to the completion callback, not to quiescence: the retry timer
+  // keeps the loop busy long after the fetch finishes.
+  auto timed_fetch = [&] {
+    const SimTime t0 = loop.now();
+    SimTime done_at = t0;
+    w.cluster->fetcher(0).fetch(w.id, [&](Status s) {
+      EXPECT_TRUE(s.is_ok());
+      done_at = loop.now();
+    });
+    w.cluster->settle();
+    return done_at - t0;
+  };
+  // Cold: served by the home (plus fill traffic).
+  const SimDuration cold = timed_fetch();
+  ASSERT_TRUE(w.cache->contains(w.id));
+  // Warm: one switch round trip per chunk.
+  w.cluster->fetcher(0).evict(w.id);
+  const SimDuration warm = timed_fetch();
+  EXPECT_GT(warm, 0);
+  EXPECT_LT(warm, cold);
+}
+
+TEST(IncCluster, ColdObjectBelowThresholdNotAdmitted) {
+  // Threshold far above what one fetch generates.
+  IncWorld w(tiny_grant(64 * 1024, 16 * 1024, /*threshold=*/100));
+  ASSERT_TRUE(w.fetch0().is_ok());
+  EXPECT_FALSE(w.cache->contains(w.id));
+  EXPECT_EQ(w.cache->counters().admissions, 0u);
+  EXPECT_GT(w.cache->counters().misses, 0u);
+}
+
+TEST(IncCluster, WriteInvalidatesSwitchAndItsReaders) {
+  IncWorld w;
+  ASSERT_TRUE(w.fetch0().is_ok());
+  ASSERT_TRUE(w.cache->contains(w.id));
+  // Serve host0 from the switch so it becomes the switch's reader.
+  w.cluster->fetcher(0).evict(w.id);
+  ASSERT_TRUE(w.fetch0().is_ok());
+  ASSERT_TRUE(w.cluster->host(0).store().contains(w.id));
+
+  // A remote write through the home invalidates the switch FIRST, and
+  // the switch fans out to host0 (which the home never served).
+  Bytes raw(8, 0);
+  raw[0] = 0x11;
+  Status wrote{Errc::unavailable};
+  w.cluster->service(2).write(GlobalPtr{w.id, Object::kDataStart}, raw,
+                              [&](Status s, const AccessStats&) { wrote = s; });
+  w.cluster->settle();
+  ASSERT_TRUE(wrote.is_ok());
+  EXPECT_FALSE(w.cache->contains(w.id));
+  EXPECT_GE(w.cache->counters().invalidations, 1u);
+  EXPECT_GE(w.cache->counters().invalidates_forwarded, 1u);
+  EXPECT_FALSE(w.cluster->host(0).store().contains(w.id));
+
+  // A re-fetch observes the new bytes — whether the switch re-admits or
+  // the home serves, versioning forbids the old image.
+  ASSERT_TRUE(w.fetch0().is_ok());
+  auto o = w.cluster->host(0).store().get(w.id);
+  ASSERT_TRUE(o);
+  EXPECT_NE(*(*o)->read_u64(Object::kDataStart), 0xBEEFu);
+}
+
+TEST(IncCluster, WorksUnderE2EDiscovery) {
+  IncWorld w(tiny_grant(64 * 1024, 16 * 1024, 2), DiscoveryScheme::e2e);
+  ASSERT_TRUE(w.fetch0().is_ok());
+  EXPECT_TRUE(w.cache->contains(w.id));
+  const std::uint64_t home_served =
+      w.cluster->fetcher(1).counters().chunks_served;
+  w.cluster->fetcher(0).evict(w.id);
+  ASSERT_TRUE(w.fetch0().is_ok());
+  EXPECT_EQ(w.read0(), 0xBEEFu);
+  EXPECT_EQ(w.cluster->fetcher(1).counters().chunks_served, home_served);
+}
+
+}  // namespace
+}  // namespace objrpc

@@ -363,6 +363,84 @@ TEST(SwitchNode, PuntGoesToConfiguredPort) {
   EXPECT_EQ(sw.counters().punted, 1u);
 }
 
+TEST(SwitchNode, TableExhaustionDegradesToDefaultAction) {
+  // A switch whose table filled up keeps forwarding installed keys but
+  // applies the default action to everything that no longer fits.
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  SwitchConfig cfg;
+  cfg.table_capacity = 1;
+  auto& sw = net.add_node<SwitchNode>("sw", cfg);
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  // Keys alternate per frame; only the first could be installed.
+  int frame_no = 0;
+  sw.set_key_extractor([&frame_no](const Packet&) {
+    return ParsedKey{U128{0, static_cast<std::uint64_t>(frame_no++ % 2)},
+                     false};
+  });
+  ASSERT_TRUE(sw.table().insert(U128{0, 0}, Action::forward_to(1)));
+  EXPECT_EQ(sw.table().insert(U128{0, 1}, Action::forward_to(1)).error().code,
+            Errc::capacity_exceeded);
+  EXPECT_EQ(sw.table().size(), sw.table().capacity());
+
+  for (int i = 0; i < 4; ++i) h1.transmit(0, make_packet(10));
+  net.loop().run();
+  // Frames 0 and 2 matched the installed key; frames 1 and 3 fell to the
+  // default action (drop).
+  EXPECT_EQ(h2.arrivals.size(), 2u);
+  EXPECT_EQ(sw.counters().forwarded, 2u);
+  EXPECT_EQ(sw.counters().dropped, 2u);
+}
+
+TEST(SwitchNode, PuntWithoutPuntPortDrops) {
+  // ActionKind::punt with punt_port == kInvalidPort cannot reach a
+  // control plane: the frame is accounted as dropped, never as punted.
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  sw.set_key_extractor(const_key);
+  sw.set_default_action(Action::punt());
+  ASSERT_EQ(sw.config().punt_port, kInvalidPort);
+
+  h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_TRUE(h2.arrivals.empty());
+  EXPECT_EQ(sw.counters().punted, 0u);
+  EXPECT_EQ(sw.counters().dropped, 1u);
+}
+
+TEST(SwitchNode, HookConsumedFramesCountedExactly) {
+  // Consumed frames increment received + consumed_by_hook and nothing
+  // else; frames the hook passes through are accounted by their action.
+  Network net(1);
+  auto& h1 = net.add_node<SinkNode>("h1");
+  auto& sw = net.add_node<SwitchNode>("sw");
+  auto& h2 = net.add_node<SinkNode>("h2");
+  net.connect(h1.id(), sw.id());
+  net.connect(sw.id(), h2.id());
+  sw.set_key_extractor(const_key);
+  ASSERT_TRUE(sw.table().insert(U128{0, 7}, Action::forward_to(1)));
+  // Consume every other frame.
+  int seen = 0;
+  sw.set_pre_match_hook([&seen](SwitchNode&, PortId, const Packet&) {
+    return seen++ % 2 == 0;
+  });
+
+  for (int i = 0; i < 6; ++i) h1.transmit(0, make_packet(10));
+  net.loop().run();
+  EXPECT_EQ(sw.counters().received, 6u);
+  EXPECT_EQ(sw.counters().consumed_by_hook, 3u);
+  EXPECT_EQ(sw.counters().forwarded, 3u);
+  EXPECT_EQ(sw.counters().flooded, 0u);
+  EXPECT_EQ(sw.counters().dropped, 0u);
+  EXPECT_EQ(h2.arrivals.size(), 3u);
+}
+
 TEST(SwitchNode, PipelineDelayApplied) {
   Network net(1);
   auto& h1 = net.add_node<SinkNode>("h1");
