@@ -1,0 +1,166 @@
+// CLAIM-FAILOVER — read availability through a home crash (§5,
+// "Masking failures via replication").
+//
+//   A reference abstraction makes replica failover invisible to the
+//   client: the reader holds an object reference, not a connection to a
+//   host, so when the home dies discovery simply re-binds the reference
+//   to a surviving replica.  No application-level retry logic, no
+//   re-resolution API — the same read call before and after the crash.
+//
+// One client (host 0) reads a 4 KiB object homed on host 1 every 200 us
+// for 100 ms of virtual time; the home crashes fail-stop at the 30 ms
+// mark.  Two configurations:
+//
+//   none     — no replica anywhere: every post-crash read fails after
+//              its retry budget.
+//   replica  — a read replica was pushed to host 2 before the crash;
+//              stalled reads time out once, rediscover, and land on the
+//              replica.  A concurrent write probe measures how long
+//              until the designated replica promotes itself and accepts
+//              writes again (the epoch-fencing failover path).
+//
+// Reported per mode: overall and crash-window availability, latency of
+// successful reads (p50 shows the common path, p99 the failover blip),
+// and the time from crash to first accepted write.
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+
+using namespace objrpc;
+using namespace objrpc::bench;
+
+namespace {
+
+constexpr std::uint64_t kObjBytes = 4 * 1024;
+constexpr int kReads = 500;
+constexpr SimDuration kPeriod = 200 * kMicrosecond;
+constexpr SimDuration kCrashAfter = 30 * kMillisecond;
+constexpr SimDuration kWindow = 10 * kMillisecond;  // crash blast radius
+
+struct RunResult {
+  double avail_pct = 0;
+  double window_avail_pct = 0;
+  LatencySummary lat_us;
+  double reads_failed = 0;
+  double write_recovery_ms = -1;  // crash -> first accepted write
+};
+
+RunResult run(bool replicated, std::uint64_t seed) {
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::e2e;
+  cfg.fabric.seed = seed;
+  auto cluster = Cluster::build(cfg);
+  auto obj = cluster->create_object(/*host=*/1, kObjBytes);
+  if (!obj) std::abort();
+  const ObjectId id = (*obj)->id();
+  if (!(*obj)->write_u64(Object::kDataStart, 0xF1E1D)) std::abort();
+  cluster->settle();
+  if (replicated) {
+    Status pushed{Errc::unavailable};
+    cluster->replicate_object(id, 1, 2, [&](Status s) { pushed = s; });
+    cluster->settle();
+    if (!pushed.is_ok()) std::abort();
+  }
+
+  EventLoop& loop = cluster->loop();
+  const SimTime base = loop.now();
+  const SimTime crash_at = base + kCrashAfter;
+  cluster->fabric().network().schedule_crash(cluster->host(1).id(), crash_at);
+
+  const GlobalPtr ptr{id, Object::kDataStart};
+  // Tight budget: a read that cannot complete within one timeout plus
+  // one rediscovered retry counts as unavailable.
+  const AccessOptions read_opts{/*max_attempts=*/2,
+                                /*timeout=*/2 * kMillisecond};
+  struct Sample {
+    SimTime issued;
+    bool ok;
+    SimDuration lat;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(kReads);
+  for (int i = 0; i < kReads; ++i) {
+    loop.schedule_at(base + i * kPeriod, [&, i] {
+      const SimTime t0 = loop.now();
+      cluster->service(0).read(
+          ptr, 8,
+          [&, t0](Result<Bytes> r, const AccessStats&) {
+            samples.push_back({t0, r.has_value(), loop.now() - t0});
+          },
+          read_opts);
+    });
+  }
+
+  // Write probe: issued just after the crash, it can only complete once
+  // a writable home exists again (the designated replica's promotion).
+  SimTime write_done_at = 0;
+  bool write_ok = false;
+  loop.schedule_at(crash_at + 100 * kMicrosecond, [&] {
+    BufWriter w(8);
+    w.put_u64(0xAF7E2);
+    cluster->service(0).write(
+        ptr, std::move(w).take(),
+        [&](Status s, const AccessStats&) {
+          write_ok = s.is_ok();
+          write_done_at = loop.now();
+        },
+        AccessOptions{/*max_attempts=*/8, /*timeout=*/2 * kMillisecond});
+  });
+
+  loop.run();
+
+  RunResult res;
+  SampleSet lat_us;
+  std::size_t ok_total = 0, window_total = 0, window_ok = 0;
+  for (const Sample& s : samples) {
+    if (s.ok) {
+      ++ok_total;
+      lat_us.add(to_micros(s.lat));
+    }
+    if (s.issued >= crash_at && s.issued < crash_at + kWindow) {
+      ++window_total;
+      if (s.ok) ++window_ok;
+    }
+  }
+  res.avail_pct = 100.0 * static_cast<double>(ok_total) / samples.size();
+  res.window_avail_pct =
+      window_total == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(window_ok) /
+                static_cast<double>(window_total);
+  res.lat_us = LatencySummary::of(lat_us);
+  res.reads_failed = static_cast<double>(samples.size() - ok_total);
+  if (write_ok) {
+    res.write_recovery_ms = to_micros(write_done_at - crash_at) / 1000.0;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CLAIM-FAILOVER: read availability through a home crash\n");
+  std::printf("(%d reads @ %lld us period, home crashes at %lld ms; "
+              "window = first %lld ms after the crash)\n\n",
+              kReads, static_cast<long long>(kPeriod / kMicrosecond),
+              static_cast<long long>(kCrashAfter / kMillisecond),
+              static_cast<long long>(kWindow / kMillisecond));
+  Table table({"mode", "avail_pct", "window_pct", "p50_us", "p99_us",
+               "failed", "write_rec_ms"});
+  for (const std::uint64_t seed : {31ULL}) {
+    const RunResult off = run(false, seed);
+    const RunResult on = run(true, seed);
+    table.row({0, off.avail_pct, off.window_avail_pct, off.lat_us.p50,
+               off.lat_us.p99, off.reads_failed, off.write_recovery_ms});
+    table.row({1, on.avail_pct, on.window_avail_pct, on.lat_us.p50,
+               on.lat_us.p99, on.reads_failed, on.write_recovery_ms});
+  }
+  std::printf("\n(mode: 0=no replica, 1=replica on host2; write_rec_ms "
+              "= crash -> first accepted write, -1 = never)\n");
+  std::printf("series: without a replica every post-crash read burns its "
+              "retry budget and\nfails — availability caps at the "
+              "pre-crash fraction.  With one pushed replica\nthe stalled "
+              "reads rediscover within a couple of timeouts and the p99 "
+              "absorbs\nthe blip; writes return once the designated "
+              "replica promotes itself under\nthe bumped epoch.\n");
+  return 0;
+}

@@ -15,7 +15,8 @@ std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
         cluster->fabric_->service(i), *cluster->code_,
         *cluster->fetchers_.back()));
     cluster->replicas_.push_back(std::make_unique<ReplicaManager>(
-        cluster->fabric_->service(i), *cluster->fetchers_.back()));
+        cluster->fabric_->service(i), *cluster->fetchers_.back(),
+        cfg.replica));
     HostProfile prof;
     prof.addr = cluster->fabric_->host(i).addr();
     prof.compute_ops_per_ns =

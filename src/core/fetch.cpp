@@ -19,7 +19,7 @@ ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
                    [this](const Frame& f) { on_invalidate(f); });
   host.set_handler(MsgType::invalidate_ack,
                    [this](const Frame& f) { on_invalidate_ack(f); });
-  service_.set_write_observer([this](ObjectId id) {
+  service_.add_write_observer([this](ObjectId id) {
     auto it = copysets_.find(id);
     if (it == copysets_.end()) return;
     // Version that obsoleted the replicas: the post-write counter.
@@ -33,6 +33,7 @@ ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
     std::vector<HostAddr> members(it->second.begin(), it->second.end());
     std::stable_partition(members.begin(), members.end(),
                           [](HostAddr m) { return is_inc_cache_addr(m); });
+    const std::uint32_t epoch = epoch_provider_ ? epoch_provider_(id) : 0;
     for (HostAddr member : members) {
       ++counters_.invalidates_sent;
       Frame inv;
@@ -40,6 +41,7 @@ ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
       inv.dst_host = member;
       inv.object = id;
       inv.obj_version = version;
+      inv.epoch = epoch;
       service_.host().send_frame(std::move(inv));
     }
     copysets_.erase(it);
@@ -94,6 +96,13 @@ void ObjectFetcher::arm_timer(ObjectId id, std::uint64_t generation) {
         if (it == pending_.end() || it->second.generation != generation) {
           return;
         }
+        // The locked-on source went quiet (crashed home, cut link).
+        // Report it stale so the retry's resolve steers at a live copy
+        // instead of the same dead address.
+        if (it->second.source != kUnspecifiedHost) {
+          ++counters_.timeout_rediscoveries;
+          service_.discovery().on_stale(id, it->second.source);
+        }
         start(id);  // retry from scratch
       });
 }
@@ -134,7 +143,9 @@ void ObjectFetcher::on_chunk_req(const Frame& f) {
   resp.dst_host = f.src_host;
   resp.object = f.object;
   resp.seq = f.seq;
-  if (!obj) {
+  if (!obj || (serve_guard_ && !serve_guard_(f.object))) {
+    // Absent — or present but quarantined (a revived home mid-recovery
+    // must not hand out possibly pre-promotion bytes).
     resp.offset = kChunkNotHere;
     service_.host().send_frame(std::move(resp));
     return;
@@ -258,6 +269,12 @@ void ObjectFetcher::complete(ObjectId id, Status s) {
 }
 
 void ObjectFetcher::on_invalidate(const Frame& f) {
+  if (coherence_guard_ && !coherence_guard_(f)) {
+    // A deposed home writing under a stale epoch; the guard has sent the
+    // fence.  No ack: the sender must not count this as delivered.
+    ++counters_.invalidates_rejected;
+    return;
+  }
   ++counters_.invalidates_received;
   if (cached_.erase(f.object) > 0) {
     ++counters_.evictions;

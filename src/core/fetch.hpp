@@ -71,6 +71,12 @@ class ObjectFetcher {
     /// mid-fetch invalidate raised, or data chunks from a different
     /// image version than the stat locked onto (torn read).
     std::uint64_t stale_rejects = 0;
+    /// Pull attempts that timed out against an unresponsive source and
+    /// reported it stale before re-resolving (crash rediscovery).
+    std::uint64_t timeout_rediscoveries = 0;
+    /// Inbound invalidates rejected by the coherence guard (stale-epoch
+    /// writer fenced off).
+    std::uint64_t invalidates_rejected = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -90,6 +96,25 @@ class ObjectFetcher {
   using InvalidateHook = std::function<void(ObjectId)>;
   void set_invalidate_hook(InvalidateHook h) {
     invalidate_hook_ = std::move(h);
+  }
+
+  /// Gate on serving chunk_reqs: a revived home that may have been
+  /// deposed answers "not here" until its recovery probe settles, so
+  /// pre-promotion bytes are never handed out.
+  using ServeGuard = std::function<bool(ObjectId)>;
+  void set_serve_guard(ServeGuard g) { serve_guard_ = std::move(g); }
+
+  /// Source of the home-epoch stamp carried on outgoing invalidates
+  /// (0 when the object has never been replicated).
+  using EpochProvider = std::function<std::uint32_t(ObjectId)>;
+  void set_epoch_provider(EpochProvider p) { epoch_provider_ = std::move(p); }
+
+  /// Inbound invalidate admission control.  Returns false to reject the
+  /// frame (a deposed home writing under a stale epoch); the guard is
+  /// responsible for any fence reply.
+  using CoherenceGuard = std::function<bool(const Frame&)>;
+  void set_coherence_guard(CoherenceGuard g) {
+    coherence_guard_ = std::move(g);
   }
 
  private:
@@ -131,6 +156,9 @@ class ObjectFetcher {
   std::unordered_map<ObjectId, std::unordered_set<HostAddr>> copysets_;
   std::uint64_t next_seq_ = 1;
   InvalidateHook invalidate_hook_;
+  ServeGuard serve_guard_;
+  EpochProvider epoch_provider_;
+  CoherenceGuard coherence_guard_;
   Counters counters_;
 };
 

@@ -1,15 +1,26 @@
 #include "core/replication.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace objrpc {
 
-ReplicaManager::ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher)
-    : service_(service), fetcher_(fetcher) {
+namespace {
+/// object_replica payload header: home, epoch, designated flag, sibling
+/// count (the byte image follows the sibling list).
+constexpr std::size_t kReplicaHeaderBase = 8 + 4 + 1 + 4;
+}  // namespace
+
+ReplicaManager::ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher,
+                               ReplicaConfig cfg)
+    : service_(service), fetcher_(fetcher), cfg_(cfg) {
   service_.set_reliable_fallback(
       [this](HostAddr src, MsgType inner, ObjectId object, Bytes payload) {
         if (inner == MsgType::object_replica) {
           on_replica_message(src, object, std::move(payload));
+        } else if (inner == MsgType::member_update) {
+          on_member_update(src, object, std::move(payload));
         }
       });
   service_.set_write_redirector(
@@ -17,7 +28,10 @@ ReplicaManager::ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher)
         auto it = primaries_.find(id);
         if (it == primaries_.end()) return std::nullopt;
         ++counters_.writes_redirected;
-        return it->second;
+        // The bounce is also our failure detector: verify the home we
+        // are pointing the writer at still answers.
+        suspect_home(id);
+        return it->second.home;
       });
   fetcher_.set_invalidate_hook([this](ObjectId id) {
     auto it = primaries_.find(id);
@@ -26,6 +40,50 @@ ReplicaManager::ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher)
     ++counters_.replicas_invalidated;
     (void)service_.host().store().remove(id);
   });
+  // Tighten the fetcher's authority filter: a quarantined revived home
+  // must not answer discovery or take writes until its recovery probe
+  // establishes it was not deposed.
+  service_.set_authority_filter([this](ObjectId id) {
+    return !fetcher_.is_cached_replica(id) && recovering_.count(id) == 0;
+  });
+  service_.set_read_guard(
+      [this](ObjectId id) { return recovering_.count(id) == 0; });
+  fetcher_.set_serve_guard(
+      [this](ObjectId id) { return recovering_.count(id) == 0; });
+  fetcher_.set_epoch_provider([this](ObjectId id) { return home_epoch(id); });
+  fetcher_.set_coherence_guard([this](const Frame& f) {
+    auto it = homes_.find(f.object);
+    if (it == homes_.end()) return true;
+    if (f.epoch != 0 && f.epoch < it->second.epoch) {
+      // A deposed home (crashed, promoted around, revived) is still
+      // writing under its old epoch.  Reject, and fence it off.
+      ++counters_.stale_epoch_rejects;
+      send_epoch_reply(f.src_host, f.object, it->second.epoch,
+                       service_.host().addr());
+      return false;
+    }
+    if (f.epoch != 0 && f.epoch > it->second.epoch) {
+      // The invalidate itself proves a newer home exists: step down
+      // first, then let the eviction proceed.
+      demote(f.object, f.epoch);
+    }
+    return true;
+  });
+  service_.add_write_observer([this](ObjectId id) {
+    // The fetcher's observer (registered first) just invalidated every
+    // replica; membership restarts empty and the next push re-picks a
+    // designated successor.  The epoch survives.
+    auto it = homes_.find(id);
+    if (it != homes_.end()) it->second.members.clear();
+  });
+  HostNode& host = service_.host();
+  host.set_handler(MsgType::epoch_probe,
+                   [this](const Frame& f) { on_epoch_probe(f); });
+  host.set_handler(MsgType::epoch_reply,
+                   [this](const Frame& f) { on_epoch_reply(f); });
+  host.set_handler(MsgType::promote_req,
+                   [this](const Frame& f) { on_promote_req(f); });
+  host.set_revive_hook([this] { on_revival(); });
 }
 
 void ReplicaManager::replicate(ObjectId id, HostAddr dst,
@@ -42,12 +100,30 @@ void ReplicaManager::replicate(ObjectId id, HostAddr dst,
     }
     return;
   }
-  // Payload: the home address, then the byte image.
-  BufWriter w(16 + (*obj)->size());
+  HomeInfo& home = homes_.try_emplace(id).first->second;
+  const bool designated = home.members.empty();
+  // Payload: home address, epoch, designated flag, current members (the
+  // new replica's siblings), then the byte image.
+  BufWriter w(kReplicaHeaderBase + 8 * home.members.size() + (*obj)->size());
   w.put_u64(service_.host().addr());
+  w.put_u32(home.epoch);
+  w.put_u8(designated ? 1 : 0);
+  w.put_u32(static_cast<std::uint32_t>(home.members.size()));
+  for (HostAddr m : home.members) w.put_u64(m);
   w.put_bytes((*obj)->raw_bytes());
   ++counters_.replicas_pushed;
   fetcher_.add_copyset_member(id, dst);  // future writes invalidate it
+  if (!designated) {
+    // Keep the designated successor's sibling view current: on
+    // promotion it must invalidate EVERY other replica, including ones
+    // pushed after it was.
+    std::vector<HostAddr> members = home.members;
+    members.push_back(dst);
+    service_.reliable().send(home.members.front(), MsgType::member_update,
+                             id, encode_member_list(members), nullptr);
+  }
+  home.members.push_back(dst);
+  service_.discovery().on_replica_pushed(id, dst, designated);
   service_.reliable().send(dst, MsgType::object_replica, id,
                            std::move(w).take(), std::move(cb));
 }
@@ -55,9 +131,19 @@ void ReplicaManager::replicate(ObjectId id, HostAddr dst,
 void ReplicaManager::on_replica_message(HostAddr /*src*/, ObjectId object,
                                         Bytes payload) {
   BufReader r(payload);
-  const HostAddr home = r.get_u64();
+  ReplicaInfo info;
+  info.home = r.get_u64();
+  info.epoch = r.get_u32();
+  info.designated = r.get_u8() != 0;
+  const std::uint32_t sibling_count = r.get_u32();
+  for (std::uint32_t i = 0; i < sibling_count && r.ok(); ++i) {
+    info.siblings.push_back(r.get_u64());
+  }
   if (!r.ok()) return;
-  Bytes image(payload.begin() + 8, payload.end());
+  const std::size_t header = kReplicaHeaderBase + 8 * sibling_count;
+  if (payload.size() < header) return;
+  Bytes image(payload.begin() + static_cast<std::ptrdiff_t>(header),
+              payload.end());
   auto obj = Object::from_bytes(object, std::move(image));
   if (!obj) {
     Log::warn("replica", "corrupt replica image for %s",
@@ -73,8 +159,204 @@ void ReplicaManager::on_replica_message(HostAddr /*src*/, ObjectId object,
               s.error().to_string().c_str());
     return;
   }
-  primaries_[object] = home;
+  // A member_update may have raced ahead of the (much larger) image.
+  if (auto pit = pending_siblings_.find(object);
+      pit != pending_siblings_.end()) {
+    info.siblings = std::move(pit->second);
+    pending_siblings_.erase(pit);
+  }
+  primaries_[object] = std::move(info);
   ++counters_.replicas_installed;
+}
+
+void ReplicaManager::on_member_update(HostAddr src, ObjectId object,
+                                      Bytes payload) {
+  auto members = decode_member_list(payload);
+  if (!members) return;
+  const HostAddr self = service_.host().addr();
+  members->erase(std::remove(members->begin(), members->end(), self),
+                 members->end());
+  auto it = primaries_.find(object);
+  if (it != primaries_.end()) {
+    if (it->second.home == src) it->second.siblings = std::move(*members);
+  } else {
+    pending_siblings_[object] = std::move(*members);
+  }
+}
+
+void ReplicaManager::suspect_home(ObjectId id) {
+  if (probing_.count(id) != 0) return;
+  auto it = primaries_.find(id);
+  if (it == primaries_.end()) return;
+  probing_.insert(id);
+  ++counters_.probes_sent;
+  Frame probe;
+  probe.type = MsgType::epoch_probe;
+  probe.dst_host = it->second.home;
+  probe.object = id;
+  probe.epoch = it->second.epoch;
+  service_.host().send_frame(std::move(probe));
+  const std::uint64_t gen = ++probe_gen_[id];
+  service_.host().event_loop().schedule_after(
+      cfg_.probe_timeout, [this, id, gen] {
+        auto git = probe_gen_.find(id);
+        if (git == probe_gen_.end() || git->second != gen) return;
+        if (probing_.erase(id) == 0) return;  // reply disarmed us
+        auto rit = primaries_.find(id);
+        if (rit == primaries_.end()) return;
+        if (rit->second.designated) {
+          Log::info("replica", "%s: home of %s silent; promoting",
+                    service_.host().name().c_str(), id.to_string().c_str());
+          promote(id);
+        } else {
+          // Not our job to take over — but stop steering writers at a
+          // corpse: drop the replica and let discovery find the
+          // promoted home.
+          ++counters_.replicas_dropped;
+          primaries_.erase(rit);
+          (void)service_.host().store().remove(id);
+          service_.discovery().on_departed(id);
+        }
+      });
+}
+
+void ReplicaManager::promote(ObjectId id) {
+  auto it = primaries_.find(id);
+  if (it == primaries_.end()) return;
+  ReplicaInfo info = std::move(it->second);
+  primaries_.erase(it);
+  probing_.erase(id);
+  ++probe_gen_[id];  // disarm any in-flight probe timer
+  const std::uint32_t new_epoch = info.epoch + 1;
+  homes_[id] = HomeInfo{new_epoch, {}};
+  ++counters_.promotions;
+  const HostAddr self = service_.host().addr();
+  // Fence the old home: harmless while it is down, decisive if it is
+  // somehow still up (it demotes against the higher epoch).
+  send_epoch_reply(info.home, id, new_epoch, self);
+  // Sibling replicas still redirect writes at the corpse and answer
+  // discovery with the old lineage; invalidate them under the new
+  // epoch.  Readers re-fetch from us.
+  for (HostAddr sibling : info.siblings) {
+    if (sibling == self) continue;
+    Frame inv;
+    inv.type = MsgType::invalidate;
+    inv.dst_host = sibling;
+    inv.object = id;
+    inv.epoch = new_epoch;
+    service_.host().send_frame(std::move(inv));
+  }
+  // Re-announce under the new regime: the controller re-points the
+  // object route here; E2E clients find us on their next broadcast.
+  service_.discovery().on_arrived(id);
+}
+
+void ReplicaManager::on_epoch_probe(const Frame& f) {
+  // While recovering we may already be deposed: claiming authority
+  // could mislead the prober, so stay silent and let promotion win.
+  if (recovering_.count(f.object) != 0) return;
+  std::uint32_t epoch = 0;
+  HostAddr believed = kUnspecifiedHost;
+  if (auto hit = homes_.find(f.object); hit != homes_.end()) {
+    epoch = hit->second.epoch;
+    believed = service_.host().addr();
+  } else if (auto rit = primaries_.find(f.object); rit != primaries_.end()) {
+    epoch = rit->second.epoch;
+    believed = rit->second.home;
+  }
+  send_epoch_reply(f.src_host, f.object, epoch, believed);
+}
+
+void ReplicaManager::on_epoch_reply(const Frame& f) {
+  // Home side (including a recovering revived home): any reply carrying
+  // a higher epoch is proof of deposition.
+  if (auto hit = homes_.find(f.object); hit != homes_.end()) {
+    if (f.epoch > hit->second.epoch) demote(f.object, f.epoch);
+    return;
+  }
+  // Replica side: a liveness probe came back.
+  if (probing_.count(f.object) == 0) return;
+  auto it = primaries_.find(f.object);
+  if (it == primaries_.end() || f.src_host != it->second.home) return;
+  probing_.erase(f.object);
+  ++probe_gen_[f.object];  // disarm the timeout
+  if (f.epoch == 0) {
+    // The home answered but no longer owns the object (it moved or was
+    // dropped): this replica is orphaned.
+    ++counters_.replicas_dropped;
+    primaries_.erase(it);
+    (void)service_.host().store().remove(f.object);
+    return;
+  }
+  if (f.epoch > it->second.epoch) {
+    it->second.epoch = f.epoch;
+    BufReader r(f.payload);
+    const HostAddr believed = r.get_u64();
+    if (r.ok() && believed != kUnspecifiedHost) it->second.home = believed;
+  }
+}
+
+void ReplicaManager::on_promote_req(const Frame& f) {
+  // The controller's liveness feed short-circuits suspicion: promote
+  // immediately if we still hold the replica.
+  promote(f.object);
+}
+
+void ReplicaManager::demote(ObjectId id, std::uint32_t seen_epoch) {
+  auto it = homes_.find(id);
+  if (it == homes_.end()) return;
+  Log::info("replica", "%s: deposed as home of %s (epoch %u < %u)",
+            service_.host().name().c_str(), id.to_string().c_str(),
+            it->second.epoch, seen_epoch);
+  homes_.erase(it);
+  recovering_.erase(id);
+  ++counters_.demotions;
+  // The promoted lineage owns history; our durable copy may hold writes
+  // that never replicated (the lost-update window, see DESIGN.md §10).
+  (void)service_.host().store().remove(id);
+  service_.discovery().on_departed(id);
+}
+
+void ReplicaManager::on_revival() {
+  for (auto& [id, home] : homes_) {
+    if (home.members.empty()) continue;  // nobody could have promoted
+    recovering_.insert(id);
+    for (HostAddr member : home.members) {
+      ++counters_.probes_sent;
+      Frame probe;
+      probe.type = MsgType::epoch_probe;
+      probe.dst_host = member;
+      probe.object = id;
+      probe.epoch = home.epoch;
+      service_.host().send_frame(std::move(probe));
+    }
+    const std::uint64_t gen = ++probe_gen_[id];
+    const ObjectId object = id;
+    service_.host().event_loop().schedule_after(
+        cfg_.recovery_timeout, [this, object, gen] {
+          auto git = probe_gen_.find(object);
+          if (git == probe_gen_.end() || git->second != gen) return;
+          // No higher epoch surfaced: no promotion happened while we
+          // were down; resume serving.
+          if (recovering_.erase(object) > 0) {
+            ++counters_.recoveries_resumed;
+          }
+        });
+  }
+}
+
+void ReplicaManager::send_epoch_reply(HostAddr dst, ObjectId id,
+                                      std::uint32_t epoch,
+                                      HostAddr believed_home) {
+  Frame reply;
+  reply.type = MsgType::epoch_reply;
+  reply.dst_host = dst;
+  reply.object = id;
+  reply.epoch = epoch;
+  BufWriter w(8);
+  w.put_u64(believed_home);
+  reply.payload = std::move(w).take();
+  service_.host().send_frame(std::move(reply));
 }
 
 Result<HostAddr> ReplicaManager::primary_of(ObjectId id) const {
@@ -82,7 +364,7 @@ Result<HostAddr> ReplicaManager::primary_of(ObjectId id) const {
   if (it == primaries_.end()) {
     return Error{Errc::not_found, "not a replica here"};
   }
-  return it->second;
+  return it->second.home;
 }
 
 }  // namespace objrpc

@@ -1,4 +1,5 @@
-// Read replication with write-through (§5, Limitations and Challenges).
+// Read replication with write-through and epoch-fenced failover (§5,
+// Limitations and Challenges).
 //
 // "Masking failures via replication gives rise to concerns about
 // consistency" — this layer implements the pragmatic point in that
@@ -13,23 +14,54 @@
 //     exactly like cached copies — readers re-discover and the system
 //     re-replicates if asked.
 //
+// Failover (Farsite-style epoch fencing): every home carries an epoch,
+// starting at 1 and stamped into each replica push.  The FIRST replica
+// pushed is the designated successor.  When a replica's write-through
+// bounce goes unanswered it probes the home (epoch_probe); if the probe
+// times out the designated successor promotes itself — it becomes the
+// writable home under epoch+1, invalidates its sibling replicas (they
+// still point writes at the corpse) and re-advertises.  Under the
+// controller scheme the controller's liveness feed short-circuits the
+// suspicion: it sends promote_req straight to the designated replica.
+// A crashed home that comes back keeps its (durable) store but starts
+// RECOVERING: it serves nothing and probes its old members; a reply
+// carrying a higher epoch demotes it (store entry dropped — the
+// promoted lineage owns history now), while silence for
+// `recovery_timeout` means no promotion happened and it resumes.
+// Stale-epoch invalidates from a not-yet-recovered old home are
+// rejected and answered with an epoch_reply fence.
+//
 // Everything rides the primitives the object space already has: replica
 // installation is a byte copy over the reliable channel, and coherence
 // is the fetcher's invalidation protocol.
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "core/fetch.hpp"
 
 namespace objrpc {
 
+struct ReplicaConfig {
+  /// How long a liveness probe to the home may go unanswered before the
+  /// prober declares it dead (designated replica: promotes itself).
+  SimDuration probe_timeout = 5 * kMillisecond;
+  /// How long a revived home waits for a higher-epoch fence from its old
+  /// members before resuming authority.
+  SimDuration recovery_timeout = 10 * kMillisecond;
+};
+
 class ReplicaManager {
  public:
-  ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher);
+  ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher,
+                 ReplicaConfig cfg = {});
 
   /// Called on the HOME host: push a read replica of `id` to `dst`.
-  /// Completes when the replica host has installed it.
+  /// Completes when the replica host has installed it.  The first
+  /// replica pushed (since the last invalidation) is the designated
+  /// failover successor.
   void replicate(ObjectId id, HostAddr dst,
                  std::function<void(Status)> cb);
 
@@ -39,21 +71,97 @@ class ReplicaManager {
   Result<HostAddr> primary_of(ObjectId id) const;
   std::size_t replica_count() const { return primaries_.size(); }
 
+  /// Is `id` homed here (writable authority, possibly after promotion)?
+  bool is_home(ObjectId id) const { return homes_.count(id) != 0; }
+  /// The current epoch of an object homed here (0 = not homed here).
+  std::uint32_t home_epoch(ObjectId id) const {
+    auto it = homes_.find(id);
+    return it == homes_.end() ? 0 : it->second.epoch;
+  }
+  /// Is this host a replica designated to take over `id` on home death?
+  bool is_designated(ObjectId id) const {
+    auto it = primaries_.find(id);
+    return it != primaries_.end() && it->second.designated;
+  }
+  /// Is a revived home still quarantined for `id`?
+  bool is_recovering(ObjectId id) const {
+    return recovering_.count(id) != 0;
+  }
+
+  /// Promote the local replica of `id` to writable home under a bumped
+  /// epoch.  Normally triggered by probe timeout (E2E) or promote_req
+  /// (controller); public for tests and manual failover.
+  void promote(ObjectId id);
+
   struct Counters {
     std::uint64_t replicas_pushed = 0;
     std::uint64_t replicas_installed = 0;
     std::uint64_t writes_redirected = 0;
     std::uint64_t replicas_invalidated = 0;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t promotions = 0;
+    /// Revived homes that learned of a higher epoch and stepped down.
+    std::uint64_t demotions = 0;
+    /// Recoveries that finished with authority resumed (no promotion
+    /// had happened while the home was down).
+    std::uint64_t recoveries_resumed = 0;
+    /// Stale-epoch invalidates bounced by the coherence guard.
+    std::uint64_t stale_epoch_rejects = 0;
+    /// Replicas dropped because their home vanished and this host was
+    /// not the designated successor.
+    std::uint64_t replicas_dropped = 0;
   };
   const Counters& counters() const { return counters_; }
 
  private:
+  /// Replica-side knowledge about an object held as a replica.
+  struct ReplicaInfo {
+    HostAddr home = kUnspecifiedHost;
+    std::uint32_t epoch = 1;
+    bool designated = false;
+    /// Fellow replica holders at push time (kept current on the
+    /// designated replica via member_update).
+    std::vector<HostAddr> siblings;
+  };
+  /// Home-side replication state for an object homed here.
+  struct HomeInfo {
+    std::uint32_t epoch = 1;
+    /// Replicas pushed and still live (front = designated successor).
+    std::vector<HostAddr> members;
+  };
+
   void on_replica_message(HostAddr src, ObjectId object, Bytes payload);
+  void on_member_update(HostAddr src, ObjectId object, Bytes payload);
+  void on_epoch_probe(const Frame& f);
+  void on_epoch_reply(const Frame& f);
+  void on_promote_req(const Frame& f);
+  /// A write bounced off this replica toward `home`; verify the home is
+  /// still breathing, and take over (designated) or step aside if not.
+  void suspect_home(ObjectId id);
+  /// Step down as home for `id`: a higher epoch owns history now.
+  void demote(ObjectId id, std::uint32_t seen_epoch);
+  /// Revival recovery: quarantine every homed object that had replicas
+  /// out and probe the old members for a higher epoch.
+  void on_revival();
+  void send_epoch_reply(HostAddr dst, ObjectId id, std::uint32_t epoch,
+                        HostAddr believed_home);
 
   ObjNetService& service_;
   ObjectFetcher& fetcher_;
-  /// Replica side: object -> its home.
-  std::unordered_map<ObjectId, HostAddr> primaries_;
+  ReplicaConfig cfg_;
+  /// Replica side: object -> home/epoch/successor knowledge.
+  std::unordered_map<ObjectId, ReplicaInfo> primaries_;
+  /// Home side: object -> epoch + pushed replica membership.
+  std::unordered_map<ObjectId, HomeInfo> homes_;
+  /// Sibling lists that arrived (member_update) before the replica
+  /// image itself finished installing.
+  std::unordered_map<ObjectId, std::vector<HostAddr>> pending_siblings_;
+  /// Objects with a home-liveness probe in flight.
+  std::unordered_set<ObjectId> probing_;
+  /// Probe/recovery timer generations (stale timer invalidation).
+  std::unordered_map<ObjectId, std::uint64_t> probe_gen_;
+  /// Revived-home quarantine.
+  std::unordered_set<ObjectId> recovering_;
   Counters counters_;
 };
 

@@ -1,5 +1,6 @@
 #include "net/controller.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/log.hpp"
@@ -11,6 +12,8 @@ ControllerNode::ControllerNode(Network& net, NodeId id, std::string name,
     : HostNode(net, id, std::move(name), cfg) {
   set_handler(MsgType::advertise, [this](const Frame& f) { on_advertise(f); });
   set_handler(MsgType::withdraw, [this](const Frame& f) { on_withdraw(f); });
+  set_handler(MsgType::advertise_replica,
+              [this](const Frame& f) { on_advertise_replica(f); });
   // Punted data frames arrive with types the controller does not own;
   // redirect them toward the object's home as a fallback path.
   set_default_handler([this](const Frame& f) { on_punted(f, 0); });
@@ -49,6 +52,17 @@ void ControllerNode::assign_region(NodeId host, RegionId region) {
 void ControllerNode::on_advertise(const Frame& f) {
   ++counters_.advertises;
   directory_[f.object] = f.src_host;
+  // The advertiser is (now) the home; it is no longer failover material.
+  if (auto rit = replica_registry_.find(f.object);
+      rit != replica_registry_.end()) {
+    auto& advs = rit->second;
+    advs.erase(std::remove_if(advs.begin(), advs.end(),
+                              [&](const ReplicaAdvert& a) {
+                                return a.replica == f.src_host;
+                              }),
+               advs.end());
+    if (advs.empty()) replica_registry_.erase(rit);
+  }
   const NodeId home = static_cast<NodeId>(f.src_host - 1);
   // Hierarchical overlay: a regional object homed inside its own region
   // is already covered by the region aggregate — no exact rule needed.
@@ -74,6 +88,71 @@ void ControllerNode::on_withdraw(const Frame& f) {
     directory_.erase(it);
     remove_everywhere(object_route_key(f.object));
   }
+}
+
+void ControllerNode::on_advertise_replica(const Frame& f) {
+  auto adv = decode_replica_advert(f.payload);
+  if (!adv) return;
+  ++counters_.replica_adverts;
+  auto& advs = replica_registry_[f.object];
+  for (auto& existing : advs) {
+    if (existing.replica == adv->replica) {
+      existing.designated = adv->designated;
+      return;
+    }
+  }
+  advs.push_back(*adv);
+}
+
+void ControllerNode::on_node_down(NodeId node) {
+  const HostAddr dead = static_cast<HostAddr>(node) + 1;
+  for (const auto& [object, home] : directory_) {
+    if (home != dead) continue;
+    ++counters_.failovers;
+    // First fence the data plane: any switch cache holding this object
+    // was filled from the dead lineage; an unversioned invalidate drops
+    // the entry while preserving its forwarding obligations.
+    for (NodeId sw : caching_switches_) {
+      ++counters_.failover_cache_invalidates;
+      Frame inv;
+      inv.type = MsgType::invalidate;
+      inv.dst_host = inc_cache_addr(sw);
+      inv.object = object;
+      send_frame(std::move(inv));
+    }
+    // Then repair the control plane: tell the best surviving replica to
+    // promote itself.  Its advertisement (under the bumped epoch)
+    // re-points the object route at it.
+    const ReplicaAdvert* pick = nullptr;
+    if (auto it = replica_registry_.find(object);
+        it != replica_registry_.end()) {
+      for (const auto& adv : it->second) {
+        const NodeId replica_node = static_cast<NodeId>(adv.replica - 1);
+        if (!net().node_up(replica_node)) continue;  // it died too
+        if (pick == nullptr || (adv.designated && !pick->designated)) {
+          pick = &adv;
+        }
+      }
+    }
+    if (pick == nullptr) {
+      ++counters_.failovers_unrecoverable;
+      Log::warn("ctrl", "no live replica to promote for %s",
+                object.to_string().c_str());
+      continue;
+    }
+    ++counters_.promote_reqs_sent;
+    Frame req;
+    req.type = MsgType::promote_req;
+    req.dst_host = pick->replica;
+    req.object = object;
+    send_frame(std::move(req));
+  }
+}
+
+void ControllerNode::on_node_up(NodeId /*node*/) {
+  // Nothing to steer from here: the revived host runs its own recovery
+  // probes and either resumes (no promotion happened) or demotes itself
+  // against the higher epoch it discovers.
 }
 
 void ControllerNode::on_punted(const Frame& f, PortId /*in_port*/) {
@@ -113,6 +192,7 @@ Status ControllerNode::enable_switch_cache(NodeId switch_node,
   auto idx = switch_index(switch_node);
   if (!idx) return idx.error();
   ++counters_.cache_grants;
+  caching_switches_.insert(switch_node);
   // Teach every OTHER switch how to reach the cache agent: fill replies
   // from homes and invalidates from writers are addressed to it.
   const U128 key = host_route_key(inc_cache_addr(switch_node));
@@ -136,6 +216,7 @@ Status ControllerNode::disable_switch_cache(NodeId switch_node) {
   auto idx = switch_index(switch_node);
   if (!idx) return idx.error();
   ++counters_.cache_revokes;
+  caching_switches_.erase(switch_node);
   send_to_switch(*idx, MsgType::ctrl_cache_revoke, Bytes{});
   return Status::ok();
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/discovery.hpp"
@@ -52,6 +53,21 @@ class ControllerNode : public HostNode {
   /// and their acks) must keep flowing after the entries are dropped.
   Status disable_switch_cache(NodeId switch_node);
 
+  /// Node-liveness feed (wired to Network::set_node_observer by the
+  /// fabric).  On a host death the controller repairs every object homed
+  /// there: switch-cache entries it granted are revoked object-by-object
+  /// (so no switch keeps serving a dead lineage) and the designated
+  /// replica — learned via advertise_replica — is told to promote
+  /// itself; its advertisement then re-points the object route.
+  void on_node_down(NodeId node);
+  void on_node_up(NodeId node);
+
+  /// Known failover successors for `object` (tests / introspection).
+  std::size_t replica_count(ObjectId object) const {
+    auto it = replica_registry_.find(object);
+    return it == replica_registry_.end() ? 0 : it->second.size();
+  }
+
   struct Counters {
     std::uint64_t advertises = 0;
     std::uint64_t withdraws = 0;
@@ -63,6 +79,14 @@ class ControllerNode : public HostNode {
     std::uint64_t adverts_aggregated = 0;
     std::uint64_t cache_grants = 0;
     std::uint64_t cache_revokes = 0;
+    std::uint64_t replica_adverts = 0;
+    /// Host deaths that triggered route repair.
+    std::uint64_t failovers = 0;
+    std::uint64_t promote_reqs_sent = 0;
+    /// Per-object switch-cache invalidations sent during failover.
+    std::uint64_t failover_cache_invalidates = 0;
+    /// Objects homed on a dead host with no known replica to promote.
+    std::uint64_t failovers_unrecoverable = 0;
   };
   const Counters& counters() const { return counters_; }
 
@@ -73,6 +97,7 @@ class ControllerNode : public HostNode {
  private:
   void on_advertise(const Frame& f);
   void on_withdraw(const Frame& f);
+  void on_advertise_replica(const Frame& f);
   void on_punted(const Frame& f, PortId in_port);
   void install_everywhere(const U128& key, NodeId dest_node);
   void remove_everywhere(const U128& key);
@@ -86,6 +111,11 @@ class ControllerNode : public HostNode {
   std::vector<NodeId> switches_;
   std::vector<PortId> control_ports_;
   std::unordered_map<ObjectId, HostAddr> directory_;
+  /// Failover knowledge: object -> replica holders (designated first
+  /// choice); fed by advertise_replica.
+  std::unordered_map<ObjectId, std::vector<ReplicaAdvert>> replica_registry_;
+  /// Switches currently holding the caching privilege.
+  std::unordered_set<NodeId> caching_switches_;
   /// Hierarchical overlay state: host -> region (empty = overlay off).
   std::unordered_map<NodeId, RegionId> regions_;
   Counters counters_;
@@ -114,6 +144,17 @@ class ControllerDiscovery final : public DiscoveryStrategy {
   void on_created(ObjectId object) override { notify(MsgType::advertise, object); }
   void on_arrived(ObjectId object) override { notify(MsgType::advertise, object); }
   void on_departed(ObjectId object) override { notify(MsgType::withdraw, object); }
+
+  void on_replica_pushed(ObjectId object, HostAddr replica,
+                         bool designated) override {
+    ++advertisements_;
+    Frame f;
+    f.type = MsgType::advertise_replica;
+    f.dst_host = controller_;
+    f.object = object;
+    f.payload = encode_replica_advert(ReplicaAdvert{replica, designated});
+    host_.send_frame(std::move(f));
+  }
 
   std::uint64_t advertisements_sent() const { return advertisements_; }
 

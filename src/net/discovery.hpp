@@ -52,6 +52,17 @@ class DiscoveryStrategy {
   virtual void on_arrived(ObjectId object) = 0;
   virtual void on_departed(ObjectId object) = 0;
 
+  /// This host (a home) pushed a read replica of `object` to `replica`.
+  /// The controller scheme forwards this to the controller so it can
+  /// drive failover toward the designated successor; the E2E scheme
+  /// needs nothing (replicas answer broadcast discovery themselves).
+  virtual void on_replica_pushed(ObjectId object, HostAddr replica,
+                                 bool designated) {
+    (void)object;
+    (void)replica;
+    (void)designated;
+  }
+
   /// Broadcast discovery packets emitted so far (Fig. 2's right axis).
   virtual std::uint64_t broadcasts_sent() const { return 0; }
 };

@@ -186,8 +186,18 @@ std::unique_ptr<Fabric> Fabric::build(const FabricConfig& cfg) {
         *fabric->hosts_[i], std::move(strategy), cfg.reliable_cfg));
   }
 
-  // Base forwarding state for the controller scheme.
+  // Base forwarding state for the controller scheme, plus the liveness
+  // feed that drives failover route repair.
   if (fabric->controller_ != nullptr) {
+    ControllerNode* ctrl = fabric->controller_;
+    net.set_node_observer([ctrl](NodeId n, bool up) {
+      if (n == ctrl->id()) return;  // its own death steers nothing
+      if (up) {
+        ctrl->on_node_up(n);
+      } else {
+        ctrl->on_node_down(n);
+      }
+    });
     fabric->controller_->bootstrap_host_routes(host_ids);
     fabric->settle();
   }

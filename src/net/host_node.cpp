@@ -29,7 +29,12 @@ void HostNode::set_default_handler(FrameHandler handler) {
   default_handler_ = std::move(handler);
 }
 
+void HostNode::on_node_state_change(bool up) {
+  if (up && revive_hook_) revive_hook_();
+}
+
 void HostNode::on_packet(PortId /*in_port*/, Packet pkt) {
+  if (!alive()) return;  // dead hosts hear nothing
   auto frame = Frame::decode(pkt.data);
   if (!frame) {
     ++counters_.malformed;
@@ -56,6 +61,9 @@ void HostNode::on_packet(PortId /*in_port*/, Packet pkt) {
 }
 
 void HostNode::dispatch(Frame frame) {
+  // A frame delivered just before a crash may have its dispatch still
+  // queued when the crash lands; the dead host must not process it.
+  if (!alive()) return;
   auto it = handlers_.find(static_cast<std::uint8_t>(frame.type));
   if (it != handlers_.end()) {
     it->second(frame);

@@ -48,6 +48,16 @@ class HostNode : public NetworkNode {
   void set_default_handler(FrameHandler handler);
 
   void on_packet(PortId in_port, Packet pkt) override;
+  void on_node_state_change(bool up) override;
+
+  /// Invoked when this host revives after a fail-stop crash (store
+  /// intact, network state stale).  The replication layer registers its
+  /// recovery protocol here.
+  using ReviveHook = std::function<void()>;
+  void set_revive_hook(ReviveHook hook) { revive_hook_ = std::move(hook); }
+
+  /// Is this host currently alive on the fabric?
+  bool alive() const { return net().node_up(id()); }
 
   struct Counters {
     std::uint64_t frames_in = 0;
@@ -67,6 +77,7 @@ class HostNode : public NetworkNode {
   IdAllocator ids_;
   std::unordered_map<std::uint8_t, FrameHandler> handlers_;
   FrameHandler default_handler_;
+  ReviveHook revive_hook_;
   Counters counters_;
 };
 

@@ -54,6 +54,16 @@ const char* msg_type_name(MsgType t) {
       return "ctrl_cache_grant";
     case MsgType::ctrl_cache_revoke:
       return "ctrl_cache_revoke";
+    case MsgType::epoch_probe:
+      return "epoch_probe";
+    case MsgType::epoch_reply:
+      return "epoch_reply";
+    case MsgType::promote_req:
+      return "promote_req";
+    case MsgType::advertise_replica:
+      return "advertise_replica";
+    case MsgType::member_update:
+      return "member_update";
   }
   return "unknown";
 }
@@ -63,7 +73,7 @@ Bytes Frame::encode() const {
   w.put_u8(version);
   w.put_u8(static_cast<std::uint8_t>(type));
   w.put_u16(flags);
-  w.put_u32(0);  // reserved / alignment
+  w.put_u32(epoch);  // formerly reserved; same 64-byte header
   w.put_u64(src_host);
   w.put_u64(dst_host);
   w.put_u128(object.value);
@@ -81,7 +91,7 @@ Result<Frame> Frame::decode(ByteSpan data) {
   f.version = r.get_u8();
   f.type = static_cast<MsgType>(r.get_u8());
   f.flags = r.get_u16();
-  (void)r.get_u32();
+  f.epoch = r.get_u32();
   f.src_host = r.get_u64();
   f.dst_host = r.get_u64();
   f.object = ObjectId{r.get_u128()};
@@ -189,6 +199,40 @@ Result<CacheGrant> decode_cache_grant(ByteSpan payload) {
   grant.admit_threshold = r.get_u32();
   if (!r.ok()) return Error{Errc::malformed, "bad cache grant"};
   return grant;
+}
+
+Bytes encode_replica_advert(const ReplicaAdvert& adv) {
+  BufWriter w(9);
+  w.put_u64(adv.replica);
+  w.put_u8(adv.designated ? 1 : 0);
+  return std::move(w).take();
+}
+
+std::optional<ReplicaAdvert> decode_replica_advert(ByteSpan payload) {
+  BufReader r(payload);
+  ReplicaAdvert adv;
+  adv.replica = r.get_u64();
+  adv.designated = r.get_u8() != 0;
+  if (!r.ok()) return std::nullopt;
+  return adv;
+}
+
+Bytes encode_member_list(const std::vector<HostAddr>& members) {
+  BufWriter w(4 + 8 * members.size());
+  w.put_u32(static_cast<std::uint32_t>(members.size()));
+  for (HostAddr m : members) w.put_u64(m);
+  return std::move(w).take();
+}
+
+std::optional<std::vector<HostAddr>> decode_member_list(ByteSpan payload) {
+  BufReader r(payload);
+  const std::uint32_t count = r.get_u32();
+  std::vector<HostAddr> members;
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    members.push_back(r.get_u64());
+  }
+  if (!r.ok() || members.size() != count) return std::nullopt;
+  return members;
 }
 
 Bytes encode_install_rule(const InstallRule& rule) {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
@@ -75,6 +76,15 @@ enum class MsgType : std::uint8_t {
   // revoke the privilege of answering chunk_req reads from switch SRAM
   ctrl_cache_grant = 24,
   ctrl_cache_revoke = 25,
+  // failover / epoch fencing (home crash recovery)
+  epoch_probe = 26,  // replica -> home ("are you alive?") or revived
+                     // home -> members; frame.epoch = sender's epoch
+  epoch_reply = 27,  // response / fence; frame.epoch = responder's
+                     // epoch, payload = u64 believed home address
+  promote_req = 28,  // controller -> designated replica: take over
+  advertise_replica = 29,  // home -> controller: payload ReplicaAdvert
+  member_update = 30,      // home -> designated replica (reliable):
+                           // payload = member list (its siblings)
 };
 
 /// Atomic operation codes carried in atomic_req payloads.
@@ -120,6 +130,11 @@ struct Frame {
   /// Byte range for memory operations.
   std::uint64_t offset = 0;
   std::uint32_t length = 0;
+  /// Home-epoch fencing (failover): the sender's epoch for `object`.
+  /// Carried by invalidates from a home and by the epoch probe/reply
+  /// liveness exchange; a receiver that knows a higher epoch rejects the
+  /// frame (the sender is a deposed home).  0 = not epoch-checked.
+  std::uint32_t epoch = 0;
   /// Mutation counter of `object` as known by the sender; carried by
   /// chunk_resp (version of the served image) and invalidate (version
   /// that obsoleted the replicas).  0 = not applicable / unknown.  The
@@ -208,5 +223,19 @@ struct CacheGrant {
 };
 Bytes encode_cache_grant(const CacheGrant& grant);
 Result<CacheGrant> decode_cache_grant(ByteSpan payload);
+
+/// advertise_replica payload: a home tells the controller that `replica`
+/// now holds a read replica of the frame's object, and whether that
+/// replica is the designated failover successor.
+struct ReplicaAdvert {
+  HostAddr replica = kUnspecifiedHost;
+  bool designated = false;
+};
+Bytes encode_replica_advert(const ReplicaAdvert& adv);
+std::optional<ReplicaAdvert> decode_replica_advert(ByteSpan payload);
+
+/// member_update / epoch bookkeeping payload: a list of host addresses.
+Bytes encode_member_list(const std::vector<HostAddr>& members);
+std::optional<std::vector<HostAddr>> decode_member_list(ByteSpan payload);
 
 }  // namespace objrpc

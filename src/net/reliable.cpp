@@ -5,9 +5,6 @@
 namespace objrpc {
 
 namespace {
-std::uint64_t inbound_key(HostAddr src, std::uint32_t msg_id) {
-  return (src << 32) | msg_id;
-}
 constexpr std::size_t kCompletedMemory = 1024;
 }  // namespace
 
@@ -117,16 +114,23 @@ void ReliableChannel::on_push_frag(const Frame& f) {
   ack.seq = f.seq;
   host_.send_frame(std::move(ack));
 
-  const std::uint64_t key = inbound_key(f.src_host, msg_id);
+  const InboundKey key{f.src_host, msg_id};
   if (completed_.count(key)) {
     ++counters_.duplicate_fragments;
     return;
   }
-  Inbound& in = inbound_[key];
-  if (in.frags.empty()) {
-    in.frags.resize(frag_count);
-    in.have.assign(frag_count, false);
+  auto it = inbound_.find(key);
+  if (it == inbound_.end()) {
+    // A new reassembly starting is the natural moment to collect ones
+    // whose sender died mid-message (no timers: lazy sweep keeps the
+    // event loop drainable).
+    expire_idle();
+    it = inbound_.emplace(key, Inbound{}).first;
+    it->second.frags.resize(frag_count);
+    it->second.have.assign(frag_count, false);
   }
+  Inbound& in = it->second;
+  in.last_activity = host_.event_loop().now();
   if (frag_count != in.frags.size()) {
     Log::warn("reliable", "fragment count mismatch");
     return;
@@ -159,6 +163,13 @@ void ReliableChannel::on_frag_ack(const Frame& f) {
   auto it = outbound_.find(msg_id);
   if (it == outbound_.end()) return;
   Outbound& out = it->second;
+  if (f.src_host != out.dst) {
+    // Message ids are sender-local: a stale or misrouted ack from some
+    // OTHER host must not complete fragments this destination never
+    // acknowledged.
+    ++counters_.misdirected_acks;
+    return;
+  }
   if (out.unacked.erase(frag_idx) > 0) out.progressed = true;
   if (out.unacked.empty()) {
     auto cb = std::move(out.on_done);
@@ -167,13 +178,28 @@ void ReliableChannel::on_frag_ack(const Frame& f) {
   }
 }
 
-void ReliableChannel::remember_completed(std::uint64_t key) {
+void ReliableChannel::remember_completed(const InboundKey& key) {
   completed_.insert(key);
   completed_order_.push_back(key);
   while (completed_order_.size() > kCompletedMemory) {
     completed_.erase(completed_order_.front());
     completed_order_.pop_front();
   }
+}
+
+std::size_t ReliableChannel::expire_idle() {
+  const SimTime now = host_.event_loop().now();
+  std::size_t expired = 0;
+  for (auto it = inbound_.begin(); it != inbound_.end();) {
+    if (now - it->second.last_activity > cfg_.reassembly_idle) {
+      it = inbound_.erase(it);
+      ++expired;
+    } else {
+      ++it;
+    }
+  }
+  counters_.reassembly_expired += expired;
+  return expired;
 }
 
 }  // namespace objrpc

@@ -32,6 +32,11 @@ struct ReliableConfig {
   SimDuration rto = 500 * kMicrosecond;
   /// Give up after this many retransmission rounds.
   int max_retries = 10;
+  /// Partial reassembly state with no fragment arrivals for this long is
+  /// garbage-collected (the sender crashed or gave up mid-message).
+  /// Must exceed the sender's worst-case retry gap (rto << min(retries,
+  /// 10)) or a slow-but-alive sender's message would be dismembered.
+  SimDuration reassembly_idle = 2 * kSecond;
 };
 
 /// A host-wide reliable messaging endpoint.
@@ -61,8 +66,22 @@ class ReliableChannel {
     std::uint64_t retransmissions = 0;
     std::uint64_t duplicate_fragments = 0;
     std::uint64_t failures = 0;
+    /// Partial inbound reassemblies garbage-collected after going idle.
+    std::uint64_t reassembly_expired = 0;
+    /// frag_acks whose source did not match the message's destination
+    /// (stale or misrouted; ignored rather than falsely completing).
+    std::uint64_t misdirected_acks = 0;
   };
   const Counters& counters() const { return counters_; }
+
+  /// Drop partial inbound reassemblies idle longer than
+  /// `reassembly_idle`.  Runs lazily whenever a new inbound message
+  /// starts; exposed for tests and for explicit housekeeping.
+  std::size_t expire_idle();
+
+  /// In-flight state introspection (tests / leak detection).
+  std::size_t inbound_in_progress() const { return inbound_.size(); }
+  std::size_t outbound_in_progress() const { return outbound_.size(); }
 
   static constexpr std::uint32_t kMaxFragments = 0xFFFF;
 
@@ -84,6 +103,31 @@ class ReliableChannel {
     std::vector<Bytes> frags;
     std::vector<bool> have;
     std::uint32_t received = 0;
+    /// Last fragment arrival; drives the idle-expiry sweep.
+    SimTime last_activity = 0;
+  };
+
+  /// Inbound reassembly identity: the FULL 64-bit source address plus
+  /// the sender-local message id.  (Collapsing these into one u64 would
+  /// silently discard the high half of the address and collide hosts
+  /// that differ only there — e.g. switch cache agents.)
+  struct InboundKey {
+    HostAddr src = kUnspecifiedHost;
+    std::uint32_t msg_id = 0;
+    bool operator==(const InboundKey& o) const {
+      return src == o.src && msg_id == o.msg_id;
+    }
+  };
+  struct InboundKeyHash {
+    std::size_t operator()(const InboundKey& k) const {
+      // splitmix-style mix so src's high bits reach the bucket index.
+      std::uint64_t x = k.src ^ (static_cast<std::uint64_t>(k.msg_id)
+                                 * 0x9E3779B97F4A7C15ULL);
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ULL;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
   };
 
   static std::uint64_t pack_seq(std::uint32_t msg_id, std::uint32_t frag_idx,
@@ -102,19 +146,18 @@ class ReliableChannel {
   void arm_timer(std::uint32_t msg_id);
   void on_push_frag(const Frame& f);
   void on_frag_ack(const Frame& f);
-  void remember_completed(std::uint64_t key);
+  void remember_completed(const InboundKey& key);
 
   HostNode& host_;
   ReliableConfig cfg_;
   MessageHandler handler_;
   std::uint32_t next_msg_id_ = 1;
   std::unordered_map<std::uint32_t, Outbound> outbound_;
-  /// Keyed by (src host << 32 | msg id).
-  std::unordered_map<std::uint64_t, Inbound> inbound_;
+  std::unordered_map<InboundKey, Inbound, InboundKeyHash> inbound_;
   /// Recently completed inbound messages, so duplicate fragments are
   /// re-acked without re-delivery.
-  std::unordered_set<std::uint64_t> completed_;
-  std::deque<std::uint64_t> completed_order_;
+  std::unordered_set<InboundKey, InboundKeyHash> completed_;
+  std::deque<InboundKey> completed_order_;
   Counters counters_;
 };
 

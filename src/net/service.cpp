@@ -134,7 +134,7 @@ Result<AtomicResponse> ObjNetService::apply_atomic(ObjectId id,
   }
   if (resp.applied) {
     ++counters_.atomics_served;
-    if (write_observer_) write_observer_(id);
+    notify_write_observers(id);
   }
   return resp;
 }
@@ -199,21 +199,27 @@ void ObjNetService::start_attempt(std::uint64_t token) {
   }
   // Local fast path: the object may already be resident (home copy or,
   // for reads only, a coherent cached replica).  Mutations must hold
-  // authority.
+  // authority AND not be owed to another home (a read replica's local
+  // writes go through the write-through path like everyone else's).
+  const bool redirected_away =
+      p.kind != MsgType::read_req && write_redirector_ &&
+      write_redirector_(p.ptr.object).has_value();
   if (auto local = host_.store().get(p.ptr.object)) {
     if (p.kind == MsgType::read_req) {
-      auto span = (*local)->read(p.ptr.offset, p.length);
-      if (span) {
-        finish_read(token, Bytes(span->begin(), span->end()));
-      } else {
-        finish_read(token, span.error());
+      if (may_serve_read(p.ptr.object)) {
+        auto span = (*local)->read(p.ptr.offset, p.length);
+        if (span) {
+          finish_read(token, Bytes(span->begin(), span->end()));
+        } else {
+          finish_read(token, span.error());
+        }
+        return;
       }
-      return;
-    }
-    if (is_authoritative(p.ptr.object)) {
+      // Possibly-stale local copy (recovering home): read remotely.
+    } else if (!redirected_away && is_authoritative(p.ptr.object)) {
       if (p.kind == MsgType::write_req) {
         Status s = (*local)->write(p.ptr.offset, p.data);
-        if (s && write_observer_) write_observer_(p.ptr.object);
+        if (s) notify_write_observers(p.ptr.object);
         finish_write(token, s);
       } else {
         auto req = decode_atomic_request(p.data);
@@ -244,6 +250,7 @@ void ObjNetService::start_attempt(std::uint64_t token) {
     }
     p2.stats.rtts += out->rtts;
     p2.stats.used_broadcast |= out->used_broadcast;
+    p2.last_dst = out->dst;
     Frame f;
     f.type = p2.kind;
     f.dst_host = out->dst;
@@ -269,8 +276,15 @@ void ObjNetService::arm_timeout(std::uint64_t token,
         auto it2 = pending_.find(token);
         if (it2 == pending_.end()) return;
         if (it2->second.generation != generation) return;  // superseded
-        // The request leg burned a round trip with no reply.
-        it2->second.stats.rtts += 1;
+        // The request leg burned a round trip with no reply.  Whoever we
+        // addressed is unreachable (crashed host, stale route): report
+        // the location stale so the retry re-resolves instead of
+        // re-sending into the void.
+        Pending& p = it2->second;
+        p.stats.rtts += 1;
+        if (p.last_dst != kUnspecifiedHost) {
+          discovery_->on_stale(p.ptr.object, p.last_dst);
+        }
         start_attempt(token);
       });
 }
@@ -295,7 +309,7 @@ void ObjNetService::finish_write(std::uint64_t token, Status status) {
 
 void ObjNetService::on_read_req(const Frame& f) {
   auto obj = host_.store().get(f.object);
-  if (!obj) {
+  if (!obj || !may_serve_read(f.object)) {
     send_nack(f, Errc::not_found);
     return;
   }
@@ -341,7 +355,7 @@ void ObjNetService::on_write_req(const Frame& f) {
     return;
   }
   ++counters_.writes_served;
-  if (write_observer_) write_observer_(f.object);
+  notify_write_observers(f.object);
   Frame resp;
   resp.type = MsgType::write_resp;
   resp.dst_host = f.src_host;

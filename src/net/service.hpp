@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "net/discovery.hpp"
 #include "net/host_node.hpp"
@@ -116,13 +117,24 @@ class ObjNetService {
     reliable_fallback_ = std::move(f);
   }
 
-  /// Observer fired whenever a write_req mutates a local object — the
-  /// hook the caching layer uses to invalidate remote replicas.
+  /// Observers fired whenever a write_req mutates a local object — the
+  /// caching layer invalidates remote replicas here, and the replication
+  /// layer resets its membership bookkeeping.  Observers run in
+  /// registration order.
   using WriteObserver = std::function<void(ObjectId)>;
-  void set_write_observer(WriteObserver o) { write_observer_ = std::move(o); }
-  /// Fire the observer for a local (in-process) mutation.
-  void notify_local_write(ObjectId id) {
-    if (write_observer_) write_observer_(id);
+  void add_write_observer(WriteObserver o) {
+    write_observers_.push_back(std::move(o));
+  }
+  /// Fire the observers for a local (in-process) mutation.
+  void notify_local_write(ObjectId id) { notify_write_observers(id); }
+
+  /// Gate on serving remote reads (and the local read fast path): the
+  /// replication layer denies while a revived home is still verifying it
+  /// was not deposed, so possibly-stale bytes are never surfaced.
+  using ReadGuard = std::function<bool(ObjectId)>;
+  void set_read_guard(ReadGuard g) { read_guard_ = std::move(g); }
+  bool may_serve_read(ObjectId id) const {
+    return !read_guard_ || read_guard_(id);
   }
 
   struct Counters {
@@ -154,6 +166,9 @@ class ObjNetService {
     AccessOptions opts;
     AccessStats stats;
     std::uint64_t generation = 0;  // invalidates stale timeout checks
+    /// Where the last attempt was sent; a timeout reports it stale so
+    /// discovery stops steering retries at a dead host.
+    HostAddr last_dst = kUnspecifiedHost;
   };
 
   void start_atomic(GlobalPtr ptr, AtomicRequest req, AtomicCallback cb,
@@ -179,11 +194,16 @@ class ObjNetService {
   void send_nack(const Frame& cause, Errc code,
                  HostAddr hint = kUnspecifiedHost);
 
+  void notify_write_observers(ObjectId id) {
+    for (auto& o : write_observers_) o(id);
+  }
+
   HostNode& host_;
   std::unique_ptr<DiscoveryStrategy> discovery_;
   ReliableChannel reliable_;
   InvokeHandler invoke_handler_;
-  WriteObserver write_observer_;
+  std::vector<WriteObserver> write_observers_;
+  ReadGuard read_guard_;
   AuthorityFilter authority_filter_;
   WriteRedirector write_redirector_;
   ReliableFallback reliable_fallback_;

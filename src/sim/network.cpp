@@ -40,6 +40,23 @@ bool Network::link_up(NodeId id, PortId port) const {
   return ports_.at(id).at(port).up;
 }
 
+void Network::set_node_up(NodeId id, bool up) {
+  if (node_up_.at(id) == up) return;
+  node_up_[id] = up;
+  Log::debug("net", "%s: node %s", nodes_[id]->name().c_str(),
+             up ? "revived" : "crashed");
+  nodes_[id]->on_node_state_change(up);
+  if (node_observer_) node_observer_(id, up);
+}
+
+void Network::schedule_crash(NodeId id, SimTime at) {
+  loop_.schedule_at(at, [this, id] { set_node_up(id, false); });
+}
+
+void Network::schedule_revive(NodeId id, SimTime at) {
+  loop_.schedule_at(at, [this, id] { set_node_up(id, true); });
+}
+
 void Network::transmit(NodeId from, PortId port, Packet pkt) {
   auto& plist = ports_.at(from);
   if (port >= plist.size()) {
@@ -48,6 +65,12 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
     return;
   }
   Direction& dir = plist[port];
+  if (!node_up_.at(from)) {
+    // A dead node's NIC emits nothing (timers queued before the crash
+    // may still fire in its software; their frames die here).
+    ++stats_.frames_dropped_dead;
+    return;
+  }
   if (!dir.up) {
     ++stats_.frames_dropped_down;
     return;
@@ -93,6 +116,11 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
         ports_[from][port].queued_bytes -= pkt.wire_size();
         if (lost) {
           ++stats_.frames_dropped_loss;
+          return;
+        }
+        if (!node_up_[dst]) {
+          // The destination crashed while the frame was in flight.
+          ++stats_.frames_dropped_dead;
           return;
         }
         ++stats_.frames_delivered;

@@ -37,6 +37,10 @@ class NetworkNode {
   /// Called by the network when a frame arrives.
   virtual void on_packet(PortId in_port, Packet pkt) = 0;
 
+  /// Called by the network when this node crashes or revives (see
+  /// Network::set_node_up).  Default: no reaction.
+  virtual void on_node_state_change(bool up) { (void)up; }
+
  protected:
   /// Transmit out of `port`.  Frames to unconnected ports are dropped.
   void send(PortId port, Packet pkt);
@@ -58,6 +62,8 @@ struct TrafficStats {
   std::uint64_t frames_dropped_loss = 0;
   std::uint64_t frames_dropped_ttl = 0;
   std::uint64_t frames_dropped_down = 0;
+  /// Frames dropped because an endpoint node was crashed (fail-stop).
+  std::uint64_t frames_dropped_dead = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
 };
@@ -80,6 +86,7 @@ class Network {
     T& ref = *node;
     nodes_.push_back(std::move(node));
     ports_.emplace_back();
+    node_up_.push_back(true);
     return ref;
   }
 
@@ -101,6 +108,27 @@ class Network {
   /// already in flight still arrive (they left before the cut).
   void set_link_up(NodeId id, PortId port, bool up);
   bool link_up(NodeId id, PortId port) const;
+
+  /// Fail-stop crash / revival of a whole node.  While down, every frame
+  /// the node emits is dropped at its NIC and every frame addressed to it
+  /// is dropped on arrival (even ones already in flight — a dead host
+  /// receives nothing).  Node memory (stores, protocol state) survives,
+  /// modelling a durable object store: revival is a reboot, not a wipe.
+  /// Transitions invoke NetworkNode::on_node_state_change and the
+  /// observer (the management plane's failure detector).
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const { return node_up_.at(id); }
+
+  /// Deterministic fault schedule: crash / revive `id` at absolute
+  /// simulated time `at`.
+  void schedule_crash(NodeId id, SimTime at);
+  void schedule_revive(NodeId id, SimTime at);
+
+  /// Management-plane hook: sees every node up/down transition (the SDN
+  /// controller registers here; the simulator plays the role of its
+  /// out-of-band liveness feed).
+  using NodeObserver = std::function<void(NodeId, bool up)>;
+  void set_node_observer(NodeObserver obs) { node_observer_ = std::move(obs); }
 
   /// Enqueue a frame for transmission (called via NetworkNode::send).
   void transmit(NodeId from, PortId port, Packet pkt);
@@ -131,8 +159,11 @@ class Network {
   std::vector<std::unique_ptr<NetworkNode>> nodes_;
   /// ports_[node][port] -> outgoing direction state.
   std::vector<std::vector<Direction>> ports_;
+  /// Per-node liveness (fail-stop crash state).
+  std::vector<bool> node_up_;
   TrafficStats stats_;
   PacketTap tap_;
+  NodeObserver node_observer_;
   std::uint64_t next_trace_id_ = 1;
 };
 

@@ -22,6 +22,7 @@ TEST(Frame, EncodeDecodeRoundTrip) {
   f.seq = 123456;
   f.offset = 64;
   f.length = 256;
+  f.epoch = 5;
   f.payload = Bytes{1, 2, 3};
   auto back = Frame::decode(f.encode());
   ASSERT_TRUE(back);
@@ -33,6 +34,7 @@ TEST(Frame, EncodeDecodeRoundTrip) {
   EXPECT_EQ(back->seq, 123456u);
   EXPECT_EQ(back->offset, 64u);
   EXPECT_EQ(back->length, 256u);
+  EXPECT_EQ(back->epoch, 5u);
   EXPECT_EQ(back->payload, (Bytes{1, 2, 3}));
 }
 
@@ -527,6 +529,184 @@ TEST(Reliable, EmptyPayloadDelivered) {
   fabric->settle();
   EXPECT_TRUE(sent.is_ok());
   EXPECT_TRUE(got);
+}
+
+namespace {
+/// frag seq packing, mirrored from the channel (msg_id | idx | count).
+std::uint64_t frag_seq(std::uint32_t msg_id, std::uint32_t idx,
+                       std::uint32_t count) {
+  return (static_cast<std::uint64_t>(msg_id) << 32) |
+         (static_cast<std::uint64_t>(idx) << 16) | count;
+}
+
+/// Deliver a hand-crafted frame straight to a host's NIC, bypassing
+/// send_frame (which would overwrite src_host) — the chaos injection
+/// path for spoofed/stale frames.
+void inject(HostNode& host, Frame f) {
+  Packet pkt;
+  pkt.data = f.encode();
+  host.on_packet(0, std::move(pkt));
+}
+}  // namespace
+
+TEST(Reliable, MisdirectedAckCannotCompleteDelivery) {
+  // Regression: acks used to be keyed by msg_id alone, so any host that
+  // guessed (or stalely replayed) a sender-local msg_id could "complete"
+  // a transfer whose payload the real destination never received.
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  Network& net = fabric->network();
+  net.set_link_up(fabric->host(2).id(), 0, false);  // isolate the dst
+  Status sent{Errc::unavailable};
+  fabric->service(1).reliable().send(fabric->host(2).addr(),
+                                     MsgType::object_replica, fixed_id(1),
+                                     Bytes(3000, 0xAB),
+                                     [&](Status s) { sent = s; });
+  fabric->loop().run_until(fabric->loop().now() + 200 * kMicrosecond);
+  ASSERT_EQ(fabric->service(1).reliable().outbound_in_progress(), 1u);
+
+  // Host 0 forges acks for every fragment of msg_id 1 (the first id the
+  // channel hands out).  They must be rejected, not complete the send.
+  for (std::uint32_t idx = 0; idx < 3; ++idx) {
+    Frame ack;
+    ack.type = MsgType::frag_ack;
+    ack.dst_host = fabric->host(1).addr();
+    ack.object = fixed_id(1);
+    ack.seq = frag_seq(1, idx, 3);
+    fabric->host(0).send_frame(std::move(ack));
+  }
+  fabric->loop().run_until(fabric->loop().now() + 200 * kMicrosecond);
+  EXPECT_EQ(fabric->service(1).reliable().counters().misdirected_acks, 3u);
+  EXPECT_EQ(sent.is_ok(), false);  // still in flight, not falsely done
+  EXPECT_EQ(fabric->service(1).reliable().outbound_in_progress(), 1u);
+
+  // Once the destination is reachable again the transfer finishes for
+  // real (retransmission + genuine acks).
+  net.set_link_up(fabric->host(2).id(), 0, true);
+  fabric->settle();
+  EXPECT_TRUE(sent.is_ok());
+  EXPECT_GT(fabric->service(1).reliable().counters().retransmissions, 0u);
+}
+
+TEST(Reliable, InboundKeysUseFullSourceAddress) {
+  // Regression: the reassembly key collapsed the 64-bit source address
+  // to its low 32 bits, so two senders agreeing in those bits merged
+  // their in-flight messages into one corrupted reassembly.
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  const HostAddr src_a = 0x1'0000'0005ULL;
+  const HostAddr src_b = 0x2'0000'0005ULL;  // same low 32 bits as src_a
+  std::vector<std::pair<HostAddr, Bytes>> delivered;
+  fabric->service(0).reliable().set_message_handler(
+      [&](HostAddr src, MsgType, ObjectId, Bytes payload) {
+        delivered.emplace_back(src, std::move(payload));
+      });
+  auto frag = [&](HostAddr src, std::uint32_t idx, std::uint8_t fill) {
+    Frame f;
+    f.type = MsgType::push_frag;
+    f.src_host = src;
+    f.dst_host = fabric->host(0).addr();
+    f.object = fixed_id(3);
+    f.seq = frag_seq(/*msg_id=*/7, idx, /*count=*/2);
+    f.offset = static_cast<std::uint64_t>(MsgType::object_replica);
+    f.length = 4;
+    f.payload = Bytes(4, fill);
+    inject(fabric->host(0), std::move(f));
+  };
+  // Interleave the two messages fragment by fragment.
+  frag(src_a, 0, 0xA0);
+  frag(src_b, 0, 0xB0);
+  frag(src_a, 1, 0xA1);
+  frag(src_b, 1, 0xB1);
+  fabric->settle();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].first, src_a);
+  EXPECT_EQ(delivered[0].second, ([] {
+              Bytes b(4, 0xA0);
+              b.insert(b.end(), 4, 0xA1);
+              return b;
+            }()));
+  EXPECT_EQ(delivered[1].first, src_b);
+  EXPECT_EQ(delivered[1].second, ([] {
+              Bytes b(4, 0xB0);
+              b.insert(b.end(), 4, 0xB1);
+              return b;
+            }()));
+  EXPECT_EQ(fabric->service(0).reliable().counters().duplicate_fragments, 0u);
+}
+
+TEST(Reliable, IdleReassemblyStateIsSwept) {
+  // Regression: a sender dying mid-message leaked its partial reassembly
+  // buffers forever.  The sweep is lazy (no timers — settle() must stay
+  // able to drain), running when a new reassembly starts or explicitly.
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  ReliableChannel& ch = fabric->service(0).reliable();
+  Frame f;
+  f.type = MsgType::push_frag;
+  f.src_host = 0x9999;
+  f.dst_host = fabric->host(0).addr();
+  f.object = fixed_id(4);
+  f.seq = frag_seq(1, 0, 2);  // fragment 0 of 2: never completes
+  f.offset = static_cast<std::uint64_t>(MsgType::object_replica);
+  f.length = 4;
+  f.payload = Bytes(4, 0xDD);
+  inject(fabric->host(0), f);
+  fabric->settle();
+  EXPECT_EQ(ch.inbound_in_progress(), 1u);
+
+  // Within the idle window nothing is collected...
+  fabric->loop().schedule_after(kSecond, [] {});
+  fabric->settle();
+  EXPECT_EQ(ch.expire_idle(), 0u);
+  EXPECT_EQ(ch.inbound_in_progress(), 1u);
+
+  // ...but once the sender has been silent past the window, the next
+  // incoming reassembly sweeps the orphan out.
+  fabric->loop().schedule_after(3 * kSecond, [] {});
+  fabric->settle();
+  f.src_host = 0xAAAA;
+  f.seq = frag_seq(2, 0, 2);
+  inject(fabric->host(0), f);
+  fabric->settle();
+  EXPECT_EQ(ch.counters().reassembly_expired, 1u);
+  EXPECT_EQ(ch.inbound_in_progress(), 1u);  // only the fresh one remains
+}
+
+TEST(Reliable, LinkDownExhaustsRetryBudget) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  fabric->network().set_link_up(fabric->host(1).id(), 0, false);
+  Status sent{Errc::ok};
+  fabric->service(1).reliable().send(fabric->host(2).addr(),
+                                     MsgType::object_replica, fixed_id(1),
+                                     Bytes(100, 1),
+                                     [&](Status s) { sent = s; });
+  fabric->settle();
+  EXPECT_FALSE(sent.is_ok());
+  EXPECT_EQ(sent.error().code, Errc::timeout);
+  EXPECT_EQ(fabric->service(1).reliable().counters().failures, 1u);
+  EXPECT_GT(fabric->service(1).reliable().counters().retransmissions, 0u);
+  EXPECT_EQ(fabric->service(1).reliable().outbound_in_progress(), 0u);
+}
+
+TEST(Reliable, LinkFlapRecoversWithoutDuplicateDelivery) {
+  auto fabric = Fabric::build(base_config(DiscoveryScheme::e2e));
+  Network& net = fabric->network();
+  int deliveries = 0;
+  fabric->service(2).reliable().set_message_handler(
+      [&](HostAddr, MsgType, ObjectId, Bytes) { ++deliveries; });
+  // Down for a few retry rounds (exercising backoff), then back up well
+  // inside the budget.
+  net.set_link_up(fabric->host(2).id(), 0, false);
+  Status sent{Errc::unavailable};
+  fabric->service(1).reliable().send(fabric->host(2).addr(),
+                                     MsgType::object_replica, fixed_id(2),
+                                     Bytes(3000, 7),
+                                     [&](Status s) { sent = s; });
+  fabric->loop().run_until(fabric->loop().now() + 4 * kMillisecond);
+  EXPECT_FALSE(sent.is_ok());
+  net.set_link_up(fabric->host(2).id(), 0, true);
+  fabric->settle();
+  EXPECT_TRUE(sent.is_ok());
+  EXPECT_EQ(deliveries, 1);  // completed-message dedup held under retry
+  EXPECT_GT(fabric->service(1).reliable().counters().retransmissions, 0u);
 }
 
 // --- subscriptions -------------------------------------------------------------------
