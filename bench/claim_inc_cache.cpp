@@ -62,6 +62,7 @@ RunResult run(bool cached, double skew, std::uint64_t seed) {
     // read crosses regardless of where the object lives.
     SwitchNode& tor = cluster->fabric().switch_at(0);
     cache = std::make_unique<IncCacheStage>(tor);
+    if (cluster->checker()) cluster->checker()->attach_cache(*cache);
     CacheGrant grant;
     // ~15 entries of 64 cached images: the budget forces real eviction
     // pressure, so hit rate tracks skew rather than capacity.

@@ -36,6 +36,7 @@ int main() {
   //    watches chunk traffic and admits keys that stay hot.
   SwitchNode& tor = cluster->fabric().switch_at(0);
   IncCacheStage cache(tor);
+  if (cluster->checker()) cluster->checker()->attach_cache(cache);
   CacheGrant grant;
   grant.admit_threshold = 2;
   if (!cluster->fabric().controller()->enable_switch_cache(tor.id(), grant)) {

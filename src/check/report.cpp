@@ -1,0 +1,74 @@
+#include "check/report.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace objrpc::check {
+
+const char* violation_class_name(ViolationClass c) {
+  switch (c) {
+    case ViolationClass::split_brain: return "split_brain";
+    case ViolationClass::epoch_regression: return "epoch_regression";
+    case ViolationClass::stale_serve: return "stale_serve";
+    case ViolationClass::stale_admission: return "stale_admission";
+    case ViolationClass::invalidate_order: return "invalidate_order";
+    case ViolationClass::frag_conservation: return "frag_conservation";
+    case ViolationClass::forged_ack: return "forged_ack";
+    case ViolationClass::leaked_reassembly: return "leaked_reassembly";
+    case ViolationClass::stuck_transfer: return "stuck_transfer";
+    case ViolationClass::stuck_fetch: return "stuck_fetch";
+    case ViolationClass::stuck_access: return "stuck_access";
+    case ViolationClass::stuck_probe: return "stuck_probe";
+    case ViolationClass::stuck_fill: return "stuck_fill";
+    case ViolationClass::grant_mismatch: return "grant_mismatch";
+  }
+  return "unknown";
+}
+
+const char* epoch_event_kind_name(EpochEvent::Kind k) {
+  switch (k) {
+    case EpochEvent::Kind::promoted: return "promoted";
+    case EpochEvent::Kind::demoted: return "demoted";
+    case EpochEvent::Kind::resumed: return "resumed";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string(
+    const std::function<std::string(NodeId)>& node_name) const {
+  auto name = [&](NodeId n) -> std::string {
+    if (node_name) return node_name(n);
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "node%u", n);
+    return buf;
+  };
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "=== INVARIANT VIOLATION: %s at %" PRId64 "ns ===\n",
+                violation_class_name(cls), at);
+  out += buf;
+  if (!object.is_null()) {
+    out += "object:  " + object.to_string() + "\n";
+  }
+  out += "detail:  " + detail + "\n";
+  if (!epoch_trail.empty()) {
+    out += "epoch trail:\n";
+    for (const auto& ev : epoch_trail) {
+      std::snprintf(buf, sizeof buf, "  %10" PRId64 "ns  %-10s %-9s epoch=%u\n",
+                    ev.at, name(ev.node).c_str(),
+                    epoch_event_kind_name(ev.kind), ev.epoch);
+      out += buf;
+    }
+  }
+  if (!trace.empty()) {
+    out += "recent wire events (oldest first):\n";
+    for (const auto& ev : trace) {
+      out += "  " + ev.to_string() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace objrpc::check

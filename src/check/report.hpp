@@ -1,0 +1,70 @@
+// Structured invariant-violation reports (DESIGN.md §11).
+//
+// A violation is not a log line: it names the broken invariant class,
+// the lineage (object) it concerns, the epoch trail of that lineage as
+// observed through the replication layer's lifecycle events, and the
+// most recent wire events — enough to reconstruct the interleaving that
+// broke the invariant without re-running the scenario.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/wire.hpp"
+
+namespace objrpc::check {
+
+enum class ViolationClass : std::uint8_t {
+  // Split-brain / epoch fencing.
+  split_brain,       // >1 live non-fenced home for one lineage
+  epoch_regression,  // a promotion under an epoch below the max seen
+  // Coherence.
+  stale_serve,      // chunk_resp emitted below the emitter's acked floor
+  stale_admission,  // adoption/admission below the holder's acked floor
+  invalidate_order, // host replica invalidated before a switch cache
+  // Transport conservation.
+  frag_conservation,  // fragment delivered more times than emitted
+  forged_ack,         // frag_ack for a fragment never delivered
+  leaked_reassembly,  // expiry-eligible partial survives quiesce
+  // Liveness at quiesce.
+  stuck_transfer,  // reliable outbound still open with no event left
+  stuck_fetch,     // object pull still pending with no event left
+  stuck_access,    // read/write/atomic still pending with no event left
+  stuck_probe,     // epoch probe still open with no event left
+  stuck_fill,      // switch-cache fill still open with no event left
+  // Management plane.
+  grant_mismatch,  // switch cache enabled-state disagrees with controller
+};
+
+const char* violation_class_name(ViolationClass c);
+
+/// One replication-lifecycle observation for a lineage.
+struct EpochEvent {
+  enum class Kind : std::uint8_t { promoted, demoted, resumed };
+  SimTime at = 0;
+  NodeId node = kInvalidNode;
+  Kind kind = Kind::promoted;
+  std::uint32_t epoch = 0;
+};
+
+const char* epoch_event_kind_name(EpochEvent::Kind k);
+
+struct Violation {
+  ViolationClass cls = ViolationClass::split_brain;
+  SimTime at = 0;
+  ObjectId object;  // null when the violation is not lineage-specific
+  std::string detail;
+  /// Promotion/demotion/resume history of the object's lineage.
+  std::vector<EpochEvent> epoch_trail;
+  /// Most recent wire events at detection time (oldest first).
+  std::vector<WireEvent> trace;
+
+  /// Render the full report.  `node_name` maps a NodeId to a display
+  /// name (falls back to "node<N>" when absent).
+  std::string to_string(
+      const std::function<std::string(NodeId)>& node_name = {}) const;
+};
+
+}  // namespace objrpc::check

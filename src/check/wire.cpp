@@ -1,0 +1,52 @@
+#include "check/wire.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace objrpc::check {
+
+void Digest::fold_event(const WireEvent& ev) {
+  fold(ev.at);
+  fold(ev.from);
+  fold(ev.to);
+  fold(static_cast<std::uint64_t>(ev.type));
+  fold(ev.src);
+  fold(ev.dst);
+  fold(ev.object.value.hi);
+  fold(ev.object.value.lo);
+  fold(ev.seq);
+  fold(ev.offset);
+  fold(ev.length);
+  fold(ev.epoch);
+  fold(ev.obj_version);
+  fold(ev.payload_bytes);
+}
+
+std::string addr_to_string(HostAddr addr) {
+  char buf[64];
+  if (addr == kUnspecifiedHost) {
+    return "unspecified";
+  }
+  if (is_inc_cache_addr(addr)) {
+    std::snprintf(buf, sizeof buf, "inc-cache(switch %" PRIu64 ")",
+                  addr - kIncCacheAddrBase);
+  } else {
+    std::snprintf(buf, sizeof buf, "host-addr %" PRIu64, addr);
+  }
+  return buf;
+}
+
+std::string WireEvent::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%10" PRId64 "ns  node%u->node%u  %-14s %s -> %s obj=%s "
+                "seq=%" PRIu64 " off=%" PRIu64 " len=%u epoch=%u ver=%" PRIu64
+                "%s%s",
+                at, from, to, msg_type_name(type), addr_to_string(src).c_str(),
+                addr_to_string(dst).c_str(), object.to_string().c_str(), seq,
+                offset, length, epoch, obj_version, emission ? " [emit]" : "",
+                final_delivery ? " [deliver]" : "");
+  return buf;
+}
+
+}  // namespace objrpc::check

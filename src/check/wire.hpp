@@ -1,0 +1,89 @@
+// Wire observation model for the invariant checker (DESIGN.md §11).
+//
+// The checker watches the simulation exclusively through the network's
+// packet taps: every delivered hop becomes one WireEvent.  Two derived
+// facts matter for the protocol invariants:
+//
+//   emission — the hop left the node that PROTOCOL-addressed the frame
+//     (frame.src_host resolves to the `from` node).  Hosts are
+//     single-homed, so a host's first hop preserves its send order; a
+//     switch-resident cache agent's frames are emitted by its switch.
+//   final delivery — the hop arrived at the node the frame is
+//     protocol-addressed to (frame.dst_host resolves to `to`).
+//
+// Every hop also folds into an order-sensitive digest; two same-seed
+// runs of a deterministic simulation must produce byte-identical
+// digests (tools/determinism_audit drives that comparison).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/objnet.hpp"
+
+namespace objrpc::check {
+
+/// One observed frame hop (fires at delivery into `to`'s NIC).
+struct WireEvent {
+  SimTime at = 0;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  MsgType type = MsgType::nack;
+  HostAddr src = kUnspecifiedHost;
+  HostAddr dst = kUnspecifiedHost;
+  ObjectId object;
+  std::uint64_t seq = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t length = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t obj_version = 0;
+  std::uint64_t payload_bytes = 0;
+  bool emission = false;
+  bool final_delivery = false;
+
+  std::string to_string() const;
+};
+
+/// Order-sensitive 64-bit fold over every observed wire event.  The
+/// value depends on the exact sequence (and fields) of deliveries, so
+/// any nondeterminism in the simulation — hash-order fan-out, RNG
+/// misuse, iteration-order protocol decisions — changes it.
+class Digest {
+ public:
+  static constexpr std::uint64_t kSeed = 0x243F6A8885A308D3ULL;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  void fold(std::uint64_t x) {
+    state_ = mix(state_ ^ mix(x + 0x9E3779B97F4A7C15ULL));
+  }
+  void fold_event(const WireEvent& ev);
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kSeed;
+};
+
+/// Human-readable protocol address ("host 3", "inc-cache(switch 2)").
+std::string addr_to_string(HostAddr addr);
+
+/// The reliable channel's fragment-seq packing, re-derived from the wire
+/// format (reliable.hpp documents it; the checker must not depend on the
+/// channel's private helpers).
+inline void unpack_frag_seq(std::uint64_t seq, std::uint32_t& msg_id,
+                            std::uint32_t& frag_idx,
+                            std::uint32_t& frag_count) {
+  msg_id = static_cast<std::uint32_t>(seq >> 32);
+  frag_idx = static_cast<std::uint32_t>((seq >> 16) & 0xFFFF);
+  frag_count = static_cast<std::uint32_t>(seq & 0xFFFF);
+}
+
+}  // namespace objrpc::check

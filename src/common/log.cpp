@@ -2,7 +2,7 @@
 
 namespace objrpc {
 
-LogLevel Log::level_ = LogLevel::off;
+std::atomic<LogLevel> Log::level_{LogLevel::off};
 
 const char* Log::level_name(LogLevel l) {
   switch (l) {

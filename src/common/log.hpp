@@ -4,6 +4,7 @@
 // protocol exchanges when debugging a simulation.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -14,13 +15,15 @@ enum class LogLevel : int { off = 0, error = 1, warn = 2, info = 3, debug = 4 };
 
 class Log {
  public:
-  static LogLevel level() { return level_; }
-  static void set_level(LogLevel l) { level_ = l; }
+  static LogLevel level() { return level_.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel l) {
+    level_.store(l, std::memory_order_relaxed);
+  }
 
   template <typename... Args>
   static void write(LogLevel l, const char* tag, const char* fmt,
                     Args&&... args) {
-    if (static_cast<int>(l) > static_cast<int>(level_)) return;
+    if (static_cast<int>(l) > static_cast<int>(level())) return;
     std::fprintf(stderr, "[%s] %s: ", level_name(l), tag);
     if constexpr (sizeof...(Args) == 0) {
       std::fputs(fmt, stderr);
@@ -49,7 +52,10 @@ class Log {
 
  private:
   static const char* level_name(LogLevel l);
-  static LogLevel level_;
+  /// Atomic: the level may be flipped from one thread while simulations
+  /// running on others consult it (tests/concurrency_test.cpp runs
+  /// independent Clusters in parallel under TSan).
+  static std::atomic<LogLevel> level_;
 };
 
 }  // namespace objrpc

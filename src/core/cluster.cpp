@@ -1,6 +1,33 @@
 #include "core/cluster.hpp"
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
 namespace objrpc {
+
+namespace {
+
+bool invariants_enabled(const ClusterConfig& cfg) {
+  if (cfg.check_invariants >= 0) return cfg.check_invariants != 0;
+  const char* env = std::getenv("CHECK_INVARIANTS");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
+
+}  // namespace
+
+Cluster::~Cluster() {
+  if (!checker_) return;
+  if (const char* path = std::getenv("CHECK_DIGEST_FILE")) {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      std::fprintf(f, "digest=%016" PRIx64 " events=%" PRIu64 " violations=%zu\n",
+                   checker_->digest(), checker_->events_observed(),
+                   checker_->violations().size());
+      std::fclose(f);
+    }
+  }
+}
 
 std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
   auto cluster = std::unique_ptr<Cluster>(new Cluster());
@@ -24,6 +51,21 @@ std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
     prof.load = i < cfg.loads.size() ? cfg.loads[i] : 0.0;
     prof.mem_available = cluster->fabric_->host(i).store().bytes_available();
     cluster->profiles_.push_back(prof);
+  }
+  if (invariants_enabled(cfg)) {
+    auto& checker = cluster->checker_;
+    checker = std::make_unique<check::InvariantChecker>(
+        cluster->fabric_->network());
+    for (std::size_t i = 0; i < cluster->fabric_->host_count(); ++i) {
+      checker->attach_host(cluster->fabric_->host(i),
+                           cluster->fabric_->service(i),
+                           *cluster->fetchers_[i], *cluster->replicas_[i]);
+    }
+    if (ControllerNode* ctl = cluster->fabric_->controller()) {
+      checker->attach_controller(*ctl);
+    }
+    check::InvariantChecker* ck = checker.get();
+    cluster->fabric_->loop().set_drain_hook([ck] { ck->on_quiesce(); });
   }
   return cluster;
 }

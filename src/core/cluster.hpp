@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "core/placement.hpp"
 #include "core/replication.hpp"
 #include "core/runtime.hpp"
@@ -30,11 +31,19 @@ struct ClusterConfig {
   std::vector<double> compute_rates{};
   /// Per-host initial load in [0,1); padded with 0.
   std::vector<double> loads{};
+  /// Online invariant checking (src/check): 1 = on, 0 = off, -1 = follow
+  /// the CHECK_INVARIANTS environment variable.  The checker observes
+  /// through passive hooks only, so enabling it leaves the simulation's
+  /// event stream byte-identical.
+  int check_invariants = -1;
 };
 
 class Cluster {
  public:
   static std::unique_ptr<Cluster> build(const ClusterConfig& cfg);
+  /// Appends a digest line to $CHECK_DIGEST_FILE when the checker ran
+  /// (the determinism auditor diffs those files across same-seed runs).
+  ~Cluster();
 
   Fabric& fabric() { return *fabric_; }
   EventLoop& loop() { return fabric_->loop(); }
@@ -92,6 +101,11 @@ class Cluster {
 
   void settle() { fabric_->settle(); }
   HostAddr addr_of(std::size_t i) { return fabric_->host(i).addr(); }
+
+  /// The invariant checker, when enabled (null otherwise).  Tests and
+  /// benches that hand-build components (e.g. an IncCacheStage) should
+  /// attach them here so the checker sees their lifecycle too.
+  check::InvariantChecker* checker() { return checker_.get(); }
   /// Index of the host with protocol address `addr`.
   Result<std::size_t> index_of(HostAddr addr) const;
 
@@ -99,6 +113,9 @@ class Cluster {
   Cluster() = default;
 
   std::unique_ptr<Fabric> fabric_;
+  /// Declared after fabric_: destroyed first, while the network (whose
+  /// taps and drain hook reference it) is still alive.
+  std::unique_ptr<check::InvariantChecker> checker_;
   std::unique_ptr<CodeRegistry> code_;
   std::vector<std::unique_ptr<ObjectFetcher>> fetchers_;
   std::vector<std::unique_ptr<InvokeRuntime>> runtimes_;

@@ -30,9 +30,14 @@ ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
     // Switch cache agents sit on the read path between us and every host
     // replica — invalidate them FIRST, so a host that re-fetches cannot
     // be answered by a not-yet-invalidated switch holding the old image.
+    // Sorting within each class keeps the wire order independent of the
+    // copyset's hash layout (seeded replay determinism).
     std::vector<HostAddr> members(it->second.begin(), it->second.end());
-    std::stable_partition(members.begin(), members.end(),
-                          [](HostAddr m) { return is_inc_cache_addr(m); });
+    std::sort(members.begin(), members.end(), [](HostAddr a, HostAddr b) {
+      const bool ca = is_inc_cache_addr(a), cb = is_inc_cache_addr(b);
+      if (ca != cb) return ca;
+      return a < b;
+    });
     const std::uint32_t epoch = epoch_provider_ ? epoch_provider_(id) : 0;
     for (HostAddr member : members) {
       ++counters_.invalidates_sent;
@@ -238,6 +243,7 @@ void ObjectFetcher::on_chunk_resp(const Frame& f) {
     return;
   }
   cached_.insert(f.object);
+  if (adopt_observer_) adopt_observer_(f.object, pf.version);
   auto stored = service_.host().store().get(f.object);
   complete(f.object, Status::ok());
   if (stored) run_prefetch(**stored);

@@ -17,6 +17,7 @@
 //     hoisted into one place).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -117,6 +118,24 @@ class ObjectFetcher {
     coherence_guard_ = std::move(g);
   }
 
+  /// Observation hook for the invariant checker: fires when a completed
+  /// pull is adopted into the local store, with the image version the
+  /// pull locked onto.  Must not mutate the fetcher.
+  using AdoptObserver = std::function<void(ObjectId, std::uint64_t version)>;
+  void set_adopt_observer(AdoptObserver o) { adopt_observer_ = std::move(o); }
+
+  /// In-flight introspection (invariant checker / tests).
+  std::size_t pending_fetch_count() const { return pending_.size(); }
+  /// Objects with a pull in flight, sorted (deterministic reporting).
+  std::vector<ObjectId> pending_objects() const {
+    std::vector<ObjectId> ids;
+    ids.reserve(pending_.size());
+    // lint:allow-nondet sorted before return
+    for (const auto& [id, pf] : pending_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
  private:
   struct PendingFetch {
     std::vector<FetchCallback> waiters;
@@ -159,6 +178,7 @@ class ObjectFetcher {
   ServeGuard serve_guard_;
   EpochProvider epoch_provider_;
   CoherenceGuard coherence_guard_;
+  AdoptObserver adopt_observer_;
   Counters counters_;
 };
 

@@ -230,6 +230,7 @@ void ReplicaManager::promote(ObjectId id) {
   const std::uint32_t new_epoch = info.epoch + 1;
   homes_[id] = HomeInfo{new_epoch, {}};
   ++counters_.promotions;
+  if (event_observer_) event_observer_(Event::promoted, id, new_epoch);
   const HostAddr self = service_.host().addr();
   // Fence the old home: harmless while it is down, decisive if it is
   // somehow still up (it demotes against the higher epoch).
@@ -311,6 +312,7 @@ void ReplicaManager::demote(ObjectId id, std::uint32_t seen_epoch) {
   homes_.erase(it);
   recovering_.erase(id);
   ++counters_.demotions;
+  if (event_observer_) event_observer_(Event::demoted, id, seen_epoch);
   // The promoted lineage owns history; our durable copy may hold writes
   // that never replicated (the lost-update window, see DESIGN.md §10).
   (void)service_.host().store().remove(id);
@@ -318,7 +320,10 @@ void ReplicaManager::demote(ObjectId id, std::uint32_t seen_epoch) {
 }
 
 void ReplicaManager::on_revival() {
-  for (auto& [id, home] : homes_) {
+  // Probe in sorted object order: the wire trace of a recovery must not
+  // depend on the hash layout of homes_ (seeded replay determinism).
+  for (ObjectId id : homed_objects()) {
+    HomeInfo& home = homes_.at(id);
     if (home.members.empty()) continue;  // nobody could have promoted
     recovering_.insert(id);
     for (HostAddr member : home.members) {
@@ -340,6 +345,10 @@ void ReplicaManager::on_revival() {
           // were down; resume serving.
           if (recovering_.erase(object) > 0) {
             ++counters_.recoveries_resumed;
+            if (event_observer_) {
+              event_observer_(Event::resumed, object,
+                              homes_.count(object) ? homes_[object].epoch : 0);
+            }
           }
         });
   }

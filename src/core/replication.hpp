@@ -36,6 +36,7 @@
 // is the fetcher's invalidation protocol.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -92,6 +93,25 @@ class ReplicaManager {
   /// epoch.  Normally triggered by probe timeout (E2E) or promote_req
   /// (controller); public for tests and manual failover.
   void promote(ObjectId id);
+
+  /// Lifecycle events surfaced to the invariant checker.
+  enum class Event : std::uint8_t { promoted, demoted, resumed };
+  using EventObserver =
+      std::function<void(Event, ObjectId, std::uint32_t epoch)>;
+  void set_event_observer(EventObserver o) { event_observer_ = std::move(o); }
+
+  /// In-flight / at-rest introspection (invariant checker / tests).
+  std::size_t probing_count() const { return probing_.size(); }
+  std::size_t recovering_count() const { return recovering_.size(); }
+  /// Objects homed here, sorted (deterministic reporting).
+  std::vector<ObjectId> homed_objects() const {
+    std::vector<ObjectId> ids;
+    ids.reserve(homes_.size());
+    // lint:allow-nondet sorted before return
+    for (const auto& [id, info] : homes_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
 
   struct Counters {
     std::uint64_t replicas_pushed = 0;
@@ -162,6 +182,7 @@ class ReplicaManager {
   std::unordered_map<ObjectId, std::uint64_t> probe_gen_;
   /// Revived-home quarantine.
   std::unordered_set<ObjectId> recovering_;
+  EventObserver event_observer_;
   Counters counters_;
 };
 

@@ -260,6 +260,7 @@ void IncCacheStage::admit(ObjectId id, Bytes image, std::uint64_t version) {
   entries_.emplace(id, std::move(entry));
   bytes_cached_ += cost;
   hotkeys_.forget(id);  // admitted: release the counter bucket
+  if (admit_observer_) admit_observer_(id, version);
 }
 
 void IncCacheStage::drop_entry(ObjectId id) {
@@ -296,7 +297,11 @@ void IncCacheStage::on_invalidate(const Frame& f, PortId in_port) {
   // Fan the invalidate out to every client we served: the home never saw
   // those reads, so their coherence is OUR obligation.
   if (auto rit = readers_.find(f.object); rit != readers_.end()) {
-    for (HostAddr reader : rit->second) {
+    // Sorted fan-out: the wire order must not depend on the reader set's
+    // hash layout (seeded replay determinism).
+    std::vector<HostAddr> readers(rit->second.begin(), rit->second.end());
+    std::sort(readers.begin(), readers.end());
+    for (HostAddr reader : readers) {
       ++counters_.invalidates_forwarded;
       Frame inv;
       inv.type = MsgType::invalidate;

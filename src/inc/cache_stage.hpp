@@ -35,10 +35,13 @@
 // scheme).
 #pragma once
 
+#include <algorithm>
+#include <functional>
 #include <list>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "inc/hotkey.hpp"
 #include "net/objnet.hpp"
@@ -89,6 +92,36 @@ class IncCacheStage {
     std::uint64_t fills_aborted = 0;
   };
   const Counters& counters() const { return counters_; }
+
+  /// Observation hook for the invariant checker: fires when a fill is
+  /// admitted into SRAM, with the image version it carried.  Must not
+  /// mutate the stage.
+  using AdmitObserver = std::function<void(ObjectId, std::uint64_t version)>;
+  void set_admit_observer(AdmitObserver o) { admit_observer_ = std::move(o); }
+
+  /// Fills in flight (invariant checker: a fill left pending at quiesce
+  /// is stuck — nothing will ever complete or abort it).
+  std::size_t pending_fill_count() const { return fills_.size(); }
+  /// Objects with a fill in flight, sorted (deterministic reporting).
+  std::vector<ObjectId> pending_fill_objects() const {
+    std::vector<ObjectId> ids;
+    ids.reserve(fills_.size());
+    // lint:allow-nondet sorted before return
+    for (const auto& [id, fill] : fills_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// (object, version) of every SRAM entry, sorted by object so reports
+  /// are independent of the map's hash layout.
+  std::vector<std::pair<ObjectId, std::uint64_t>> entries_snapshot() const {
+    std::vector<std::pair<ObjectId, std::uint64_t>> out;
+    out.reserve(entries_.size());
+    // lint:allow-nondet sorted before return
+    for (const auto& [id, e] : entries_) out.emplace_back(id, e.version);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
  private:
   struct Entry {
@@ -142,6 +175,7 @@ class IncCacheStage {
   std::unordered_map<ObjectId, std::unordered_set<HostAddr>> readers_;
   std::uint64_t bytes_cached_ = 0;
   std::uint64_t next_seq_ = 1;
+  AdmitObserver admit_observer_;
   Counters counters_;
 };
 

@@ -8,6 +8,7 @@
 // and to switch table capacity (§3.2's 1.8M/850K entry limits).
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -93,6 +94,15 @@ class ControllerNode : public HostNode {
   /// Where the controller believes `object` lives.
   Result<HostAddr> locate(ObjectId object) const;
   std::size_t directory_size() const { return directory_.size(); }
+
+  /// Switches holding the caching privilege, sorted (invariant checker /
+  /// deterministic reporting).
+  std::vector<NodeId> caching_switches() const {
+    std::vector<NodeId> out(caching_switches_.begin(),
+                            caching_switches_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
 
  private:
   void on_advertise(const Frame& f);

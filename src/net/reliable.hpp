@@ -13,10 +13,12 @@
 // Acks echo the fragment's seq in a MsgType::frag_ack frame.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "net/host_node.hpp"
 
@@ -82,6 +84,33 @@ class ReliableChannel {
   /// In-flight state introspection (tests / leak detection).
   std::size_t inbound_in_progress() const { return inbound_.size(); }
   std::size_t outbound_in_progress() const { return outbound_.size(); }
+
+  const ReliableConfig& config() const { return cfg_; }
+
+  /// Snapshot of a partial inbound reassembly (invariant checker: leaked
+  /// reassembly detection at quiesce).
+  struct InboundSnapshot {
+    HostAddr src = kUnspecifiedHost;
+    std::uint32_t msg_id = 0;
+    SimTime last_activity = 0;
+    std::uint32_t received = 0;
+    std::uint32_t total = 0;
+  };
+  /// Partial reassemblies, sorted by (src, msg_id) so reports are
+  /// independent of the map's hash layout.
+  std::vector<InboundSnapshot> inbound_snapshot() const {
+    std::vector<InboundSnapshot> out;
+    out.reserve(inbound_.size());
+    for (const auto& [key, in] : inbound_) {  // lint:allow-nondet sorted below
+      out.push_back({key.src, key.msg_id, in.last_activity, in.received,
+                     static_cast<std::uint32_t>(in.frags.size())});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const InboundSnapshot& a, const InboundSnapshot& b) {
+                return a.src != b.src ? a.src < b.src : a.msg_id < b.msg_id;
+              });
+    return out;
+  }
 
   static constexpr std::uint32_t kMaxFragments = 0xFFFF;
 

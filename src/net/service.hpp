@@ -154,6 +154,11 @@ class ObjNetService {
   };
   const Counters& counters() const { return counters_; }
 
+  /// Outstanding read/write/atomic accesses (invariant checker: a
+  /// non-empty count at quiesce means an access got stuck with no timer
+  /// left to finish it).
+  std::size_t pending_access_count() const { return pending_.size(); }
+
  private:
   struct Pending {
     MsgType kind;  // read_req, write_req, or atomic_req

@@ -25,6 +25,7 @@ bool EventLoop::step() {
 void EventLoop::run() {
   while (step()) {
   }
+  if (drain_hook_) drain_hook_();
 }
 
 void EventLoop::run_until(SimTime deadline) {
@@ -32,6 +33,7 @@ void EventLoop::run_until(SimTime deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;
+  if (queue_.empty() && drain_hook_) drain_hook_();
 }
 
 }  // namespace objrpc

@@ -39,6 +39,12 @@ class EventLoop {
   /// events at exactly `deadline` execute.
   void run_until(SimTime deadline);
 
+  /// Invoked whenever run()/run_until() returns with the queue fully
+  /// drained (simulation quiesce).  The invariant checker validates its
+  /// at-rest invariants here; the hook must not schedule events.
+  using DrainHook = std::function<void()>;
+  void set_drain_hook(DrainHook hook) { drain_hook_ = std::move(hook); }
+
   bool empty() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t events_executed() const { return executed_; }
@@ -60,6 +66,7 @@ class EventLoop {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  DrainHook drain_hook_;
 };
 
 }  // namespace objrpc

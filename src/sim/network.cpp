@@ -127,6 +127,7 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
         stats_.bytes_delivered += pkt.wire_size();
         ++pkt.hops;
         if (tap_) tap_(from, dst, pkt);
+        for (auto& t : extra_taps_) t(from, dst, pkt);
         nodes_[dst]->on_packet(dst_port, std::move(pkt));
       });
 }

@@ -141,6 +141,11 @@ class Network {
       std::function<void(NodeId from, NodeId to, const Packet&)>;
   void set_tap(PacketTap tap) { tap_ = std::move(tap); }
 
+  /// Additional observation taps (the invariant checker attaches here so
+  /// it can coexist with a test's set_tap).  Taps run in registration
+  /// order, after the primary tap; they must not mutate the simulation.
+  void add_tap(PacketTap tap) { extra_taps_.push_back(std::move(tap)); }
+
  private:
   struct Direction {
     NodeId dst = kInvalidNode;
@@ -163,6 +168,7 @@ class Network {
   std::vector<bool> node_up_;
   TrafficStats stats_;
   PacketTap tap_;
+  std::vector<PacketTap> extra_taps_;
   NodeObserver node_observer_;
   std::uint64_t next_trace_id_ = 1;
 };

@@ -247,6 +247,7 @@ TEST(Failover, ControllerRepairsRoutesAndRevokesSwitchCache) {
   auto cluster = Cluster::build(
       chaos_cluster(DiscoveryScheme::controller, /*seed=*/13));
   IncCacheStage cache(cluster->fabric().switch_at(0));
+  if (cluster->checker()) cluster->checker()->attach_cache(cache);
   auto obj = cluster->create_object(/*host=*/1, 4096);
   ASSERT_TRUE(obj);
   const ObjectId id = (*obj)->id();

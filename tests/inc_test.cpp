@@ -360,6 +360,7 @@ struct IncWorld {
     cluster = Cluster::build(cfg);
     // Cache at host0's access switch (switch 0), like SyncOffload.
     cache = std::make_unique<IncCacheStage>(cluster->fabric().switch_at(0));
+    if (cluster->checker()) cluster->checker()->attach_cache(*cache);
     obj = unwrap(cluster->create_object(/*host=*/1, size));
     id = obj->id();
     EXPECT_TRUE(obj->write_u64(Object::kDataStart, 0xBEEF));

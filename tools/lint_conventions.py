@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Convention linter: reject nondeterminism hazards before they ship.
+
+The simulation's contract is full determinism in the seed (DESIGN.md §7,
+enforced end-to-end by tools/determinism_audit).  Two classes of code
+break that contract quietly:
+
+  1. Ambient entropy — rand()/srand()/std::random_device, wall-clock
+     time (time(), clock(), std::chrono::*_clock).  All randomness must
+     flow through common/rng (seeded splitmix streams); all time is
+     EventLoop sim time.
+
+  2. Hash-order iteration — a range-for over a std::unordered_{map,set}
+     feeding protocol decisions or wire output.  Iteration order there
+     depends on the allocator and hash salt, so two same-seed runs can
+     emit frames in different orders.  Protocol fan-out must iterate a
+     sorted view (see fetch.cpp's copyset fan-out) or an order-stable
+     container.
+
+A site that is genuinely order-insensitive (pure aggregation, counter
+sums, destruction) can be suppressed with a trailing comment on the
+offending line:
+
+    for (auto& [id, e] : entries_) {  // lint:allow-nondet sum only
+
+or on its own line immediately above the offending one.  The reason
+after the tag is mandatory — an allow without a why rots.
+
+Usage: tools/lint_conventions.py [paths...]   (default: src/)
+Exit 0 = clean; 1 = violations (printed one per line, grep-style).
+"""
+
+import os
+import re
+import sys
+
+ALLOW_TAG = "lint:allow-nondet"
+
+# --- ambient entropy / wall-clock patterns -------------------------------
+ENTROPY_PATTERNS = [
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "raw rand()/srand(): use common/rng"),
+    (re.compile(r"std::random_device"), "std::random_device: use common/rng"),
+    (re.compile(r"std::mt19937"), "std::mt19937: use common/rng"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0|&)"),
+     "wall-clock time(): use EventLoop sim time"),
+    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"),
+     "clock(): use EventLoop sim time"),
+    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
+     "std::chrono clock: use EventLoop sim time"),
+    (re.compile(r"getentropy|getrandom|/dev/u?random"),
+     "OS entropy: use common/rng"),
+]
+
+# Files allowed to own entropy/clock primitives.
+ENTROPY_EXEMPT = ("common/rng",)
+
+# --- unordered iteration -------------------------------------------------
+# Declarations like:  std::unordered_map<K, V> name_;   (possibly multiline
+# template args; we only need the variable name that follows the closing
+# angle bracket on the same logical line.)
+DECL_RE = re.compile(
+    r"\bunordered_(?:map|set)\s*<[^;{}]*?>\s+(\w+)\s*[;{=]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]+)\)")
+
+
+def strip_comments(line):
+    """Drop // comments so patterns don't fire on prose."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def iter_source_files(paths):
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, _dirs, files in os.walk(path):
+            for name in sorted(files):
+                if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    yield os.path.join(root, name)
+
+
+def lint_file(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+
+    violations = []
+    entropy_ok = any(tag in path for tag in ENTROPY_EXEMPT)
+
+    # Pass 1: names of unordered containers declared anywhere in the file
+    # (members and locals alike).  Joined text so multiline declarations
+    # still match.
+    joined = "\n".join(strip_comments(l) for l in lines)
+    unordered_names = set(DECL_RE.findall(joined))
+
+    # Pass 2: per-line checks.  An allow tag suppresses its own line and
+    # the line after it (so the annotation can sit above a long loop).
+    for i, raw in enumerate(lines, start=1):
+        if i >= 2 and ALLOW_TAG in lines[i - 2]:
+            continue
+        if ALLOW_TAG in raw:
+            if not raw.split(ALLOW_TAG, 1)[1].strip():
+                violations.append(
+                    (i, f"{ALLOW_TAG} needs a reason after the tag"))
+            continue  # explicitly suppressed (with rationale)
+        line = strip_comments(raw)
+
+        if not entropy_ok:
+            for pattern, why in ENTROPY_PATTERNS:
+                if pattern.search(line):
+                    violations.append((i, why))
+
+        m = RANGE_FOR_RE.search(line)
+        if m:
+            domain = m.group(1).strip()
+            base = re.split(r"[.\->(\[]", domain, 1)[0].strip().rstrip("_")
+            for name in unordered_names:
+                if base == name.rstrip("_") or domain == name:
+                    violations.append(
+                        (i, f"range-for over unordered container "
+                            f"'{name}': iterate a sorted view or annotate "
+                            f"'// {ALLOW_TAG} <reason>'"))
+                    break
+    return violations
+
+
+def main():
+    paths = sys.argv[1:] or ["src"]
+    total = 0
+    for path in iter_source_files(paths):
+        for lineno, why in lint_file(path):
+            print(f"{path}:{lineno}: {why}")
+            total += 1
+    if total:
+        print(f"\nlint_conventions: {total} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_conventions: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
