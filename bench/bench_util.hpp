@@ -1,8 +1,10 @@
-// Shared helpers for the figure/claim benches: sequential async drivers
-// and aligned table printing.
+// Shared helpers for the figure/claim benches: sequential async drivers,
+// aligned table printing, and machine-readable BENCH_<name>.json output.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -46,7 +48,8 @@ struct LatencySummary {
   }
 };
 
-/// Fixed-width table printing.
+/// Fixed-width table printing.  Rows are also recorded so a bench can
+/// hand the table to BenchJson for the machine-readable dump.
 class Table {
  public:
   explicit Table(std::vector<std::string> headers)
@@ -71,10 +74,105 @@ class Table {
       }
     }
     std::printf("\n");
+    rows_.push_back(values);
   }
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
 
  private:
   std::vector<std::string> headers_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Where a bench's JSON lands: $BENCH_JSON_DIR/BENCH_<name>.json, or the
+/// working directory when the variable is unset.
+inline std::string bench_json_path(const std::string& bench_name) {
+  const char* dir = std::getenv("BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/"
+                         : std::string();
+  return path + "BENCH_" + bench_name + ".json";
+}
+
+/// Machine-readable bench results.  Collects named scalars, tables, and
+/// pre-rendered JSON fragments (a MetricsRegistry::to_json() dump), then
+/// writes one BENCH_<name>.json so the perf trajectory can be tracked
+/// across commits instead of eyeballed from stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void value(const std::string& key, double v) {
+    fields_.emplace_back(key, number(v));
+  }
+
+  void table(const std::string& key, const Table& t) {
+    std::string json = "{\"headers\":[";
+    for (std::size_t i = 0; i < t.headers().size(); ++i) {
+      if (i != 0) json += ',';
+      json += '"' + escape(t.headers()[i]) + '"';
+    }
+    json += "],\"rows\":[";
+    for (std::size_t r = 0; r < t.rows().size(); ++r) {
+      if (r != 0) json += ',';
+      json += '[';
+      for (std::size_t c = 0; c < t.rows()[r].size(); ++c) {
+        if (c != 0) json += ',';
+        json += number(t.rows()[r][c]);
+      }
+      json += ']';
+    }
+    json += "]}";
+    fields_.emplace_back(key, std::move(json));
+  }
+
+  /// Attach a fragment that is already JSON (e.g. the metrics registry
+  /// dump of the bench's final run).  Stored verbatim.
+  void raw(const std::string& key, std::string json) {
+    if (json.empty()) json = "null";
+    fields_.emplace_back(key, std::move(json));
+  }
+
+  /// Write the collected document.  Empty path = bench_json_path(name).
+  /// Returns false (and warns on stderr) on I/O failure.
+  bool emit_metrics_json(std::string path = "") {
+    if (path.empty()) path = bench_json_path(name_);
+    std::string doc = "{\"bench\":\"" + escape(name_) + "\"";
+    for (const auto& [key, json] : fields_) {
+      doc += ",\"" + escape(key) + "\":" + json;
+    }
+    doc += "}\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (ok) std::printf("\nwrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string number(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 }  // namespace objrpc::bench

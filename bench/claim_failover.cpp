@@ -30,6 +30,9 @@ using namespace objrpc::bench;
 
 namespace {
 
+/// Registry dump of the most recent run, for the BENCH json.
+std::string g_last_registry;
+
 constexpr std::uint64_t kObjBytes = 4 * 1024;
 constexpr int kReads = 500;
 constexpr SimDuration kPeriod = 200 * kMicrosecond;
@@ -132,6 +135,7 @@ RunResult run(bool replicated, std::uint64_t seed) {
   if (write_ok) {
     res.write_recovery_ms = to_micros(write_done_at - crash_at) / 1000.0;
   }
+  g_last_registry = cluster->metrics().to_json();
   return res;
 }
 
@@ -162,5 +166,9 @@ int main() {
               "reads rediscover within a couple of timeouts and the p99 "
               "absorbs\nthe blip; writes return once the designated "
               "replica promotes itself under\nthe bumped epoch.\n");
+  BenchJson bj("claim_failover");
+  bj.table("availability", table);
+  bj.raw("registry", g_last_registry);
+  bj.emit_metrics_json();
   return 0;
 }

@@ -30,6 +30,9 @@ using namespace objrpc::bench;
 
 namespace {
 
+/// Registry dump of the most recent run, for the BENCH json.
+std::string g_last_registry;
+
 constexpr int kObjects = 64;
 constexpr std::uint64_t kObjBytes = 8 * 1024;
 constexpr int kReads = 400;
@@ -108,6 +111,7 @@ RunResult run(bool cached, double skew, std::uint64_t seed) {
     res.hit_pct = looked_up > 0 ? 100.0 * c.hits / looked_up : 0.0;
     res.admissions = static_cast<double>(c.admissions);
   }
+  g_last_registry = cluster->metrics().to_json();
   return res;
 }
 
@@ -138,5 +142,9 @@ int main() {
               "load collapses.  At uniform access the cache admits little "
               "and the\ntwo modes converge: the win is the workload's, not "
               "the hardware's.\n");
+  BenchJson bj("claim_inc_cache");
+  bj.table("skew_sweep", table);
+  bj.raw("registry", g_last_registry);
+  bj.emit_metrics_json();
   return 0;
 }

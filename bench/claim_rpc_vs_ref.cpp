@@ -27,8 +27,11 @@ using namespace objrpc::bench;
 
 namespace {
 
+/// Registry dump of the most recent run, for the BENCH json.
+std::string g_last_registry;
+
 /// Scenario A: tiny get against a fronted store.
-void scenario_fronted_kv() {
+void scenario_fronted_kv(BenchJson& bj) {
   std::printf("-- A: fronted key-value (RPC's good case: small args, "
               "small returns) --\n");
   Table table({"op", "lat_us", "wire_B"});
@@ -81,6 +84,7 @@ void scenario_fronted_kv() {
   }
   std::printf("(op 0 = RPC get, op 1 = object read; both ~1 RTT — RPC is "
               "FINE here, as §2 concedes)\n\n");
+  bj.table("fronted_kv", table);
 }
 
 /// Scenario B: the invoker holds `payload_bytes` of data and needs
@@ -177,6 +181,7 @@ BResult objref_data_at_invoker(std::uint64_t payload_bytes, int calls) {
   res.per_call_us = res.total_us / calls;
   res.wire_bytes = static_cast<double>(
       cluster->fabric().network().stats().bytes_sent - wire0);
+  g_last_registry = cluster->metrics().to_json();
   return res;
 }
 
@@ -185,7 +190,8 @@ BResult objref_data_at_invoker(std::uint64_t payload_bytes, int calls) {
 int main() {
   std::printf("CLAIM-RPCFIT: RPC call-by-value vs global references, by "
               "payload size\n\n");
-  scenario_fronted_kv();
+  BenchJson bj("claim_rpc_vs_ref");
+  scenario_fronted_kv(bj);
 
   std::printf("-- B: data at the invoker, 8 repeated analyses (the "
               "call-by-small-value constraint) --\n");
@@ -204,5 +210,8 @@ int main() {
       "payload); the reference\nsystem runs code at the data after "
       "placement — per-call cost stays ~flat, so the\nratio (last column) "
       "grows with payload size. At tiny payloads RPC is competitive.\n");
+  bj.table("data_at_invoker", table);
+  bj.raw("registry", g_last_registry);
+  bj.emit_metrics_json();
   return 0;
 }

@@ -13,7 +13,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "net/subscription.hpp"
 #include "sim/pipeline.hpp"
 
@@ -118,7 +121,24 @@ BENCHMARK(BM_SubscriptionMatch)->Arg(1000)->Arg(100000);
 
 int main(int argc, char** argv) {
   print_capacity_table();
-  benchmark::Initialize(&argc, argv);
+  // Unless the caller passed --benchmark_out, mirror results to
+  // BENCH_<name>.json (google-benchmark's JSON format).
+  std::string out_flag =
+      "--benchmark_out=" +
+      objrpc::bench::bench_json_path("claim_switch_capacity");
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
   benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
   return 0;
 }

@@ -15,6 +15,9 @@ using namespace objrpc::bench;
 
 namespace {
 
+/// Registry dump of the most recent run, for the BENCH json.
+std::string g_last_registry;
+
 struct World {
   std::unique_ptr<Cluster> cluster;
   RendezvousScenario scenario;
@@ -79,6 +82,7 @@ StrategyResult run_strategy(
   if (auto idx = w.cluster->index_of(result.report.executor)) {
     result.executor_index = *idx;
   }
+  g_last_registry = w.cluster->metrics().to_json();
   return result;
 }
 
@@ -114,5 +118,9 @@ int main() {
       "strategies 2/3 (data traverses\nAlice); Alice's frame count "
       "collapses under 2/3; executor column: 3 picks idle Carol (host2)\n"
       "without Alice naming her.\n");
+  BenchJson bj("fig1_rendezvous");
+  bj.table("rendezvous", table);
+  bj.raw("registry", g_last_registry);
+  bj.emit_metrics_json();
   return 0;
 }

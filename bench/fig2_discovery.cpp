@@ -27,6 +27,9 @@ using namespace objrpc::bench;
 
 namespace {
 
+/// Registry dump of the most recent run, for the BENCH json.
+std::string g_last_registry;
+
 struct PointResult {
   double mean_rtt_us = 0;
   double p90_rtt_us = 0;
@@ -112,6 +115,7 @@ PointResult run_point(DiscoveryScheme scheme, int pct_new, int accesses,
       static_cast<double>(fabric->service(0).discovery().broadcasts_sent() -
                           bcast_before) /
       static_cast<double>(accesses);
+  g_last_registry = fabric->network().metrics().to_json();
   return res;
 }
 
@@ -137,5 +141,9 @@ int main() {
   std::printf("\nseries: ctrl_us ~ flat (uniform 1 RTT, unicast only); "
               "e2e_us grows with pct_new;\ne2e broadcasts grow ~linearly "
               "(one discover per new object), ctrl stays 0.\n");
+  BenchJson bj("fig2_discovery");
+  bj.table("discovery", table);
+  bj.raw("registry", g_last_registry);
+  bj.emit_metrics_json();
   return 0;
 }

@@ -24,6 +24,9 @@ using namespace objrpc::bench;
 
 namespace {
 
+/// Registry dump of the most recent run, for the BENCH json.
+std::string g_last_registry;
+
 struct PointResult {
   double mean_us = 0;
   double p10_us = 0;
@@ -106,6 +109,7 @@ PointResult run_point(int pct_moved, bool known_invalidation,
   res.p90_us = us.percentile(90);
   res.stddev_us = us.stddev();
   res.mean_rtts = rtts.mean();
+  g_last_registry = fabric->network().metrics().to_json();
   return res;
 }
 
@@ -138,5 +142,10 @@ int main() {
   }
   std::printf("\nseries: mean_rtts climbs 1 -> 2 (known) / 1 -> 3 (nack); "
               "stddev peaks near 50%% staleness.\n");
+  BenchJson bj("fig3_staleness");
+  bj.table("known_invalidation", known);
+  bj.table("nack_detection", nack);
+  bj.raw("registry", g_last_registry);
+  bj.emit_metrics_json();
   return 0;
 }

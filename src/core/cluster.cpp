@@ -15,9 +15,33 @@ bool invariants_enabled(const ClusterConfig& cfg) {
   return env != nullptr && *env != '\0' && std::string_view(env) != "0";
 }
 
+/// Resolve an export path: explicit config wins, else the environment
+/// variable, else empty (export off).
+std::string export_path(const std::string& configured, const char* env_var) {
+  if (!configured.empty()) return configured;
+  const char* env = std::getenv(env_var);
+  return env != nullptr ? std::string(env) : std::string();
+}
+
 }  // namespace
 
 Cluster::~Cluster() {
+  if (!trace_file_.empty() &&
+      !fabric_->network().tracer().export_chrome_trace(trace_file_)) {
+    std::fprintf(stderr, "cluster: trace export failed: %s\n",
+                 trace_file_.c_str());
+  }
+  if (!metrics_file_.empty()) {
+    const std::string json = fabric_->network().metrics().to_json();
+    if (std::FILE* f = std::fopen(metrics_file_.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cluster: metrics export failed: %s\n",
+                   metrics_file_.c_str());
+    }
+  }
   if (!checker_) return;
   if (const char* path = std::getenv("CHECK_DIGEST_FILE")) {
     if (std::FILE* f = std::fopen(path, "a")) {
@@ -32,6 +56,14 @@ Cluster::~Cluster() {
 std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
   auto cluster = std::unique_ptr<Cluster>(new Cluster());
   cluster->fabric_ = Fabric::build(cfg.fabric);
+  // Observability arming.  Tracing records passively (id allocation is
+  // unconditional and deterministic), so arming cannot perturb the
+  // simulation or the check digest.
+  cluster->trace_file_ = export_path(cfg.trace_file, "OBS_TRACE_FILE");
+  cluster->metrics_file_ = export_path(cfg.metrics_file, "OBS_METRICS_FILE");
+  if (!cluster->trace_file_.empty()) {
+    cluster->fabric_->network().tracer().arm();
+  }
   cluster->placement_engine_ = PlacementEngine(cfg.placement);
   cluster->code_ = std::make_unique<CodeRegistry>(
       IdAllocator(cluster->fabric_->network().rng().fork(0xC0DE)));

@@ -36,6 +36,15 @@ struct ClusterConfig {
   /// through passive hooks only, so enabling it leaves the simulation's
   /// event stream byte-identical.
   int check_invariants = -1;
+  /// Causal tracing (src/obs): path to write Chrome trace_event JSON on
+  /// teardown.  Empty = follow the OBS_TRACE_FILE environment variable
+  /// (unset/empty = tracing stays disarmed).  Arming only toggles
+  /// recording — trace/span ids are allocated either way, so the wire
+  /// bytes and the check digest are identical armed or not.
+  std::string trace_file{};
+  /// Metrics registry JSON dump path on teardown.  Empty = follow the
+  /// OBS_METRICS_FILE environment variable (unset/empty = no dump).
+  std::string metrics_file{};
 };
 
 class Cluster {
@@ -109,6 +118,10 @@ class Cluster {
   /// Index of the host with protocol address `addr`.
   Result<std::size_t> index_of(HostAddr addr) const;
 
+  /// Fabric-wide metrics registry / causal tracer (src/obs).
+  obs::MetricsRegistry& metrics() { return fabric_->network().metrics(); }
+  obs::Tracer& tracer() { return fabric_->network().tracer(); }
+
  private:
   Cluster() = default;
 
@@ -127,6 +140,9 @@ class Cluster {
     std::uint64_t bytes;
   };
   std::unordered_map<ObjectId, DirEntry> directory_;
+  /// Export destinations resolved at build time (config or environment).
+  std::string trace_file_;
+  std::string metrics_file_;
 };
 
 // --- inline/template implementations ---

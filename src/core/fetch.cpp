@@ -51,6 +51,29 @@ ObjectFetcher::ObjectFetcher(ObjNetService& service, FetchConfig cfg)
     }
     copysets_.erase(it);
   });
+  HostNode& h = service_.host();
+  metrics_.attach(h.metrics(), h.name() + "/fetch");
+  metrics_.add("fetches_started", [this] { return counters_.fetches_started; });
+  metrics_.add("fetches_completed",
+               [this] { return counters_.fetches_completed; });
+  metrics_.add("fetches_failed", [this] { return counters_.fetches_failed; });
+  metrics_.add("already_local", [this] { return counters_.already_local; });
+  metrics_.add("chunks_requested",
+               [this] { return counters_.chunks_requested; });
+  metrics_.add("chunks_served", [this] { return counters_.chunks_served; });
+  metrics_.add("bytes_pulled", [this] { return counters_.bytes_pulled; });
+  metrics_.add("prefetches_issued",
+               [this] { return counters_.prefetches_issued; });
+  metrics_.add("invalidates_sent",
+               [this] { return counters_.invalidates_sent; });
+  metrics_.add("invalidates_received",
+               [this] { return counters_.invalidates_received; });
+  metrics_.add("evictions", [this] { return counters_.evictions; });
+  metrics_.add("stale_rejects", [this] { return counters_.stale_rejects; });
+  metrics_.add("timeout_rediscoveries",
+               [this] { return counters_.timeout_rediscoveries; });
+  metrics_.add("invalidates_rejected",
+               [this] { return counters_.invalidates_rejected; });
 }
 
 void ObjectFetcher::fetch(ObjectId id, FetchCallback cb) {
@@ -64,6 +87,17 @@ void ObjectFetcher::fetch(ObjectId id, FetchCallback cb) {
   if (!fresh) return;  // coalesce concurrent fetches
   ++counters_.fetches_started;
   it->second.attempts = 0;
+  // Root of the fetch's span tree.  Ids come from unconditional
+  // deterministic counters (wire bytes identical armed or not); the
+  // span record itself only exists when the tracer is armed.
+  obs::Tracer& tracer = service_.host().tracer();
+  it->second.trace.trace = tracer.new_trace_id();
+  it->second.trace.parent = tracer.new_span_id();
+  if (tracer.armed()) {
+    tracer.begin_span(it->second.trace.parent, it->second.trace.trace, 0,
+                      service_.host().id(), "fetch:" + id.to_string(),
+                      service_.host().event_loop().now());
+  }
   start(id);
 }
 
@@ -113,12 +147,14 @@ void ObjectFetcher::arm_timer(ObjectId id, std::uint64_t generation) {
 }
 
 void ObjectFetcher::send_stat(ObjectId id, HostAddr dst) {
+  auto it = pending_.find(id);
   Frame f;
   f.type = MsgType::chunk_req;
   f.dst_host = dst;
   f.object = id;
   f.seq = next_seq_++;
   f.length = 0;  // stat
+  if (it != pending_.end()) f.trace = it->second.trace;
   service_.host().send_frame(std::move(f));
 }
 
@@ -137,6 +173,7 @@ void ObjectFetcher::send_chunk_reqs(ObjectId id) {
     f.offset = off;
     f.length = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(cfg_.chunk_bytes, pf.total_size - off));
+    f.trace = pf.trace;
     service_.host().send_frame(std::move(f));
   }
 }
@@ -148,6 +185,7 @@ void ObjectFetcher::on_chunk_req(const Frame& f) {
   resp.dst_host = f.src_host;
   resp.object = f.object;
   resp.seq = f.seq;
+  resp.trace = f.trace;  // the reply stays in the requester's trace
   if (!obj || (serve_guard_ && !serve_guard_(f.object))) {
     // Absent — or present but quarantined (a revived home mid-recovery
     // must not hand out possibly pre-promotion bytes).
@@ -156,6 +194,12 @@ void ObjectFetcher::on_chunk_req(const Frame& f) {
     return;
   }
   ++counters_.chunks_served;
+  if (obs::Tracer& tracer = service_.host().tracer();
+      tracer.armed() && f.trace.valid()) {
+    tracer.instant(f.trace.trace, f.trace.parent, service_.host().id(),
+                   f.length == 0 ? "serve_stat" : "serve_chunk",
+                   service_.host().event_loop().now());
+  }
   resp.obj_version = (*obj)->version();
   const Bytes& image = (*obj)->raw_bytes();
   if (f.length == 0) {
@@ -263,6 +307,15 @@ void ObjectFetcher::complete(ObjectId id, Status s) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   auto waiters = std::move(it->second.waiters);
+  if (obs::Tracer& tracer = service_.host().tracer(); tracer.armed()) {
+    const obs::TraceContext trace = it->second.trace;
+    const SimTime now = service_.host().event_loop().now();
+    if (!s) {
+      tracer.instant(trace.trace, trace.parent, service_.host().id(),
+                     "fetch_failed", now);
+    }
+    tracer.end_span(trace.parent, now);
+  }
   pending_.erase(it);
   if (s) {
     ++counters_.fetches_completed;
@@ -304,6 +357,7 @@ void ObjectFetcher::on_invalidate(const Frame& f) {
   ack.dst_host = f.src_host;
   ack.object = f.object;
   ack.seq = f.seq;
+  ack.trace = f.trace;  // stay in the invalidate wave's trace
   service_.host().send_frame(std::move(ack));
 }
 

@@ -152,6 +152,11 @@ class ObjectFetcher {
     /// mid-fetch raises it past the invalidated version, so an in-flight
     /// chunk_resp can never resurrect the stale replica.
     std::uint64_t version_floor = 0;
+    /// Root causal context of this fetch: trace id + root span id.
+    /// Every chunk_req carries it, every hop span and the home's serve
+    /// events parent under it, and replies echo it back — one fetch is
+    /// one span tree (ids minted unconditionally; see obs/trace.hpp).
+    obs::TraceContext trace;
     bool prefetch = false;  // issued by policy, not demand
   };
 
@@ -180,6 +185,8 @@ class ObjectFetcher {
   CoherenceGuard coherence_guard_;
   AdoptObserver adopt_observer_;
   Counters counters_;
+  /// Declared last: detaches from the registry before members it reads.
+  obs::SourceGroup metrics_;
 };
 
 }  // namespace objrpc

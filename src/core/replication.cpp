@@ -84,6 +84,23 @@ ReplicaManager::ReplicaManager(ObjNetService& service, ObjectFetcher& fetcher,
   host.set_handler(MsgType::promote_req,
                    [this](const Frame& f) { on_promote_req(f); });
   host.set_revive_hook([this] { on_revival(); });
+  metrics_.attach(host.metrics(), host.name() + "/replica");
+  metrics_.add("replicas_pushed", [this] { return counters_.replicas_pushed; });
+  metrics_.add("replicas_installed",
+               [this] { return counters_.replicas_installed; });
+  metrics_.add("writes_redirected",
+               [this] { return counters_.writes_redirected; });
+  metrics_.add("replicas_invalidated",
+               [this] { return counters_.replicas_invalidated; });
+  metrics_.add("probes_sent", [this] { return counters_.probes_sent; });
+  metrics_.add("promotions", [this] { return counters_.promotions; });
+  metrics_.add("demotions", [this] { return counters_.demotions; });
+  metrics_.add("recoveries_resumed",
+               [this] { return counters_.recoveries_resumed; });
+  metrics_.add("stale_epoch_rejects",
+               [this] { return counters_.stale_epoch_rejects; });
+  metrics_.add("replicas_dropped",
+               [this] { return counters_.replicas_dropped; });
 }
 
 void ReplicaManager::replicate(ObjectId id, HostAddr dst,
@@ -231,6 +248,12 @@ void ReplicaManager::promote(ObjectId id) {
   homes_[id] = HomeInfo{new_epoch, {}};
   ++counters_.promotions;
   if (event_observer_) event_observer_(Event::promoted, id, new_epoch);
+  if (obs::Tracer& tracer = service_.host().tracer(); tracer.armed()) {
+    tracer.instant(0, 0, service_.host().id(),
+                   "promoted:" + id.to_string() +
+                       " epoch=" + std::to_string(new_epoch),
+                   service_.host().event_loop().now());
+  }
   const HostAddr self = service_.host().addr();
   // Fence the old home: harmless while it is down, decisive if it is
   // somehow still up (it demotes against the higher epoch).
@@ -313,6 +336,12 @@ void ReplicaManager::demote(ObjectId id, std::uint32_t seen_epoch) {
   recovering_.erase(id);
   ++counters_.demotions;
   if (event_observer_) event_observer_(Event::demoted, id, seen_epoch);
+  if (obs::Tracer& tracer = service_.host().tracer(); tracer.armed()) {
+    tracer.instant(0, 0, service_.host().id(),
+                   "demoted:" + id.to_string() +
+                       " epoch=" + std::to_string(seen_epoch),
+                   service_.host().event_loop().now());
+  }
   // The promoted lineage owns history; our durable copy may hold writes
   // that never replicated (the lost-update window, see DESIGN.md §10).
   (void)service_.host().store().remove(id);
@@ -348,6 +377,12 @@ void ReplicaManager::on_revival() {
             if (event_observer_) {
               event_observer_(Event::resumed, object,
                               homes_.count(object) ? homes_[object].epoch : 0);
+            }
+            if (obs::Tracer& tracer = service_.host().tracer();
+                tracer.armed()) {
+              tracer.instant(0, 0, service_.host().id(),
+                             "resumed:" + object.to_string(),
+                             service_.host().event_loop().now());
             }
           }
         });

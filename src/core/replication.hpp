@@ -184,6 +184,8 @@ class ReplicaManager {
   std::unordered_set<ObjectId> recovering_;
   EventObserver event_observer_;
   Counters counters_;
+  /// Declared last: detaches from the registry before members it reads.
+  obs::SourceGroup metrics_;
 };
 
 }  // namespace objrpc

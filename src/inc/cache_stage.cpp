@@ -16,6 +16,18 @@ IncCacheStage::IncCacheStage(SwitchNode& sw, IncCacheConfig cfg)
         if (next_hook_ && next_hook_(s, in_port, pkt)) return true;
         return handle(s, in_port, pkt);
       });
+  metrics_.attach(sw.metrics(), sw.name() + "/inc");
+  metrics_.add("admissions", [this] { return counters_.admissions; });
+  metrics_.add("hits", [this] { return counters_.hits; });
+  metrics_.add("misses", [this] { return counters_.misses; });
+  metrics_.add("invalidations", [this] { return counters_.invalidations; });
+  metrics_.add("invalidates_forwarded",
+               [this] { return counters_.invalidates_forwarded; });
+  metrics_.add("evictions", [this] { return counters_.evictions; });
+  metrics_.add("stale_rejects", [this] { return counters_.stale_rejects; });
+  metrics_.add("fills_started", [this] { return counters_.fills_started; });
+  metrics_.add("fills_aborted", [this] { return counters_.fills_aborted; });
+  metrics_.add("bytes_cached", [this] { return bytes_cached_; });
 }
 
 void IncCacheStage::grant(CacheGrant grant) {
@@ -130,6 +142,7 @@ void IncCacheStage::on_direct_req(const Frame& req, PortId in_port) {
   resp.object = req.object;
   resp.seq = req.seq;
   resp.offset = kChunkNotHere;
+  resp.trace = req.trace;
   emit(std::move(resp), in_port);
 }
 
@@ -144,6 +157,11 @@ void IncCacheStage::serve(const Frame& req, PortId in_port, Entry& entry) {
   resp.object = req.object;
   resp.seq = req.seq;
   resp.obj_version = entry.version;
+  resp.trace = req.trace;  // the reply stays in the requester's trace
+  if (switch_.tracer().armed() && req.trace.valid()) {
+    switch_.tracer().instant(req.trace.trace, req.trace.parent, switch_.id(),
+                             "inc_hit", switch_.event_loop().now());
+  }
   if (req.length == 0) {
     // stat: report the image size.
     resp.offset = entry.image.size();
@@ -179,6 +197,7 @@ void IncCacheStage::maybe_start_fill(const Frame& req, PortId in_port) {
   stat.object = req.object;
   stat.seq = fill.stat_seq;
   stat.length = 0;
+  stat.trace = req.trace;  // the fill is caused by this request
   emit(std::move(stat), in_port);
 }
 
@@ -217,6 +236,7 @@ void IncCacheStage::on_fill_resp(const Frame& f, PortId in_port) {
     pull.seq = fill.data_seq;
     pull.offset = 0;
     pull.length = static_cast<std::uint32_t>(fill.size);
+    pull.trace = f.trace;  // continue the fill's causal chain
     emit(std::move(pull), in_port);
     return;
   }
@@ -310,6 +330,7 @@ void IncCacheStage::on_invalidate(const Frame& f, PortId in_port) {
       inv.object = f.object;
       inv.obj_version = floor;
       inv.seq = next_seq_++;
+      inv.trace = f.trace;  // forwarded leg of the same invalidate wave
       emit(std::move(inv), in_port);
     }
     readers_.erase(rit);
@@ -321,12 +342,17 @@ void IncCacheStage::on_invalidate(const Frame& f, PortId in_port) {
   ack.dst_host = f.src_host;
   ack.object = f.object;
   ack.seq = f.seq;
+  ack.trace = f.trace;
   emit(std::move(ack), in_port);
 }
 
 void IncCacheStage::emit(Frame frame, PortId in_port) {
   Packet out;
   out.data = frame.encode();
+  // Keep the simulator packet in the frame's causal trace (per-hop
+  // queue/wire/pipeline spans attribute to the right operation).
+  out.trace_id = frame.trace.trace;
+  out.span_parent = frame.trace.parent;
   if (frame.dst_host != kUnspecifiedHost) {
     // Host-addressed (replies, pulls from a known home, invalidates to
     // readers): the switch's own host routes, else flood.

@@ -177,6 +177,8 @@ class IncCacheStage {
   std::uint64_t next_seq_ = 1;
   AdmitObserver admit_observer_;
   Counters counters_;
+  /// Declared last: detaches from the registry before members it reads.
+  obs::SourceGroup metrics_;
 };
 
 }  // namespace objrpc

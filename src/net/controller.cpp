@@ -17,6 +17,27 @@ ControllerNode::ControllerNode(Network& net, NodeId id, std::string name,
   // Punted data frames arrive with types the controller does not own;
   // redirect them toward the object's home as a fallback path.
   set_default_handler([this](const Frame& f) { on_punted(f, 0); });
+  metrics_.attach(metrics(), this->name() + "/controller");
+  metrics_.add("advertises", [this] { return counters_.advertises; });
+  metrics_.add("withdraws", [this] { return counters_.withdraws; });
+  metrics_.add("rules_installed", [this] { return counters_.rules_installed; });
+  metrics_.add("rules_removed", [this] { return counters_.rules_removed; });
+  metrics_.add("punts_redirected",
+               [this] { return counters_.punts_redirected; });
+  metrics_.add("punts_unroutable",
+               [this] { return counters_.punts_unroutable; });
+  metrics_.add("adverts_aggregated",
+               [this] { return counters_.adverts_aggregated; });
+  metrics_.add("cache_grants", [this] { return counters_.cache_grants; });
+  metrics_.add("cache_revokes", [this] { return counters_.cache_revokes; });
+  metrics_.add("replica_adverts", [this] { return counters_.replica_adverts; });
+  metrics_.add("failovers", [this] { return counters_.failovers; });
+  metrics_.add("promote_reqs_sent",
+               [this] { return counters_.promote_reqs_sent; });
+  metrics_.add("failover_cache_invalidates",
+               [this] { return counters_.failover_cache_invalidates; });
+  metrics_.add("failovers_unrecoverable",
+               [this] { return counters_.failovers_unrecoverable; });
 }
 
 void ControllerNode::manage(std::vector<NodeId> switches,

@@ -129,6 +129,8 @@ class ControllerNode : public HostNode {
   /// Hierarchical overlay state: host -> region (empty = overlay off).
   std::unordered_map<NodeId, RegionId> regions_;
   Counters counters_;
+  /// Declared last: detaches from the registry before members it reads.
+  obs::SourceGroup metrics_;
 };
 
 /// Host-side strategy: resolution is free (the network routes on the

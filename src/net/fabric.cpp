@@ -10,17 +10,19 @@ namespace objrpc {
 namespace {
 
 /// Per-switch duplicate suppression for flooded frames: remembers recent
-/// trace ids so flood copies traverse each switch at most once, which
-/// lets broadcast terminate on arbitrary (cyclic) topologies.
+/// frame ids so flood copies traverse each switch at most once, which
+/// lets broadcast terminate on arbitrary (cyclic) topologies.  Keyed on
+/// Packet::frame_id (unique per emission) — NOT the causal trace_id,
+/// which fragments and retransmissions of one operation share.
 class FloodDedup {
  public:
   explicit FloodDedup(std::size_t capacity = 8192) : capacity_(capacity) {}
 
-  /// True if this trace id was seen before (and records it).
-  bool seen_before(std::uint64_t trace_id) {
-    if (seen_.count(trace_id)) return true;
-    seen_.insert(trace_id);
-    order_.push_back(trace_id);
+  /// True if this frame id was seen before (and records it).
+  bool seen_before(std::uint64_t frame_id) {
+    if (seen_.count(frame_id)) return true;
+    seen_.insert(frame_id);
+    order_.push_back(frame_id);
     while (order_.size() > capacity_) {
       seen_.erase(order_.front());
       order_.pop_front();
@@ -41,7 +43,7 @@ void program_e2e_switch(SwitchNode& sw) {
   auto dedup = std::make_shared<FloodDedup>();
   sw.set_pre_match_hook([dedup](SwitchNode& self, PortId in_port,
                                 const Packet& pkt) {
-    if (dedup->seen_before(pkt.trace_id)) return true;  // kill loops
+    if (dedup->seen_before(pkt.frame_id)) return true;  // kill loops
     auto view = Frame::peek(pkt);
     if (!view) return true;  // not our protocol: drop
     // Self-learning: the source host is reachable through the ingress

@@ -8,13 +8,30 @@ HostNode::HostNode(Network& net, NodeId id, std::string name, HostConfig cfg)
     : NetworkNode(net, id, std::move(name)),
       cfg_(cfg),
       store_(cfg.store_capacity),
-      ids_(net.rng().fork(0x9057'0000ULL + cfg.id_seed + id)) {}
+      ids_(net.rng().fork(0x9057'0000ULL + cfg.id_seed + id)) {
+  metrics_.attach(net.metrics(), this->name() + "/host");
+  metrics_.add("frames_in", [this] { return counters_.frames_in; });
+  metrics_.add("frames_out", [this] { return counters_.frames_out; });
+  metrics_.add("ignored_not_mine",
+               [this] { return counters_.ignored_not_mine; });
+  metrics_.add("malformed", [this] { return counters_.malformed; });
+}
 
 void HostNode::send_frame(Frame frame) {
   frame.src_host = addr();
   ++counters_.frames_out;
   Packet pkt;
   pkt.data = frame.encode();
+  // Propagate the frame's causal context onto the simulator packet so
+  // per-hop queue/wire/pipeline spans parent under the right operation.
+  pkt.trace_id = frame.trace.trace;
+  pkt.span_parent = frame.trace.parent;
+  if (net().tracer().armed() && frame.trace.valid()) {
+    // Software time between the protocol decision and the NIC.
+    net().tracer().leaf_span(frame.trace.trace, frame.trace.parent, id(),
+                             std::string("tx:") + msg_type_name(frame.type),
+                             loop().now(), loop().now() + cfg_.processing_delay);
+  }
   loop().schedule_after(cfg_.processing_delay,
                         [this, pkt = std::move(pkt)]() mutable {
                           send(0, std::move(pkt));
@@ -54,6 +71,12 @@ void HostNode::on_packet(PortId /*in_port*/, Packet pkt) {
     return;
   }
   ++counters_.frames_in;
+  if (net().tracer().armed() && frame->trace.valid()) {
+    // Software time between frame arrival and the protocol handler.
+    net().tracer().leaf_span(frame->trace.trace, frame->trace.parent, id(),
+                             std::string("rx:") + msg_type_name(frame->type),
+                             loop().now(), loop().now() + cfg_.processing_delay);
+  }
   loop().schedule_after(cfg_.processing_delay,
                         [this, f = std::move(*frame)]() mutable {
                           dispatch(std::move(f));

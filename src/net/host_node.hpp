@@ -69,6 +69,11 @@ class HostNode : public NetworkNode {
 
   EventLoop& event_loop() { return loop(); }
 
+  /// Fabric-wide observability (src/obs), for the protocol services
+  /// attached to this host.
+  obs::Tracer& tracer() { return net().tracer(); }
+  obs::MetricsRegistry& metrics() { return net().metrics(); }
+
  private:
   void dispatch(Frame frame);
 
@@ -79,6 +84,8 @@ class HostNode : public NetworkNode {
   FrameHandler default_handler_;
   ReviveHook revive_hook_;
   Counters counters_;
+  /// Declared last: detaches from the registry before members it reads.
+  obs::SourceGroup metrics_;
 };
 
 }  // namespace objrpc

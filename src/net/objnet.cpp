@@ -69,7 +69,7 @@ const char* msg_type_name(MsgType t) {
 }
 
 Bytes Frame::encode() const {
-  BufWriter w(64 + payload.size());
+  BufWriter w(80 + payload.size());
   w.put_u8(version);
   w.put_u8(static_cast<std::uint8_t>(type));
   w.put_u16(flags);
@@ -81,6 +81,10 @@ Bytes Frame::encode() const {
   w.put_u64(offset);
   w.put_u32(length);
   w.put_u64(obj_version);
+  // Trace context rides at the end of the fixed header so peek() — which
+  // reads only the leading routing fields — needs no change.
+  w.put_u64(trace.trace);
+  w.put_u64(trace.parent);
   w.put_blob(payload);
   return std::move(w).take();
 }
@@ -99,6 +103,8 @@ Result<Frame> Frame::decode(ByteSpan data) {
   f.offset = r.get_u64();
   f.length = r.get_u32();
   f.obj_version = r.get_u64();
+  f.trace.trace = r.get_u64();
+  f.trace.parent = r.get_u64();
   f.payload = r.get_blob();
   if (!r.ok() || r.remaining() != 0) {
     return Error{Errc::malformed, "bad frame"};

@@ -27,6 +27,7 @@
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 #include "objspace/id.hpp"
+#include "obs/trace.hpp"
 #include "sim/packet.hpp"
 
 namespace objrpc {
@@ -116,8 +117,8 @@ const char* msg_type_name(MsgType t);
 /// Header flags.
 constexpr std::uint16_t kFlagBroadcast = 1u << 0;
 
-/// The fixed frame header.  64 bytes on the wire, followed by a
-/// varint-length payload.
+/// The fixed frame header.  80 bytes on the wire (64 protocol bytes +
+/// 16 bytes of trace context), followed by a varint-length payload.
 struct Frame {
   std::uint8_t version = 1;
   MsgType type = MsgType::nack;
@@ -141,6 +142,14 @@ struct Frame {
   /// coherence layer and the in-network cache use it so no stale image
   /// can be (re)admitted across a write-invalidate race.
   std::uint64_t obj_version = 0;
+  /// Causal trace context (src/obs): trace id + parent span id, carried
+  /// end-to-end so a fetch's frames at every node attribute to one span
+  /// tree.  Encoded at the end of the fixed header (after obj_version,
+  /// before the payload blob) so Frame::peek — which reads only the
+  /// leading routing fields — is unaffected.  Ids are allocated from
+  /// plain deterministic counters whether or not recording is armed, so
+  /// the wire bytes are identical either way (see obs/trace.hpp).
+  obs::TraceContext trace;
   Bytes payload;
 
   bool is_broadcast() const { return (flags & kFlagBroadcast) != 0; }

@@ -14,6 +14,20 @@ ReliableChannel::ReliableChannel(HostNode& host, ReliableConfig cfg)
                     [this](const Frame& f) { on_push_frag(f); });
   host_.set_handler(MsgType::frag_ack,
                     [this](const Frame& f) { on_frag_ack(f); });
+  metrics_.attach(host.metrics(), host.name() + "/reliable");
+  metrics_.add("messages_sent", [this] { return counters_.messages_sent; });
+  metrics_.add("messages_delivered",
+               [this] { return counters_.messages_delivered; });
+  metrics_.add("fragments_sent", [this] { return counters_.fragments_sent; });
+  metrics_.add("retransmissions",
+               [this] { return counters_.retransmissions; });
+  metrics_.add("duplicate_fragments",
+               [this] { return counters_.duplicate_fragments; });
+  metrics_.add("failures", [this] { return counters_.failures; });
+  metrics_.add("reassembly_expired",
+               [this] { return counters_.reassembly_expired; });
+  metrics_.add("misdirected_acks",
+               [this] { return counters_.misdirected_acks; });
 }
 
 void ReliableChannel::send(HostAddr dst, MsgType inner_type, ObjectId object,
@@ -36,6 +50,17 @@ void ReliableChannel::send(HostAddr dst, MsgType inner_type, ObjectId object,
   out.frag_count = frag_count;
   out.on_done = std::move(on_done);
   for (std::uint32_t i = 0; i < frag_count; ++i) out.unacked.insert(i);
+  // Allocate the message's causal identity unconditionally (plain
+  // counters — the wire bytes are the same whether or not anyone
+  // records); the span itself is recorded only when the tracer is armed.
+  out.trace.trace = host_.tracer().new_trace_id();
+  out.trace.parent = host_.tracer().new_span_id();
+  if (host_.tracer().armed()) {
+    host_.tracer().begin_span(
+        out.trace.parent, out.trace.trace, 0, host_.id(),
+        std::string("reliable_send:") + msg_type_name(inner_type),
+        host_.event_loop().now());
+  }
   outbound_.emplace(msg_id, std::move(out));
   ++counters_.messages_sent;
 
@@ -60,6 +85,9 @@ void ReliableChannel::send_fragment(std::uint32_t msg_id,
   f.length = static_cast<std::uint32_t>(hi - lo);
   f.payload.assign(out.payload.begin() + static_cast<std::ptrdiff_t>(lo),
                    out.payload.begin() + static_cast<std::ptrdiff_t>(hi));
+  // Every fragment — first send and retransmission alike — carries the
+  // message's original trace context.
+  f.trace = out.trace;
   ++counters_.fragments_sent;
   host_.send_frame(std::move(f));
 }
@@ -85,6 +113,11 @@ void ReliableChannel::arm_timer(std::uint32_t msg_id) {
     if (++out.retries > cfg_.max_retries) {
       ++counters_.failures;
       auto cb = std::move(out.on_done);
+      if (host_.tracer().armed()) {
+        host_.tracer().instant(out.trace.trace, out.trace.parent, host_.id(),
+                               "reliable_failed", host_.event_loop().now());
+        host_.tracer().end_span(out.trace.parent, host_.event_loop().now());
+      }
       outbound_.erase(it);
       if (cb) cb(Error{Errc::timeout, "retry budget exhausted"});
       return;
@@ -94,6 +127,12 @@ void ReliableChannel::arm_timer(std::uint32_t msg_id) {
     std::vector<std::uint32_t> pending(out.unacked.begin(),
                                        out.unacked.end());
     counters_.retransmissions += pending.size();
+    if (host_.tracer().armed()) {
+      host_.tracer().instant(
+          out.trace.trace, out.trace.parent, host_.id(),
+          "retransmit x" + std::to_string(pending.size()),
+          host_.event_loop().now());
+    }
     for (std::uint32_t idx : pending) send_fragment(msg_id, idx);
     arm_timer(msg_id);
   });
@@ -112,6 +151,7 @@ void ReliableChannel::on_push_frag(const Frame& f) {
   ack.dst_host = f.src_host;
   ack.object = f.object;
   ack.seq = f.seq;
+  ack.trace = f.trace;  // the ack belongs to the message's trace
   host_.send_frame(std::move(ack));
 
   const InboundKey key{f.src_host, msg_id};
@@ -173,6 +213,9 @@ void ReliableChannel::on_frag_ack(const Frame& f) {
   if (out.unacked.erase(frag_idx) > 0) out.progressed = true;
   if (out.unacked.empty()) {
     auto cb = std::move(out.on_done);
+    if (host_.tracer().armed()) {
+      host_.tracer().end_span(out.trace.parent, host_.event_loop().now());
+    }
     outbound_.erase(it);
     if (cb) cb(Status::ok());
   }

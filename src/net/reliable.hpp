@@ -122,6 +122,11 @@ class ReliableChannel {
     Bytes payload;
     std::uint32_t frag_count = 0;
     std::unordered_set<std::uint32_t> unacked;
+    /// Causal context of the whole message.  Every fragment — including
+    /// retransmissions — carries this same trace id, so one reliable
+    /// message is one trace no matter how many times frames re-enter
+    /// the fabric.
+    obs::TraceContext trace;
     int retries = 0;
     /// Acks arrived since the last timer check (TCP-style timer restart:
     /// progress means the network is draining, not dropping).
@@ -188,6 +193,8 @@ class ReliableChannel {
   std::unordered_set<InboundKey, InboundKeyHash> completed_;
   std::deque<InboundKey> completed_order_;
   Counters counters_;
+  /// Declared last: detaches from the registry before members it reads.
+  obs::SourceGroup metrics_;
 };
 
 }  // namespace objrpc

@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace objrpc::obs {
+
+int Histogram::bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  return 64 - std::countl_zero(v);
+}
+
+std::pair<std::uint64_t, std::uint64_t> Histogram::bucket_range(int b) {
+  if (b <= 0) return {0, 0};
+  const std::uint64_t lo = 1ULL << (b - 1);
+  const std::uint64_t hi =
+      b >= 64 ? ~0ULL : (1ULL << b) - 1;
+  return {lo, hi};
+}
+
+void Histogram::add(std::uint64_t v) {
+  ++buckets_[bucket_index(v)];
+  ++count_;
+  sum_ += v;
+  min_ = count_ == 1 ? v : std::min(min_, v);
+  max_ = count_ == 1 ? v : std::max(max_, v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+  max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target (1-based), then walk buckets to find its home.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] >= rank) {
+      const auto [lo, hi] = bucket_range(b);
+      // Interpolate position-within-bucket linearly across its range.
+      const double frac = buckets_[b] == 1
+                              ? 0.5
+                              : static_cast<double>(rank - seen - 1) /
+                                    static_cast<double>(buckets_[b] - 1);
+      double est = static_cast<double>(lo) +
+                   frac * static_cast<double>(hi - lo);
+      est = std::max(est, static_cast<double>(min_));
+      est = std::min(est, static_cast<double>(max_));
+      return est;
+    }
+    seen += buckets_[b];
+  }
+  return static_cast<double>(max_);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size() + sources_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c.value());
+  }
+  for (const auto& [name, fn] : sources_) {
+    snap.counters.emplace_back(name, fn ? fn() : 0);
+  }
+  // Owned counters and sources interleave into one sorted series.
+  std::sort(snap.counters.begin(), snap.counters.end());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g.value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistView v;
+    v.count = h.count();
+    v.sum = h.sum();
+    v.min = h.min();
+    v.max = h.max();
+    v.p50 = h.quantile(0.50);
+    v.p99 = h.quantile(0.99);
+    snap.histograms.emplace_back(name, v);
+  }
+  return snap;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+void append_f(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+void append_u(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_u(out, v);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": ";
+    append_f(out, v);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    append_escaped(out, name);
+    out += ": {\"count\": ";
+    append_u(out, h.count);
+    out += ", \"sum\": ";
+    append_u(out, h.sum);
+    out += ", \"min\": ";
+    append_u(out, h.min);
+    out += ", \"max\": ";
+    append_u(out, h.max);
+    out += ", \"p50\": ";
+    append_f(out, h.p50);
+    out += ", \"p99\": ";
+    append_f(out, h.p99);
+    out += "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace objrpc::obs

@@ -1,0 +1,193 @@
+// Unified metrics registry (DESIGN.md §12).
+//
+// Before this layer every module grew its own ad-hoc counter struct —
+// useful per-instance, invisible in aggregate.  The registry gives every
+// counter, gauge, and histogram in a simulation one namespace, one
+// deterministic snapshot order (sorted by name), and one JSON export the
+// benches and CI can diff.
+//
+// Two registration styles coexist:
+//
+//   owned metrics — `registry.counter("x").inc()`: the registry owns the
+//     cell; use for new instrumentation.
+//
+//   sources — `group.add("frags_sent", [this]{ return
+//     counters_.fragments_sent; })`: a read-through view over an
+//     existing struct member, evaluated at snapshot time.  This is how
+//     the legacy per-module Counters structs (ReliableChannel,
+//     ObjectFetcher, ControllerNode, ...) join the registry WITHOUT
+//     changing their struct accessors or any increment site.
+//
+// Determinism contract: a snapshot is a pure read — it never reorders,
+// allocates ids, or draws randomness — and iterates std::map (sorted by
+// name), so two same-seed runs produce byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace objrpc::obs {
+
+/// A monotone event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time level (queue depth, bytes cached, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A log-scale (power-of-two) histogram over non-negative u64 samples.
+//
+// Bucket 0 holds exactly 0; bucket k (1..64) holds [2^(k-1), 2^k).
+// 65 fixed buckets cover the full u64 range, merge is bucket-wise
+// addition, and quantiles interpolate linearly inside the covering
+// bucket — a ~2x relative error bound, which is what latency tails need
+// at O(1) space.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  /// Index of the bucket holding `v`: 0 for 0, else 1 + floor(log2 v).
+  static int bucket_index(std::uint64_t v);
+  /// [lo, hi] inclusive value range of bucket `b`.
+  static std::pair<std::uint64_t, std::uint64_t> bucket_range(int b);
+
+  void add(std::uint64_t v);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t bucket_count(int b) const { return buckets_[b]; }
+
+  /// Quantile estimate, q in [0, 1]; linear interpolation within the
+  /// covering bucket (clamped to the observed min/max).
+  double quantile(double q) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Deterministic point-in-time view of a registry.
+struct MetricsSnapshot {
+  struct HistView {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+  /// Sorted by name; owned counters and sources fold into one series.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistView>> histograms;
+
+  std::string to_json() const;
+};
+
+/// The process-wide metric namespace for one simulation.  Owned by the
+/// Network (every component can reach it via `net().metrics()`), so one
+/// deployment = one registry = one snapshot.
+class MetricsRegistry {
+ public:
+  using Source = std::function<std::uint64_t()>;
+
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  /// Register a read-through counter source (legacy struct member).
+  /// Re-registering a name replaces the previous source.
+  void add_source(const std::string& name, Source fn) {
+    sources_[name] = std::move(fn);
+  }
+  void remove_source(const std::string& name) { sources_.erase(name); }
+
+  /// Deterministic snapshot: every metric, sorted by name, sources
+  /// evaluated now.
+  MetricsSnapshot snapshot() const;
+  /// snapshot().to_json() convenience.
+  std::string to_json() const { return snapshot().to_json(); }
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           sources_.size();
+  }
+
+ private:
+  // std::map: snapshot order is name order, never hash layout.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Source> sources_;
+};
+
+/// RAII bundle of sources sharing one instance prefix.  A component
+/// declares one of these LAST among its members, attaches it in its
+/// constructor, and its sources unregister automatically before the
+/// counters they read are destroyed.
+class SourceGroup {
+ public:
+  SourceGroup() = default;
+  ~SourceGroup() { clear(); }
+  SourceGroup(const SourceGroup&) = delete;
+  SourceGroup& operator=(const SourceGroup&) = delete;
+
+  /// Bind to `registry` with `prefix` (e.g. "host0/reliable").
+  void attach(MetricsRegistry& registry, std::string prefix) {
+    clear();
+    registry_ = &registry;
+    prefix_ = std::move(prefix);
+  }
+
+  /// Register `prefix/name`; no-op if not attached.
+  void add(const std::string& name, MetricsRegistry::Source fn) {
+    if (!registry_) return;
+    std::string full = prefix_ + "/" + name;
+    registry_->add_source(full, std::move(fn));
+    names_.push_back(std::move(full));
+  }
+
+  void clear() {
+    if (registry_) {
+      for (const auto& n : names_) registry_->remove_source(n);
+    }
+    names_.clear();
+    registry_ = nullptr;
+  }
+
+  bool attached() const { return registry_ != nullptr; }
+
+ private:
+  MetricsRegistry* registry_ = nullptr;
+  std::string prefix_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace objrpc::obs

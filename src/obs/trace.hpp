@@ -1,0 +1,151 @@
+// Fabric-wide causal span tracing (DESIGN.md §12).
+//
+// One object fetch crosses a host stack, several switch pipelines, link
+// queues, and a home's store — and until now all anyone could measure
+// was the black-box round trip.  The tracer attributes that time: every
+// operation start mints a TraceContext (trace id + parent span id) that
+// rides in frame headers end-to-end, and passive hooks along the path —
+// the network's transmit path, switch pipelines, host dispatch, the
+// reliable channel, the fetcher, replication — record spans against it.
+// The result is a span tree host→switch(queue/pipeline)→home→reply,
+// exported as Chrome trace_event JSON (open in Perfetto or
+// chrome://tracing): one "process" per simulated node, one thread lane
+// per trace, timestamps in simulated-time microseconds.
+//
+// Determinism contract (the part that makes this safe to ship armed):
+//
+//   * id ALLOCATION is unconditional.  Wire-carried trace/span ids come
+//     from plain monotone counters that advance identically whether or
+//     not recording is armed, so an armed run's frames — and therefore
+//     the invariant checker's wire digest — are byte-identical to an
+//     unarmed run's.  tools/determinism_audit enforces this.
+//   * RECORDING is armed-gated and passive: hooks only append to
+//     in-memory vectors; they never schedule events, mutate protocol
+//     state, or draw from the simulation's RNG.
+//   * all timestamps are SimTime (virtual nanoseconds); nothing reads a
+//     wall clock.
+//
+// Recording is off by default; arm with OBS_TRACE_FILE=<path> or
+// ClusterConfig::trace_file (see core/cluster.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace objrpc::obs {
+
+/// Causal identity carried in frame headers: which trace this frame
+/// belongs to and which span emitted it.  {0, 0} = untraced.
+struct TraceContext {
+  std::uint64_t trace = 0;
+  std::uint64_t parent = 0;
+
+  bool valid() const { return trace != 0; }
+};
+
+/// One recorded span (a named interval on one node).
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t trace = 0;
+  /// Parent span id; 0 = root of its trace.
+  std::uint64_t parent = 0;
+  /// Simulator node ("process" in the exported trace).
+  std::uint32_t node = 0;
+  std::string name;
+  SimTime begin = 0;
+  SimTime end = -1;  // -1 = still open (closed by end_span or export)
+
+  bool open() const { return end < begin; }
+};
+
+/// One recorded instant event (retransmit, invalidate, promotion, ...).
+struct InstantRecord {
+  std::uint64_t trace = 0;
+  std::uint64_t parent = 0;
+  std::uint32_t node = 0;
+  std::string name;
+  SimTime at = 0;
+};
+
+/// One gauge sample (per-link queue depth / utilization).
+struct CounterSample {
+  std::uint32_t node = 0;
+  std::string name;
+  SimTime at = 0;
+  double value = 0.0;
+};
+
+class Tracer {
+ public:
+  // --- id allocation: UNCONDITIONAL (see determinism contract) -------
+  std::uint64_t new_trace_id() { return next_trace_++; }
+  std::uint64_t new_span_id() { return next_span_++; }
+  /// Mint a root context for a new operation: fresh trace, fresh root
+  /// span whose id doubles as the children's parent.
+  TraceContext new_root() { return {new_trace_id(), new_span_id()}; }
+
+  // --- arming --------------------------------------------------------
+  void arm() { armed_ = true; }
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  /// Name a node's process lane in the export (registered by the
+  /// Network as nodes are added; cheap, unconditional).
+  void set_process_name(std::uint32_t node, std::string name);
+
+  // --- recording: no-ops unless armed --------------------------------
+  /// Open a span whose id was pre-allocated with new_span_id() (wire-
+  /// carried spans must allocate unconditionally; pass the id here).
+  void begin_span(std::uint64_t span_id, std::uint64_t trace,
+                  std::uint64_t parent, std::uint32_t node,
+                  std::string name, SimTime begin);
+  void end_span(std::uint64_t span_id, SimTime end);
+  /// Record a closed leaf span (never referenced by the wire); an
+  /// internal id is assigned only when armed, so unarmed runs allocate
+  /// nothing.
+  void leaf_span(std::uint64_t trace, std::uint64_t parent,
+                 std::uint32_t node, std::string name, SimTime begin,
+                 SimTime end);
+  void instant(std::uint64_t trace, std::uint64_t parent,
+               std::uint32_t node, std::string name, SimTime at);
+  void counter(std::uint32_t node, const std::string& name, SimTime at,
+               double value);
+
+  // --- introspection (tests) -----------------------------------------
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<InstantRecord>& instants() const { return instants_; }
+  const std::vector<CounterSample>& counter_samples() const {
+    return counters_;
+  }
+  /// Spans belonging to `trace`, in recording order.
+  std::vector<SpanRecord> spans_of(std::uint64_t trace) const;
+
+  // --- export --------------------------------------------------------
+  /// Chrome trace_event JSON (Perfetto / chrome://tracing).  Open spans
+  /// are closed at the latest recorded timestamp.
+  std::string chrome_trace_json() const;
+  /// Write chrome_trace_json() to `path`; false on I/O failure.
+  bool export_chrome_trace(const std::string& path) const;
+
+ private:
+  bool armed_ = false;
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_span_ = 1;
+  /// Leaf spans get ids from a disjoint (high-bit) range so they can
+  /// never collide with wire-carried ids — and, being armed-only, their
+  /// counter may advance differently across armed/unarmed runs without
+  /// touching the wire.
+  std::uint64_t next_leaf_ = 1;
+
+  std::vector<SpanRecord> spans_;
+  std::unordered_map<std::uint64_t, std::size_t> open_;  // span id -> index
+  std::vector<InstantRecord> instants_;
+  std::vector<CounterSample> counters_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+};
+
+}  // namespace objrpc::obs

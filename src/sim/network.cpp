@@ -4,6 +4,25 @@
 
 namespace objrpc {
 
+Network::Network(std::uint64_t seed) : rng_(seed) {
+  metrics_.add_source("net/frames_sent", [this] { return stats_.frames_sent; });
+  metrics_.add_source("net/frames_delivered",
+                      [this] { return stats_.frames_delivered; });
+  metrics_.add_source("net/frames_dropped_queue",
+                      [this] { return stats_.frames_dropped_queue; });
+  metrics_.add_source("net/frames_dropped_loss",
+                      [this] { return stats_.frames_dropped_loss; });
+  metrics_.add_source("net/frames_dropped_ttl",
+                      [this] { return stats_.frames_dropped_ttl; });
+  metrics_.add_source("net/frames_dropped_down",
+                      [this] { return stats_.frames_dropped_down; });
+  metrics_.add_source("net/frames_dropped_dead",
+                      [this] { return stats_.frames_dropped_dead; });
+  metrics_.add_source("net/bytes_sent", [this] { return stats_.bytes_sent; });
+  metrics_.add_source("net/bytes_delivered",
+                      [this] { return stats_.bytes_delivered; });
+}
+
 std::size_t NetworkNode::port_count() const { return net_.port_count(id_); }
 
 void NetworkNode::send(PortId port, Packet pkt) {
@@ -75,10 +94,20 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
     ++stats_.frames_dropped_down;
     return;
   }
-  if (pkt.trace_id == 0) {
-    pkt.trace_id = next_trace_id_++;
-    pkt.created_at = loop_.now();
+  if (pkt.frame_id == 0) {
+    // First transmit of this emission; copies (switch forwarding,
+    // floods) keep the id so duplicate suppression can recognise them.
+    pkt.frame_id = next_frame_id_++;
   }
+  if (pkt.trace_id == 0) {
+    // Untraced frame: mint a fresh causal id so per-hop spans of one
+    // frame still correlate.  Protocol layers that carry a TraceContext
+    // stamp trace_id before the send and skip this.  Minted from the
+    // tracer's allocator so these ids can never collide with a trace
+    // some operation is recording spans against.
+    pkt.trace_id = tracer_.new_trace_id();
+  }
+  if (pkt.created_at == 0) pkt.created_at = loop_.now();
   if (pkt.hops >= Packet::kMaxHops) {
     ++stats_.frames_dropped_ttl;
     return;
@@ -110,10 +139,31 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   const SimTime arrive = done + dir.params.latency;
   const NodeId dst = dir.dst;
   const PortId dst_port = dir.dst_port;
+  if (tracer_.armed()) {
+    // Passive per-hop attribution: time spent waiting for the
+    // transmitter vs. serialization + propagation, plus the link's
+    // queue-depth gauge.  Recording only — nothing here feeds back
+    // into the simulation.
+    if (start > loop_.now()) {
+      tracer_.leaf_span(pkt.trace_id, pkt.span_parent, from, "queue",
+                        loop_.now(), start);
+    }
+    tracer_.leaf_span(pkt.trace_id, pkt.span_parent, from, "wire", start,
+                      arrive);
+    tracer_.counter(from, "txq_bytes:p" + std::to_string(port), loop_.now(),
+                    static_cast<double>(dir.queued_bytes));
+    tracer_.counter(from, "link_bytes:p" + std::to_string(port), loop_.now(),
+                    static_cast<double>(stats_.bytes_sent));
+  }
   loop_.schedule_at(
       arrive, [this, from, port, dst, dst_port, lost,
                pkt = std::move(pkt)]() mutable {
         ports_[from][port].queued_bytes -= pkt.wire_size();
+        if (tracer_.armed()) {
+          tracer_.counter(
+              from, "txq_bytes:p" + std::to_string(port), loop_.now(),
+              static_cast<double>(ports_[from][port].queued_bytes));
+        }
         if (lost) {
           ++stats_.frames_dropped_loss;
           return;

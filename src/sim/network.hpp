@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/packet.hpp"
 
@@ -71,11 +73,23 @@ struct TrafficStats {
 /// The fabric: owns the event loop, the nodes, and the links.
 class Network {
  public:
-  explicit Network(std::uint64_t seed) : rng_(seed) {}
+  explicit Network(std::uint64_t seed);
 
   EventLoop& loop() { return loop_; }
   SimTime now() const { return loop_.now(); }
   Rng& rng() { return rng_; }
+
+  /// The simulation-wide metrics registry (src/obs): every component
+  /// attached to this fabric registers its counters here.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The causal tracer (src/obs).  Id allocation is always live (the
+  /// wire carries trace/span ids whether or not anyone records them);
+  /// span recording is armed explicitly (OBS_TRACE_FILE / cluster
+  /// config) and is purely passive.
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
   /// Construct a node of type T in place.  T's constructor must take
   /// (Network&, NodeId, ...) — the id is assigned here.
@@ -87,6 +101,7 @@ class Network {
     nodes_.push_back(std::move(node));
     ports_.emplace_back();
     node_up_.push_back(true);
+    tracer_.set_process_name(id, ref.name());
     return ref;
   }
 
@@ -161,6 +176,8 @@ class Network {
 
   EventLoop loop_;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_;
   std::vector<std::unique_ptr<NetworkNode>> nodes_;
   /// ports_[node][port] -> outgoing direction state.
   std::vector<std::vector<Direction>> ports_;
@@ -170,7 +187,7 @@ class Network {
   PacketTap tap_;
   std::vector<PacketTap> extra_taps_;
   NodeObserver node_observer_;
-  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_frame_id_ = 1;
 };
 
 }  // namespace objrpc

@@ -22,8 +22,23 @@ constexpr PortId kInvalidPort = std::numeric_limits<PortId>::max();
 /// through their protocol stack.
 struct Packet {
   Bytes data;
-  /// Unique per-Network id assigned at first send, for tracing.
+  /// Identity of this frame EMISSION, minted by the network at first
+  /// transmit and preserved across hops and flood copies.  This is what
+  /// flood duplicate-suppression keys on: distinct frames always get
+  /// distinct ids, while every copy of one flooded frame shares one.
+  /// (Retransmissions are fresh emissions and mint fresh ids.)
+  std::uint64_t frame_id = 0;
+  /// Causal trace this frame belongs to (src/obs).  Protocol layers
+  /// stamp it from the frame header's TraceContext; frames sent without
+  /// one get a unique per-Network id minted at first transmit.  Switch
+  /// forwarding preserves it.  Unlike frame_id this is SHARED across
+  /// related frames — every fragment and retransmission of one reliable
+  /// message, every chunk of one fetch — so it must never be used for
+  /// duplicate detection.
   std::uint64_t trace_id = 0;
+  /// Span id of the operation that emitted the frame (0 = none); the
+  /// tracer parents per-hop queue/wire/pipeline spans under it.
+  std::uint64_t span_parent = 0;
   /// Switch hops so far; the network drops frames exceeding a TTL to
   /// contain accidental broadcast loops.
   std::uint32_t hops = 0;

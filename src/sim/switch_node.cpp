@@ -6,10 +6,27 @@ SwitchNode::SwitchNode(Network& net, NodeId id, std::string name,
                        SwitchConfig cfg)
     : NetworkNode(net, id, std::move(name)),
       cfg_(cfg),
-      table_(cfg.key_bits, cfg.table_capacity) {}
+      table_(cfg.key_bits, cfg.table_capacity) {
+  metrics_.attach(net.metrics(), this->name() + "/switch");
+  metrics_.add("received", [this] { return counters_.received; });
+  metrics_.add("forwarded", [this] { return counters_.forwarded; });
+  metrics_.add("flooded", [this] { return counters_.flooded; });
+  metrics_.add("dropped", [this] { return counters_.dropped; });
+  metrics_.add("punted", [this] { return counters_.punted; });
+  metrics_.add("consumed_by_hook",
+               [this] { return counters_.consumed_by_hook; });
+  metrics_.add("table_hits", [this] { return table_.hits(); });
+  metrics_.add("table_misses", [this] { return table_.misses(); });
+}
 
 void SwitchNode::on_packet(PortId in_port, Packet pkt) {
   ++counters_.received;
+  if (net().tracer().armed()) {
+    // Match-action stage occupancy for this frame, attributed to its
+    // causal trace.
+    net().tracer().leaf_span(pkt.trace_id, pkt.span_parent, id(), "pipeline",
+                             loop().now(), loop().now() + cfg_.pipeline_delay);
+  }
   // The pipeline takes cfg_.pipeline_delay to process a frame.
   loop().schedule_after(cfg_.pipeline_delay,
                         [this, in_port, pkt = std::move(pkt)]() mutable {

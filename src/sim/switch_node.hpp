@@ -80,6 +80,11 @@ class SwitchNode : public NetworkNode {
 
   EventLoop& event_loop() { return loop(); }
 
+  /// Fabric-wide observability (src/obs), for offload stages attached to
+  /// this switch.
+  obs::Tracer& tracer() { return net().tracer(); }
+  obs::MetricsRegistry& metrics() { return net().metrics(); }
+
   void on_packet(PortId in_port, Packet pkt) override;
 
  private:
@@ -91,6 +96,8 @@ class SwitchNode : public NetworkNode {
   KeyExtractor extract_;
   PreMatchHook pre_match_;
   Counters counters_;
+  /// Declared last: detaches from the registry before members it reads.
+  obs::SourceGroup metrics_;
 };
 
 }  // namespace objrpc

@@ -26,6 +26,12 @@ offending line:
 or on its own line immediately above the offending one.  The reason
 after the tag is mandatory — an allow without a why rots.
 
+A third rule guards observability (DESIGN.md §12): ad-hoc `struct
+Counters` blocks of raw std::uint64_t members are invisible to the
+metrics registry.  New counter structs must live in a file that also
+attaches an obs::SourceGroup (registering the fields read-through), or
+carry `// lint:allow-raw-counter <reason>` on or above the struct line.
+
 Usage: tools/lint_conventions.py [paths...]   (default: src/)
 Exit 0 = clean; 1 = violations (printed one per line, grep-style).
 """
@@ -35,6 +41,7 @@ import re
 import sys
 
 ALLOW_TAG = "lint:allow-nondet"
+RAW_COUNTER_TAG = "lint:allow-raw-counter"
 
 # --- ambient entropy / wall-clock patterns -------------------------------
 ENTROPY_PATTERNS = [
@@ -62,6 +69,11 @@ DECL_RE = re.compile(
     r"\bunordered_(?:map|set)\s*<[^;{}]*?>\s+(\w+)\s*[;{=]")
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]+)\)")
 
+# --- unregistered counter structs ---------------------------------------
+COUNTER_STRUCT_RE = re.compile(r"^\s*struct\s+Counters\b")
+# Files under src/obs define the registry itself.
+RAW_COUNTER_EXEMPT = (os.path.join("src", "obs") + os.sep,)
+
 
 def strip_comments(line):
     """Drop // comments so patterns don't fire on prose."""
@@ -86,6 +98,8 @@ def lint_file(path):
 
     violations = []
     entropy_ok = any(tag in path for tag in ENTROPY_EXEMPT)
+    counters_ok = (any(tag in path for tag in RAW_COUNTER_EXEMPT)
+                   or "obs::SourceGroup" in "\n".join(lines))
 
     # Pass 1: names of unordered containers declared anywhere in the file
     # (members and locals alike).  Joined text so multiline declarations
@@ -96,6 +110,17 @@ def lint_file(path):
     # Pass 2: per-line checks.  An allow tag suppresses its own line and
     # the line after it (so the annotation can sit above a long loop).
     for i, raw in enumerate(lines, start=1):
+        if RAW_COUNTER_TAG in raw and \
+                not raw.split(RAW_COUNTER_TAG, 1)[1].strip():
+            violations.append(
+                (i, f"{RAW_COUNTER_TAG} needs a reason after the tag"))
+        if (not counters_ok and COUNTER_STRUCT_RE.match(raw)
+                and RAW_COUNTER_TAG not in raw
+                and (i < 2 or RAW_COUNTER_TAG not in lines[i - 2])):
+            violations.append(
+                (i, "raw Counters struct without obs registry "
+                    "registration: attach an obs::SourceGroup or annotate "
+                    f"'// {RAW_COUNTER_TAG} <reason>'"))
         if i >= 2 and ALLOW_TAG in lines[i - 2]:
             continue
         if ALLOW_TAG in raw:

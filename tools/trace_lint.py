@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Schema checker for the Chrome trace_event JSON emitted by src/obs.
+
+Validates the structural contract DESIGN.md §12 documents, so CI can
+fail fast when an exporter change produces a dump Perfetto would load
+as garbage (or not at all):
+
+  * top level: object with a "traceEvents" list (a bare list is also
+    accepted — both load in chrome://tracing).
+  * every event: has "ph" in {X, M, C, i}, a string "name", and a
+    numeric "pid".
+  * X (complete span): numeric ts >= 0 and numeric dur >= 0.
+  * M (metadata): process_name events must carry args.name (non-empty).
+  * C (counter): numeric ts >= 0 and an "args" object of numbers.
+  * i (instant): numeric ts >= 0 and a scope "s".
+  * at least --min-processes distinct pids carry a process_name (the
+    integration scenario must show every node as its own lane).
+
+Usage: tools/trace_lint.py trace.json [--min-processes N]
+Exit 0 = clean; 1 = violations (printed one per line).
+"""
+
+import argparse
+import json
+import numbers
+import sys
+
+VALID_PH = {"X", "M", "C", "i"}
+
+
+def is_num(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def lint(doc, min_processes):
+    errors = []
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ['top-level object has no "traceEvents" list']
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        return ["top level is neither an object nor a list"]
+
+    named_processes = set()
+    span_count = 0
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in VALID_PH:
+            errors.append(f"{where}: bad ph {ph!r} (want one of {sorted(VALID_PH)})")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing/empty name")
+        if not is_num(ev.get("pid")):
+            errors.append(f"{where}: missing numeric pid")
+
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                args = ev.get("args")
+                if not isinstance(args, dict) or not args.get("name"):
+                    errors.append(f"{where}: process_name without args.name")
+                elif is_num(ev.get("pid")):
+                    named_processes.add(ev["pid"])
+            continue
+
+        ts = ev.get("ts")
+        if not is_num(ts) or ts < 0:
+            errors.append(f"{where}: {ph} event needs numeric ts >= 0")
+        if ph == "X":
+            span_count += 1
+            dur = ev.get("dur")
+            if not is_num(dur) or dur < 0:
+                errors.append(f"{where}: X event needs numeric dur >= 0")
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: C event needs an args object")
+            elif not all(is_num(v) for v in args.values()):
+                errors.append(f"{where}: C event args must be numeric")
+        elif ph == "i":
+            if not isinstance(ev.get("s"), str):
+                errors.append(f"{where}: i event needs a scope 's'")
+
+    if len(named_processes) < min_processes:
+        errors.append(
+            f"only {len(named_processes)} named process(es), "
+            f"need >= {min_processes}")
+    if span_count == 0:
+        errors.append("no complete (X) spans recorded")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--min-processes", type=int, default=1,
+                        help="minimum distinct named processes (default 1)")
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{opts.trace}: {e}")
+        return 1
+
+    errors = lint(doc, opts.min_processes)
+    for e in errors:
+        print(f"{opts.trace}: {e}")
+    if errors:
+        print(f"\ntrace_lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"trace_lint: clean ({opts.trace})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
