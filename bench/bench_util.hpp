@@ -34,18 +34,45 @@ inline void run_sequential(int n,
   (*advance)(0);
 }
 
-/// Mean / p50 / p99 of a sample set, in the samples' own unit.  The
-/// figure benches report tails as well as means: a cache or offload that
-/// only moves the mean is indistinguishable from one that actually
-/// shortens the common path.
+/// Mean / p50 / p99 / p999 of a sample set, in the samples' own unit.
+/// The figure benches report tails as well as means: a cache or offload
+/// that only moves the mean is indistinguishable from one that actually
+/// shortens the common path — and for multi-tenant SLOs the p999 is the
+/// number the aggressor moves first.
 struct LatencySummary {
   double mean = 0;
   double p50 = 0;
   double p99 = 0;
+  double p999 = 0;
 
   static LatencySummary of(const SampleSet& s) {
-    return {s.mean(), s.percentile(50.0), s.percentile(99.0)};
+    return {s.mean(), s.percentile(50.0), s.percentile(99.0),
+            s.percentile(99.9)};
   }
+};
+
+/// Open-loop response-time bookkeeping (avoids coordinated omission).
+///
+/// A closed-loop driver measures latency from the moment it SENDS each
+/// request — but it only sends when the previous reply came back, so a
+/// stall quietly suppresses the very samples that would have recorded
+/// it.  An open-loop arrival process fixes the schedule in advance: each
+/// operation has an INTENDED arrival time, and its response time runs
+/// from that intent, including any time spent queued behind a stalled
+/// predecessor.  Both series are kept — `resp` (from intended arrival,
+/// the honest open-loop number) and `svc` (from actual send, the
+/// old-style column) — so a bench can print them side by side and the
+/// gap itself exposes the omission.
+struct OpenLoopSamples {
+  SampleSet resp;  ///< completion - intended arrival
+  SampleSet svc;   ///< completion - actual send
+
+  void record(SimTime intended, SimTime sent, SimTime completed) {
+    resp.add(static_cast<double>(completed - intended));
+    svc.add(static_cast<double>(completed - sent));
+  }
+  LatencySummary response_summary() const { return LatencySummary::of(resp); }
+  LatencySummary service_summary() const { return LatencySummary::of(svc); }
 };
 
 /// Fixed-width table printing.  Rows are also recorded so a bench can

@@ -1,0 +1,234 @@
+// CLAIM-LOADGEN — multi-tenant open-loop load with per-tenant isolation
+// (DESIGN.md §13).
+//
+//   The paper pitches fabric-level references at whole populations of
+//   clients; "An Interference-Free Programming Model for Network
+//   Objects" (PAPERS.md) names the property the fabric then owes them:
+//   one tenant's hot object must not starve another tenant's traffic.
+//
+// Three tenants share a 4-host fabric:
+//
+//   web      — 1M-user population, Poisson arrivals, read-heavy with
+//              a sprinkle of invokes, homed on host 1.  The victim.
+//   batch    — bursty on/off writer (bursts ~2x the bottleneck link),
+//              two client hosts converging on the SAME home host 1.
+//              The aggressor.
+//   periodic — diurnal-swept mixed workload homed elsewhere; ambient
+//              load that keeps the rest of the fabric busy.
+//
+// Two configurations of the identical op streams (open loop: arrivals
+// never react to the fabric):
+//
+//   off    — plain FIFO links, no admission control.
+//   armed  — per-tenant DRR fair queueing at switch egress + a token
+//            bucket policing the aggressor at switch ingress.
+//
+// The claim: with isolation armed, the victim's p999 response time is
+// bounded (sub-millisecond-scale) and at least 5x better than with it
+// off, while the aggressor still gets its policed share.  Exit status
+// reflects the claim so CI can gate on it.  LOADGEN_SMOKE=1 shrinks the
+// load window for the CI smoke/determinism-audit run.
+#include <cstdlib>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "core/cluster.hpp"
+#include "load/loadgen.hpp"
+
+using namespace objrpc;
+using namespace objrpc::bench;
+using namespace objrpc::load;
+
+namespace {
+
+bool smoke() {
+  const char* s = std::getenv("LOADGEN_SMOKE");
+  return s != nullptr && std::strcmp(s, "1") == 0;
+}
+
+ClusterConfig cluster_cfg(bool armed) {
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::controller;
+  cfg.fabric.num_hosts = 4;
+  cfg.fabric.num_switches = 4;
+  cfg.fabric.seed = 5150;
+  // Slow host links make switch->host egress the bottleneck; the
+  // full-mesh switch core stays at its default 10G, so two aggressor
+  // clients can converge on one home host at 2x its drain rate.
+  cfg.fabric.host_link.bandwidth_bps = 200e6;
+  if (armed) {
+    cfg.fabric.switch_cfg.fair_queue.enabled = true;
+    cfg.fabric.switch_cfg.fair_queue.quantum_bytes = 4500;
+    cfg.fabric.switch_cfg.fair_queue.tenant_queue_bytes = 256 * 1024;
+    cfg.fabric.switch_cfg.admission.enabled = true;
+    cfg.fabric.switch_cfg.admission.tenant_rates[2] =
+        TenantRate{/*bytes_per_sec=*/8e6, /*burst_bytes=*/128 * 1024};
+  }
+  return cfg;
+}
+
+LoadConfig load_cfg() {
+  LoadConfig lc;
+  lc.duration = (smoke() ? 300 : 2000) * kMillisecond;
+  lc.seed = 0x10AD;
+
+  TenantSpec web;
+  web.tenant = 1;
+  web.name = "web";
+  web.arrival.kind = ArrivalConfig::Kind::poisson;
+  web.arrival.rate_per_sec = 1'500.0;
+  web.users = 1'000'000;
+  web.zipf_s = 1.0;
+  web.object_count = 32;
+  web.object_bytes = 4096;
+  web.mix = OpMix{/*read=*/0.85, /*write=*/0.05, /*invoke=*/0.10};
+  web.read_bytes = 256;
+  web.write_bytes = 256;
+  web.home_host = 1;
+  web.client_hosts = {0};
+  lc.tenants.push_back(web);
+
+  TenantSpec batch;
+  batch.tenant = 2;
+  batch.name = "batch";
+  batch.arrival.kind = ArrivalConfig::Kind::on_off;
+  batch.arrival.rate_per_sec = 16'000.0;  // burst: ~2x bottleneck
+  batch.arrival.low_rate_per_sec = 100.0;
+  batch.arrival.on_duration = 5 * kMillisecond;
+  batch.arrival.off_duration = 25 * kMillisecond;
+  batch.users = 50'000;
+  batch.zipf_s = 0.8;
+  batch.object_count = 16;
+  batch.object_bytes = 8192;
+  batch.mix = OpMix{/*read=*/0.0, /*write=*/1.0, /*invoke=*/0.0};
+  batch.write_bytes = 4096;
+  batch.home_host = 1;  // same bottleneck link as the victim
+  batch.client_hosts = {2, 3};
+  batch.max_attempts = 1;
+  batch.access_timeout = 100 * kMillisecond;
+  lc.tenants.push_back(batch);
+
+  TenantSpec periodic;
+  periodic.tenant = 3;
+  periodic.name = "periodic";
+  periodic.arrival.kind = ArrivalConfig::Kind::diurnal;
+  periodic.arrival.rate_per_sec = 3'000.0;
+  periodic.arrival.low_rate_per_sec = 500.0;
+  periodic.arrival.period = 600 * kMillisecond;
+  periodic.users = 200'000;
+  periodic.zipf_s = 1.2;
+  periodic.object_count = 24;
+  periodic.object_bytes = 4096;
+  periodic.mix = OpMix{/*read=*/0.6, /*write=*/0.2, /*invoke=*/0.2};
+  periodic.read_bytes = 512;
+  periodic.write_bytes = 512;
+  periodic.home_host = 2;  // ambient load, off the contested link
+  periodic.client_hosts = {0, 1};
+  lc.tenants.push_back(periodic);
+  return lc;
+}
+
+struct ModeResult {
+  std::vector<TenantSlo> slo;
+  std::uint64_t stream_digest = 0;
+  std::size_t violations = 0;
+  bool checked = false;
+  std::string registry_json;
+};
+
+ModeResult run_mode(bool armed) {
+  auto cluster = Cluster::build(cluster_cfg(armed));
+  if (cluster->checker() != nullptr) {
+    cluster->checker()->set_abort_on_violation(false);
+  }
+  LoadGenerator gen(*cluster, load_cfg());
+  cluster->settle();  // drain object-creation / discovery warmup
+  gen.start();
+  cluster->settle();
+
+  ModeResult r;
+  r.slo = gen.report();
+  r.stream_digest = gen.stream_digest();
+  if (cluster->checker() != nullptr) {
+    r.checked = true;
+    r.violations = cluster->checker()->violations().size();
+  }
+  r.registry_json = cluster->metrics().to_json();
+  return r;
+}
+
+Table slo_table(const ModeResult& r) {
+  Table t({"tenant", "issued", "ok", "err", "goodput_MBps", "resp_p50_us",
+           "resp_p99_us", "resp_p999_us", "svc_p999_us"});
+  for (const TenantSlo& s : r.slo) {
+    t.row({static_cast<double>(s.tenant), static_cast<double>(s.issued),
+           static_cast<double>(s.completed - s.errors),
+           static_cast<double>(s.errors),
+           s.goodput_bytes_per_sec / 1e6, s.resp_p50_us, s.resp_p99_us,
+           s.resp_p999_us, s.svc_p999_us});
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CLAIM-LOADGEN: per-tenant isolation under open-loop "
+              "multi-tenant load%s\n\n", smoke() ? " (smoke)" : "");
+
+  std::printf("--- isolation OFF (FIFO links, no admission)\n");
+  const ModeResult off = run_mode(/*armed=*/false);
+  Table t_off = slo_table(off);
+
+  std::printf("\n--- isolation ARMED (DRR fair queueing + token bucket)\n");
+  const ModeResult armed = run_mode(/*armed=*/true);
+  Table t_armed = slo_table(armed);
+
+  // The victim's op stream must be identical in both modes: the load is
+  // open-loop, so only the fabric's treatment of it may differ.
+  const bool same_stream = off.stream_digest == armed.stream_digest;
+  const TenantSlo& v_off = off.slo.front();
+  const TenantSlo& v_armed = armed.slo.front();
+  const double p99_ratio =
+      v_armed.resp_p99_us > 0 ? v_off.resp_p99_us / v_armed.resp_p99_us : 0;
+  const double p999_ratio =
+      v_armed.resp_p999_us > 0 ? v_off.resp_p999_us / v_armed.resp_p999_us
+                               : 0;
+
+  std::printf("\nvictim (web) tail under aggression:\n");
+  std::printf("  p99   off %8.0f us   armed %8.0f us   ratio %5.1fx\n",
+              v_off.resp_p99_us, v_armed.resp_p99_us, p99_ratio);
+  std::printf("  p999  off %8.0f us   armed %8.0f us   ratio %5.1fx\n",
+              v_off.resp_p999_us, v_armed.resp_p999_us, p999_ratio);
+  if (off.checked) {
+    std::printf("invariants: off=%zu armed=%zu violations (checker armed)\n",
+                off.violations, armed.violations);
+  }
+
+  const bool bounded = v_armed.resp_p999_us < 5'000.0;
+  const bool clean = !off.checked ||
+                     (off.violations == 0 && armed.violations == 0);
+  const bool pass = same_stream && bounded && p999_ratio >= 5.0 && clean;
+  std::printf("\nclaim (armed p999 bounded, >=5x better, streams identical, "
+              "invariants clean): %s\n", pass ? "PASS" : "FAIL");
+
+  BenchJson json("loadgen");
+  json.value("smoke", smoke() ? 1 : 0);
+  json.value("same_stream", same_stream ? 1 : 0);
+  json.value("victim_p99_off_us", v_off.resp_p99_us);
+  json.value("victim_p99_armed_us", v_armed.resp_p99_us);
+  json.value("victim_p999_off_us", v_off.resp_p999_us);
+  json.value("victim_p999_armed_us", v_armed.resp_p999_us);
+  json.value("victim_p99_ratio", p99_ratio);
+  json.value("victim_p999_ratio", p999_ratio);
+  json.value("violations_off", static_cast<double>(off.violations));
+  json.value("violations_armed", static_cast<double>(armed.violations));
+  json.value("checker_armed", off.checked ? 1 : 0);
+  json.value("claim_pass", pass ? 1 : 0);
+  json.table("slo_off", t_off);
+  json.table("slo_armed", t_armed);
+  json.raw("metrics_armed", armed.registry_json);
+  json.emit_metrics_json();
+
+  return pass ? 0 : 1;
+}

@@ -58,6 +58,74 @@ void InvariantChecker::attach_controller(ControllerNode& controller) {
   addr_to_node_[controller.addr()] = controller.id();
 }
 
+void InvariantChecker::attach_fair_queue(SwitchNode& sw) {
+  EgressScheduler* fq = sw.fair_queue();
+  if (fq == nullptr) return;
+  fq_switches_.push_back(&sw);
+  const NodeId node = sw.id();
+  fq->add_observer([this, node](const FqEvent& ev) { on_fq_event(node, ev); });
+}
+
+void InvariantChecker::on_fq_event(NodeId sw, const FqEvent& ev) {
+  // Fold scheduler decisions into the determinism digest: a
+  // nondeterministic rotation would reorder grants even if the final
+  // delivery order happened to coincide.
+  digest_.fold(0xFA1C5EED00000000ULL |
+               (static_cast<std::uint64_t>(ev.kind) << 8) | ev.tenant);
+  digest_.fold((static_cast<std::uint64_t>(sw) << 32) | ev.port);
+  digest_.fold(ev.bytes);
+
+  switch (ev.kind) {
+    case FqEvent::Kind::activated: {
+      // Start tracking the moment the tenant becomes backlogged — a
+      // tenant the scheduler never grants at all must still be caught.
+      auto& own = fq_waits_[{sw, ev.port, ev.tenant}];
+      own.passes = 0;
+      own.max_active = ev.active_tenants;
+      break;
+    }
+    case FqEvent::Kind::grant: {
+      // The granted tenant's wait resets; every other tenant tracked on
+      // this port waited one more visit.  In a correct DRR rotation a
+      // tenant waits at most (rotation size - 1) visits between its own
+      // grants, so exceeding the largest rotation it has been part of
+      // since its last grant means it was skipped — its queue share
+      // fell below the fair-share floor.
+      auto& own = fq_waits_[{sw, ev.port, ev.tenant}];
+      own.passes = 0;
+      own.max_active = ev.active_tenants;
+      for (auto& [key, wait] : fq_waits_) {
+        if (std::get<0>(key) != sw || std::get<1>(key) != ev.port ||
+            std::get<2>(key) == ev.tenant) {
+          continue;
+        }
+        ++wait.passes;
+        if (ev.active_tenants > wait.max_active) {
+          wait.max_active = ev.active_tenants;
+        }
+        if (wait.passes > wait.max_active) {
+          violation(ViolationClass::fair_share_starvation, ObjectId{},
+                    fmt("%s port %u: tenant %u waited %" PRIu64
+                        " DRR grants (rotation never larger than %u) while "
+                        "backlogged — below its fair-share floor",
+                        node_name(sw).c_str(), ev.port, std::get<2>(key),
+                        wait.passes, wait.max_active));
+        }
+      }
+      break;
+    }
+    case FqEvent::Kind::drained:
+      // Tenant left the rotation with an empty queue: it is no longer
+      // owed service; forget its wait state.
+      fq_waits_.erase({sw, ev.port, ev.tenant});
+      break;
+    case FqEvent::Kind::sent:
+    case FqEvent::Kind::rotated:
+    case FqEvent::Kind::dropped:
+      break;
+  }
+}
+
 std::string InvariantChecker::node_name(NodeId n) const {
   if (n < net_.node_count()) return net_.node(n).name();
   return fmt("node%u", n);
@@ -81,6 +149,7 @@ void InvariantChecker::on_tap(NodeId from, NodeId to, const Packet& pkt) {
   ev.epoch = frame->epoch;
   ev.obj_version = frame->obj_version;
   ev.payload_bytes = frame->payload.size();
+  ev.tenant = frame->tenant;
   if (auto it = addr_to_node_.find(ev.src);
       ev.src != kUnspecifiedHost && it != addr_to_node_.end()) {
     ev.emission = it->second == from;
@@ -329,6 +398,21 @@ void InvariantChecker::on_quiesce() {
                       addr_to_string(snap.src).c_str(), snap.received,
                       snap.total));
       }
+    }
+  }
+
+  // Fair-queueing switches: the scheduler keeps a drain event pending
+  // while anything is queued, so a backlog surviving quiesce means
+  // frames are parked with nothing left to send them.
+  for (SwitchNode* sw : fq_switches_) {
+    const EgressScheduler* fq = sw->fair_queue();
+    digest_.fold(fq->backlog_bytes());
+    if (!net_.node_up(sw->id())) continue;
+    if (fq->backlog_bytes() > 0) {
+      violation(ViolationClass::stuck_egress, ObjectId{},
+                fmt("%s still holds %" PRIu64
+                    " fair-queued bytes at quiesce",
+                    node_name(sw->id()).c_str(), fq->backlog_bytes()));
     }
   }
 

@@ -60,6 +60,7 @@
 #include "net/controller.hpp"
 #include "net/service.hpp"
 #include "sim/network.hpp"
+#include "sim/switch_node.hpp"
 
 namespace objrpc::check {
 
@@ -83,6 +84,13 @@ class InvariantChecker {
   void attach_cache(IncCacheStage& stage);
   /// Register the SDN controller (grant bookkeeping + address mapping).
   void attach_controller(ControllerNode& controller);
+  /// Register a switch whose egress fair queueing is armed.  Installs
+  /// the isolation invariant: per port, a backlogged tenant must be
+  /// granted its DRR visit before any other tenant is granted more
+  /// visits than the rotation could legitimately hold in front of it —
+  /// otherwise its queue share fell below the fair-share floor
+  /// (fair_share_starvation).  No-op when the switch has no scheduler.
+  void attach_fair_queue(SwitchNode& sw);
 
   /// Quiesce scan: runs from the event loop's drain hook every time the
   /// queue empties (no event left that could complete open work).
@@ -120,6 +128,7 @@ class InvariantChecker {
   };
 
   void on_tap(NodeId from, NodeId to, const Packet& pkt);
+  void on_fq_event(NodeId sw, const FqEvent& ev);
   void check_emission(const WireEvent& ev);
   void check_delivery(const WireEvent& ev);
   void on_replica_event(NodeId node, ReplicaManager::Event e, ObjectId id,
@@ -153,6 +162,17 @@ class InvariantChecker {
   std::set<InvKey> host_inv_emitted_;
   /// push_frag conservation ledger.
   std::map<FragKey, FragCount> frags_;
+
+  /// Fair-queueing switches under observation (quiesce backlog check).
+  std::vector<SwitchNode*> fq_switches_;
+  /// DRR progress per (switch, port, tenant): grants to OTHER tenants
+  /// since this tenant's own last grant, and the largest rotation it has
+  /// been part of since then (its legitimate worst-case wait).
+  struct FqWait {
+    std::uint64_t passes = 0;
+    std::uint32_t max_active = 0;
+  };
+  std::map<std::tuple<NodeId, PortId, std::uint32_t>, FqWait> fq_waits_;
 
   /// Highest promotion epoch seen per lineage.
   std::map<ObjectId, std::uint32_t> max_promo_epoch_;

@@ -21,6 +21,9 @@ const char* violation_class_name(ViolationClass c) {
     case ViolationClass::stuck_probe: return "stuck_probe";
     case ViolationClass::stuck_fill: return "stuck_fill";
     case ViolationClass::grant_mismatch: return "grant_mismatch";
+    case ViolationClass::fair_share_starvation:
+      return "fair_share_starvation";
+    case ViolationClass::stuck_egress: return "stuck_egress";
   }
   return "unknown";
 }

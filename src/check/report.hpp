@@ -36,6 +36,9 @@ enum class ViolationClass : std::uint8_t {
   stuck_fill,      // switch-cache fill still open with no event left
   // Management plane.
   grant_mismatch,  // switch cache enabled-state disagrees with controller
+  // Multi-tenant isolation (fair queueing armed; DESIGN.md §13).
+  fair_share_starvation,  // a backlogged tenant skipped in the DRR rotation
+  stuck_egress,           // fair-queue backlog survives quiesce
 };
 
 const char* violation_class_name(ViolationClass c);

@@ -20,6 +20,7 @@ void Digest::fold_event(const WireEvent& ev) {
   fold(ev.epoch);
   fold(ev.obj_version);
   fold(ev.payload_bytes);
+  fold(ev.tenant);
 }
 
 std::string addr_to_string(HostAddr addr) {
@@ -41,11 +42,11 @@ std::string WireEvent::to_string() const {
   std::snprintf(buf, sizeof buf,
                 "%10" PRId64 "ns  node%u->node%u  %-14s %s -> %s obj=%s "
                 "seq=%" PRIu64 " off=%" PRIu64 " len=%u epoch=%u ver=%" PRIu64
-                "%s%s",
+                " tenant=%u%s%s",
                 at, from, to, msg_type_name(type), addr_to_string(src).c_str(),
                 addr_to_string(dst).c_str(), object.to_string().c_str(), seq,
-                offset, length, epoch, obj_version, emission ? " [emit]" : "",
-                final_delivery ? " [deliver]" : "");
+                offset, length, epoch, obj_version, tenant,
+                emission ? " [emit]" : "", final_delivery ? " [deliver]" : "");
   return buf;
 }
 

@@ -38,6 +38,8 @@ struct WireEvent {
   std::uint32_t epoch = 0;
   std::uint64_t obj_version = 0;
   std::uint64_t payload_bytes = 0;
+  /// Tenant tag from the frame header (0 = infrastructure).
+  std::uint32_t tenant = 0;
   bool emission = false;
   bool final_delivery = false;
 

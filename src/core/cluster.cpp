@@ -96,6 +96,10 @@ std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
     if (ControllerNode* ctl = cluster->fabric_->controller()) {
       checker->attach_controller(*ctl);
     }
+    for (std::size_t i = 0; i < cluster->fabric_->switch_count(); ++i) {
+      // No-op unless the switch's fair queueing is armed.
+      checker->attach_fair_queue(cluster->fabric_->switch_at(i));
+    }
     check::InvariantChecker* ck = checker.get();
     cluster->fabric_->loop().set_drain_hook([ck] { ck->on_quiesce(); });
   }

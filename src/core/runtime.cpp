@@ -198,6 +198,7 @@ void InvokeRuntime::send_remote(std::uint64_t token) {
   f.type = MsgType::invoke_req;
   f.dst_host = p.executor;
   f.seq = token;
+  f.tenant = p.opts.tenant;
   f.payload = encode_invoke(p.fn, p.args, p.inline_arg);
   const std::uint64_t generation = ++p.generation;
   service_.host().send_frame(std::move(f));
@@ -238,13 +239,15 @@ void InvokeRuntime::on_invoke_req(const Frame& f) {
   ++counters_.requests_served;
   const HostAddr caller = f.src_host;
   const std::uint64_t seq = f.seq;
+  const std::uint32_t tenant = f.tenant;
   execute_local(
       decoded->fn, std::move(decoded->args), std::move(decoded->inline_arg),
-      [this, caller, seq](Result<Bytes> r, const InvokeStats&) {
+      [this, caller, seq, tenant](Result<Bytes> r, const InvokeStats&) {
         Frame resp;
         resp.type = MsgType::invoke_resp;
         resp.dst_host = caller;
         resp.seq = seq;
+        resp.tenant = tenant;
         BufWriter w;
         if (r) {
           w.put_u16(0);

@@ -58,6 +58,10 @@ struct InvokeOptions {
   int max_fault_rounds = 256;
   SimDuration timeout = 100 * kMillisecond;
   int max_attempts = 2;
+  /// Tenant tag stamped on the invoke_req (and echoed on its response),
+  /// so remote invocations are fair-queued against the caller's tenant
+  /// like any other access (DESIGN.md §13).  0 = infrastructure.
+  std::uint32_t tenant = 0;
 };
 
 struct InvokeStats {

@@ -1,0 +1,59 @@
+#include "load/zipf.hpp"
+
+#include <cmath>
+
+namespace objrpc::load {
+
+ZipfTable::ZipfTable(std::size_t n, double s) {
+  if (n == 0) n = 1;
+  weight_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    weight_[k] = std::pow(static_cast<double>(k + 1), -s);
+    total += weight_[k];
+  }
+  for (std::size_t k = 0; k < n; ++k) weight_[k] /= total;
+
+  // Walker/Vose alias construction.  Work in units of n*p so "fair
+  // share" is exactly 1.  Index worklists are filled in rank order and
+  // consumed back-to-front — fully deterministic.
+  prob_.assign(n, 1.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::size_t k = 0; k < n; ++k) {
+    scaled[k] = weight_[k] * static_cast<double>(n);
+    (scaled[k] < 1.0 ? small : large).push_back(
+        static_cast<std::uint32_t>(k));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s_idx = small.back();
+    const std::uint32_t l_idx = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s_idx] = scaled[s_idx];
+    alias_[s_idx] = l_idx;
+    scaled[l_idx] = (scaled[l_idx] + scaled[s_idx]) - 1.0;
+    (scaled[l_idx] < 1.0 ? small : large).push_back(l_idx);
+  }
+  // Leftovers are exactly-fair slots (modulo rounding): take themselves.
+  for (std::uint32_t k : large) prob_[k] = 1.0;
+  for (std::uint32_t k : small) prob_[k] = 1.0;
+}
+
+std::size_t ZipfTable::sample(Rng& rng) const {
+  // One u64 drives both the slot choice (high-entropy Lemire-style
+  // multiply-shift) and the accept draw (low 53 bits as a unit double);
+  // the two uses read disjoint-enough bit ranges of one xoshiro output
+  // for this workload-shaping purpose.
+  const std::uint64_t r = rng.next_u64();
+  const std::size_t n = prob_.size();
+  const auto slot = static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(r) * n) >> 64);
+  const double u =
+      static_cast<double>(r & ((1ULL << 53) - 1)) * 0x1.0p-53;
+  return u < prob_[slot] ? slot : alias_[slot];
+}
+
+}  // namespace objrpc::load

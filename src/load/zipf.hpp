@@ -1,0 +1,42 @@
+// Zipf object-popularity sampling via Walker's alias method.
+//
+// A tenant's object accesses follow a Zipf law: rank k (0-based) is
+// drawn with probability proportional to (k+1)^-s.  Rng::next_zipf
+// exists for ad-hoc draws, but the load generator samples on every
+// operation of every tenant, so it precomputes an alias table once per
+// tenant: O(n) setup, O(1) exact draws, and — unlike rejection
+// sampling — a FIXED number of Rng consumptions per draw (one), which
+// keeps per-tenant random streams easy to reason about in the
+// determinism tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace objrpc::load {
+
+class ZipfTable {
+ public:
+  /// Distribution over ranks [0, n) with exponent `s` (s = 0 is
+  /// uniform).  n must be >= 1.
+  ZipfTable(std::size_t n, double s);
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Draw a rank; consumes exactly one u64 from `rng`.
+  std::size_t sample(Rng& rng) const;
+
+  /// Exact probability of rank k (tests).
+  double probability(std::size_t k) const { return weight_[k]; }
+
+ private:
+  /// Alias-method tables: a draw picks slot i uniformly, then takes i
+  /// with probability prob_[i], else alias_[i].
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+  std::vector<double> weight_;  // normalised pmf, kept for tests
+};
+
+}  // namespace objrpc::load

@@ -26,6 +26,9 @@ void HostNode::send_frame(Frame frame) {
   // per-hop queue/wire/pipeline spans parent under the right operation.
   pkt.trace_id = frame.trace.trace;
   pkt.span_parent = frame.trace.parent;
+  // Tenant tag likewise, so switch-side fair queueing and admission
+  // control classify without decoding the frame.
+  pkt.tenant = frame.tenant;
   if (net().tracer().armed() && frame.trace.valid()) {
     // Software time between the protocol decision and the NIC.
     net().tracer().leaf_span(frame.trace.trace, frame.trace.parent, id(),

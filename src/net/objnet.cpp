@@ -69,7 +69,7 @@ const char* msg_type_name(MsgType t) {
 }
 
 Bytes Frame::encode() const {
-  BufWriter w(80 + payload.size());
+  BufWriter w(88 + payload.size());
   w.put_u8(version);
   w.put_u8(static_cast<std::uint8_t>(type));
   w.put_u16(flags);
@@ -85,6 +85,10 @@ Bytes Frame::encode() const {
   // reads only the leading routing fields — needs no change.
   w.put_u64(trace.trace);
   w.put_u64(trace.parent);
+  // Tenant tag (+ u32 reserve) after the trace context: peek() and all
+  // earlier field offsets stay valid.
+  w.put_u32(tenant);
+  w.put_u32(0);
   w.put_blob(payload);
   return std::move(w).take();
 }
@@ -105,6 +109,8 @@ Result<Frame> Frame::decode(ByteSpan data) {
   f.obj_version = r.get_u64();
   f.trace.trace = r.get_u64();
   f.trace.parent = r.get_u64();
+  f.tenant = r.get_u32();
+  (void)r.get_u32();  // reserved
   f.payload = r.get_blob();
   if (!r.ok() || r.remaining() != 0) {
     return Error{Errc::malformed, "bad frame"};

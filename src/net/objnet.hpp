@@ -117,8 +117,9 @@ const char* msg_type_name(MsgType t);
 /// Header flags.
 constexpr std::uint16_t kFlagBroadcast = 1u << 0;
 
-/// The fixed frame header.  80 bytes on the wire (64 protocol bytes +
-/// 16 bytes of trace context), followed by a varint-length payload.
+/// The fixed frame header.  88 bytes on the wire (64 protocol bytes +
+/// 16 bytes of trace context + 8 bytes of tenant tagging/reserve),
+/// followed by a varint-length payload.
 struct Frame {
   std::uint8_t version = 1;
   MsgType type = MsgType::nack;
@@ -150,6 +151,14 @@ struct Frame {
   /// plain deterministic counters whether or not recording is armed, so
   /// the wire bytes are identical either way (see obs/trace.hpp).
   obs::TraceContext trace;
+  /// Tenant that caused this frame (src/load, DESIGN.md §13).  0 is the
+  /// infrastructure class (control plane, coherence, discovery, frames
+  /// predating multi-tenancy); request issuers stamp their tenant and
+  /// responders echo the request's tag so both legs of an operation are
+  /// attributed — and fair-queued — to the tenant that caused them.
+  /// Rides at the end of the fixed header (after the trace context) so
+  /// Frame::peek and every pre-existing field offset are unaffected.
+  std::uint32_t tenant = 0;
   Bytes payload;
 
   bool is_broadcast() const { return (flags & kFlagBroadcast) != 0; }

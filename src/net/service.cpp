@@ -167,6 +167,7 @@ void ObjNetService::on_atomic_req(const Frame& f) {
   resp.object = f.object;
   resp.seq = f.seq;
   resp.offset = f.offset;
+  resp.tenant = f.tenant;
   resp.payload = encode_atomic_response(*result);
   host_.send_frame(std::move(resp));
 }
@@ -258,6 +259,7 @@ void ObjNetService::start_attempt(std::uint64_t token) {
     f.seq = token;
     f.offset = p2.ptr.offset;
     f.length = p2.length;
+    f.tenant = p2.opts.tenant;
     if (p2.kind == MsgType::write_req || p2.kind == MsgType::atomic_req) {
       f.payload = p2.data;
     }
@@ -326,6 +328,7 @@ void ObjNetService::on_read_req(const Frame& f) {
   resp.seq = f.seq;
   resp.offset = f.offset;
   resp.length = f.length;
+  resp.tenant = f.tenant;  // response leg bills the requesting tenant
   resp.payload.assign(span->begin(), span->end());
   host_.send_frame(std::move(resp));
 }
@@ -363,6 +366,7 @@ void ObjNetService::on_write_req(const Frame& f) {
   resp.seq = f.seq;
   resp.offset = f.offset;
   resp.length = f.length;
+  resp.tenant = f.tenant;
   host_.send_frame(std::move(resp));
 }
 
@@ -430,6 +434,7 @@ void ObjNetService::on_discover_req(const Frame& f) {
   reply.dst_host = f.src_host;
   reply.object = f.object;
   reply.seq = f.seq;
+  reply.tenant = f.tenant;
   host_.send_frame(std::move(reply));
 }
 
@@ -494,6 +499,7 @@ void ObjNetService::send_nack(const Frame& cause, Errc code, HostAddr hint) {
   nack.dst_host = cause.src_host;
   nack.object = cause.object;
   nack.seq = cause.seq;
+  nack.tenant = cause.tenant;
   nack.payload = encode_nack_payload(code, hint);
   host_.send_frame(std::move(nack));
 }

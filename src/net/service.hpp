@@ -33,6 +33,11 @@ struct AccessStats {
 struct AccessOptions {
   int max_attempts = 4;
   SimDuration timeout = 20 * kMillisecond;
+  /// Tenant tag stamped on every frame this access emits (0 =
+  /// infrastructure / untagged).  Responders echo the requester's tag,
+  /// so both legs of the operation are attributed — and fair-queued —
+  /// to the tenant that caused them (DESIGN.md §13).
+  std::uint32_t tenant = 0;
 };
 
 using ReadCallback =

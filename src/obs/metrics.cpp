@@ -26,6 +26,17 @@ void Histogram::add(std::uint64_t v) {
   sum_ += v;
   min_ = count_ == 1 ? v : std::min(min_, v);
   max_ = count_ == 1 ? v : std::max(max_, v);
+  // Retain the largest kTailSize samples exactly (bounded min-heap: the
+  // front is the smallest retained value, evicted when a larger sample
+  // arrives).
+  if (tail_.size() < kTailSize) {
+    tail_.push_back(v);
+    std::push_heap(tail_.begin(), tail_.end(), std::greater<>{});
+  } else if (v > tail_.front()) {
+    std::pop_heap(tail_.begin(), tail_.end(), std::greater<>{});
+    tail_.back() = v;
+    std::push_heap(tail_.begin(), tail_.end(), std::greater<>{});
+  }
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -35,6 +46,16 @@ void Histogram::merge(const Histogram& other) {
   max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
   count_ += other.count_;
   sum_ += other.sum_;
+  for (std::uint64_t v : other.tail_) {
+    if (tail_.size() < kTailSize) {
+      tail_.push_back(v);
+      std::push_heap(tail_.begin(), tail_.end(), std::greater<>{});
+    } else if (v > tail_.front()) {
+      std::pop_heap(tail_.begin(), tail_.end(), std::greater<>{});
+      tail_.back() = v;
+      std::push_heap(tail_.begin(), tail_.end(), std::greater<>{});
+    }
+  }
 }
 
 double Histogram::quantile(double q) const {
@@ -43,6 +64,14 @@ double Histogram::quantile(double q) const {
   // Nearest-rank target (1-based), then walk buckets to find its home.
   const std::uint64_t rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+  // Exact path: the rank-th smallest sample is among the retained
+  // largest when fewer than tail_.size() samples rank above it.
+  const std::uint64_t above = count_ - rank;
+  if (above < tail_.size()) {
+    std::vector<std::uint64_t> sorted(tail_);
+    std::sort(sorted.begin(), sorted.end());
+    return static_cast<double>(sorted[sorted.size() - 1 - above]);
+  }
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
     if (buckets_[b] == 0) continue;
@@ -57,6 +86,12 @@ double Histogram::quantile(double q) const {
                    frac * static_cast<double>(hi - lo);
       est = std::max(est, static_cast<double>(min_));
       est = std::min(est, static_cast<double>(max_));
+      // A rank outside the retained tail is <= every retained sample;
+      // tightening by the tail floor also keeps interpolated mid-ranks
+      // monotone against exact tail quantiles.
+      if (!tail_.empty()) {
+        est = std::min(est, static_cast<double>(tail_.front()));
+      }
       return est;
     }
     seen += buckets_[b];
@@ -86,6 +121,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     v.max = h.max();
     v.p50 = h.quantile(0.50);
     v.p99 = h.quantile(0.99);
+    v.p999 = h.quantile(0.999);
     snap.histograms.emplace_back(name, v);
   }
   return snap;
@@ -153,6 +189,8 @@ std::string MetricsSnapshot::to_json() const {
     append_f(out, h.p50);
     out += ", \"p99\": ";
     append_f(out, h.p99);
+    out += ", \"p999\": ";
+    append_f(out, h.p999);
     out += "}";
   }
   out += "\n  }\n}\n";

@@ -57,11 +57,19 @@ class Gauge {
 // Bucket 0 holds exactly 0; bucket k (1..64) holds [2^(k-1), 2^k).
 // 65 fixed buckets cover the full u64 range, merge is bucket-wise
 // addition, and quantiles interpolate linearly inside the covering
-// bucket — a ~2x relative error bound, which is what latency tails need
-// at O(1) space.
+// bucket — a ~2x relative error bound at O(1) space.
+//
+// For the extreme tail that bound is too loose: a p999 off by 2x is
+// useless for SLO reporting.  So the histogram additionally retains the
+// largest kTailSize samples exactly (a bounded min-heap); any quantile
+// whose rank falls inside that retained tail — p999 up to ~512k
+// samples, p99 up to ~51k — is answered EXACTLY, and only deeper ranks
+// fall back to bucket interpolation.
 class Histogram {
  public:
   static constexpr int kBuckets = 65;
+  /// Exactly-retained largest samples (4 KiB per histogram).
+  static constexpr std::size_t kTailSize = 512;
 
   /// Index of the bucket holding `v`: 0 for 0, else 1 + floor(log2 v).
   static int bucket_index(std::uint64_t v);
@@ -81,8 +89,9 @@ class Histogram {
   }
   std::uint64_t bucket_count(int b) const { return buckets_[b]; }
 
-  /// Quantile estimate, q in [0, 1]; linear interpolation within the
-  /// covering bucket (clamped to the observed min/max).
+  /// Quantile estimate, q in [0, 1].  Exact when the rank lands in the
+  /// retained tail (see class comment); otherwise linear interpolation
+  /// within the covering bucket (clamped to the observed min/max).
   double quantile(double q) const;
 
  private:
@@ -91,6 +100,8 @@ class Histogram {
   std::uint64_t sum_ = 0;
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
+  /// Min-heap over the largest min(kTailSize, count) samples.
+  std::vector<std::uint64_t> tail_;
 };
 
 /// Deterministic point-in-time view of a registry.
@@ -102,6 +113,7 @@ struct MetricsSnapshot {
     std::uint64_t max = 0;
     double p50 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
   };
   /// Sorted by name; owned counters and sources fold into one series.
   std::vector<std::pair<std::string, std::uint64_t>> counters;

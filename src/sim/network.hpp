@@ -118,6 +118,12 @@ class Network {
   /// The node on the far side of (node, port); kInvalidNode if unbound.
   NodeId peer_of(NodeId id, PortId port) const;
 
+  /// Shaping parameters of the outgoing direction at (node, port) — the
+  /// egress fair-queueing scheduler paces dequeues at the link rate.
+  const LinkParams& link_params(NodeId id, PortId port) const {
+    return ports_.at(id).at(port).params;
+  }
+
   /// Fail or restore both directions of the link at (node, port).
   /// Frames sent into a down link are dropped (and counted); frames
   /// already in flight still arrive (they left before the cut).

@@ -39,6 +39,11 @@ struct Packet {
   /// Span id of the operation that emitted the frame (0 = none); the
   /// tracer parents per-hop queue/wire/pipeline spans under it.
   std::uint64_t span_parent = 0;
+  /// Tenant class of this frame (0 = infrastructure / untagged).  The
+  /// protocol layer stamps it from the frame header's tenant tag so
+  /// switches can classify for fair queueing and admission control
+  /// without re-parsing the frame.  Preserved across hops and copies.
+  std::uint32_t tenant = 0;
   /// Switch hops so far; the network drops frames exceeding a TTL to
   /// contain accidental broadcast loops.
   std::uint32_t hops = 0;

@@ -7,6 +7,23 @@ SwitchNode::SwitchNode(Network& net, NodeId id, std::string name,
     : NetworkNode(net, id, std::move(name)),
       cfg_(cfg),
       table_(cfg.key_bits, cfg.table_capacity) {
+  if (cfg_.fair_queue.enabled) {
+    fq_ = std::make_unique<EgressScheduler>(
+        net.loop(), cfg_.fair_queue,
+        [this](PortId out, Packet pkt) { send(out, std::move(pkt)); },
+        [this](PortId out, std::uint64_t bytes) {
+          // Pace dequeues at the link's serialization rate (the same
+          // formula Network::transmit uses) so the link FIFO under the
+          // scheduler never builds tenant-ordered depth.
+          const LinkParams& lp = this->net().link_params(this->id(), out);
+          const auto tx_ns = static_cast<SimDuration>(
+              static_cast<double>(bytes) * 8.0 / lp.bandwidth_bps * 1e9);
+          return std::max<SimDuration>(tx_ns, 1);
+        });
+  }
+  if (cfg_.admission.enabled) {
+    admission_ = std::make_unique<TokenBucketGate>(net.loop(), cfg_.admission);
+  }
   metrics_.attach(net.metrics(), this->name() + "/switch");
   metrics_.add("received", [this] { return counters_.received; });
   metrics_.add("forwarded", [this] { return counters_.forwarded; });
@@ -15,12 +32,35 @@ SwitchNode::SwitchNode(Network& net, NodeId id, std::string name,
   metrics_.add("punted", [this] { return counters_.punted; });
   metrics_.add("consumed_by_hook",
                [this] { return counters_.consumed_by_hook; });
+  metrics_.add("dropped_admission",
+               [this] { return counters_.dropped_admission; });
   metrics_.add("table_hits", [this] { return table_.hits(); });
   metrics_.add("table_misses", [this] { return table_.misses(); });
+  if (fq_) {
+    metrics_.add("fq_enqueued", [this] { return fq_->counters().enqueued; });
+    metrics_.add("fq_sent", [this] { return fq_->counters().sent; });
+    metrics_.add("fq_dropped_queue",
+                 [this] { return fq_->counters().dropped_queue; });
+    metrics_.add("fq_rounds", [this] { return fq_->counters().rounds; });
+    metrics_.add("fq_backlog_bytes", [this] { return fq_->backlog_bytes(); });
+  }
+  if (admission_) {
+    metrics_.add("admission_admitted",
+                 [this] { return admission_->counters().admitted; });
+    metrics_.add("admission_dropped",
+                 [this] { return admission_->counters().dropped; });
+  }
 }
 
 void SwitchNode::on_packet(PortId in_port, Packet pkt) {
   ++counters_.received;
+  // Ingress admission: a rate-limited tenant that exceeds its bucket is
+  // refused at the door, before the frame occupies any pipeline or
+  // queue resources.  Unpoliced tenants (incl. 0, infrastructure) pass.
+  if (admission_ && !admission_->admit(pkt.tenant, pkt.wire_size())) {
+    ++counters_.dropped_admission;
+    return;
+  }
   if (net().tracer().armed()) {
     // Match-action stage occupancy for this frame, attributed to its
     // causal trace.
@@ -67,7 +107,14 @@ void SwitchNode::apply(const Action& action, PortId in_port, Packet pkt) {
   switch (action.kind) {
     case ActionKind::forward:
       ++counters_.forwarded;
-      forward(action.port, std::move(pkt));
+      if (fq_) {
+        // Unicast data-path frames go through the per-tenant DRR
+        // scheduler; floods and punts below stay on the direct path
+        // (control-plane traffic is never fair-queued).
+        fq_->enqueue(action.port, std::move(pkt));
+      } else {
+        forward(action.port, std::move(pkt));
+      }
       break;
     case ActionKind::flood:
       ++counters_.flooded;

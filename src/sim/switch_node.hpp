@@ -9,9 +9,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "sim/fair_queue.hpp"
 #include "sim/network.hpp"
 #include "sim/pipeline.hpp"
 
@@ -40,6 +42,11 @@ struct SwitchConfig {
   PortId punt_port = kInvalidPort;
   /// Applied when the table misses and the frame is not a broadcast.
   Action default_action = Action::drop();
+  /// Per-tenant DRR fair queueing at egress (off by default: forwarded
+  /// frames go straight to the link FIFO, the pre-existing behaviour).
+  FairQueueConfig fair_queue;
+  /// Per-tenant token-bucket admission at ingress (off by default).
+  AdmissionConfig admission;
 };
 
 class SwitchNode : public NetworkNode {
@@ -75,8 +82,20 @@ class SwitchNode : public NetworkNode {
     std::uint64_t dropped = 0;
     std::uint64_t punted = 0;
     std::uint64_t consumed_by_hook = 0;
+    /// Frames refused at ingress by the per-tenant admission gate.
+    std::uint64_t dropped_admission = 0;
   };
   const Counters& counters() const { return counters_; }
+
+  /// The egress fair-queueing scheduler; nullptr unless
+  /// SwitchConfig::fair_queue.enabled.  The invariant checker attaches
+  /// its fair-share rule through this.
+  EgressScheduler* fair_queue() { return fq_.get(); }
+  const EgressScheduler* fair_queue() const { return fq_.get(); }
+  /// The ingress admission gate; nullptr unless
+  /// SwitchConfig::admission.enabled.
+  TokenBucketGate* admission() { return admission_.get(); }
+  const TokenBucketGate* admission() const { return admission_.get(); }
 
   EventLoop& event_loop() { return loop(); }
 
@@ -96,6 +115,8 @@ class SwitchNode : public NetworkNode {
   KeyExtractor extract_;
   PreMatchHook pre_match_;
   Counters counters_;
+  std::unique_ptr<EgressScheduler> fq_;
+  std::unique_ptr<TokenBucketGate> admission_;
   /// Declared last: detaches from the registry before members it reads.
   obs::SourceGroup metrics_;
 };

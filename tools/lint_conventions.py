@@ -61,6 +61,28 @@ ENTROPY_PATTERNS = [
 # Files allowed to own entropy/clock primitives.
 ENTROPY_EXEMPT = ("common/rng",)
 
+# --- src/load strict rules ----------------------------------------------
+# The load generator's arrival times and popularity draws feed the
+# determinism digest directly, so src/load adds rules on top of the
+# global entropy set: no <random> (its distributions are
+# implementation-defined across standard libraries) and no libm
+# transcendentals (sin/cos/exp... may differ at the last ulp between
+# platforms).  Shapes must be piecewise arithmetic (see arrival.cpp's
+# triangle wave); draws must come from common/rng.
+LOAD_SCOPE = os.path.join("src", "load") + os.sep
+LOAD_STRICT_PATTERNS = [
+    (re.compile(r"#\s*include\s*<random>"),
+     "src/load: <random> distributions are implementation-defined; "
+     "use common/rng"),
+    (re.compile(r"std::(?:uniform|normal|poisson|exponential|geometric|"
+                r"binomial|discrete)_[a-z_]*distribution"),
+     "src/load: std <random> distribution: use common/rng"),
+    (re.compile(r"(?<![\w:])(?:std::)?(?:sinf?|cosf?|tanf?|expf?|"
+                r"exp2f?|logf?|log2f?|log10f?)\s*\("),
+     "src/load: libm transcendental varies across platforms at the "
+     "last ulp; use piecewise arithmetic shapes"),
+]
+
 # --- unordered iteration -------------------------------------------------
 # Declarations like:  std::unordered_map<K, V> name_;   (possibly multiline
 # template args; we only need the variable name that follows the closing
@@ -132,6 +154,11 @@ def lint_file(path):
 
         if not entropy_ok:
             for pattern, why in ENTROPY_PATTERNS:
+                if pattern.search(line):
+                    violations.append((i, why))
+
+        if LOAD_SCOPE in path:
+            for pattern, why in LOAD_STRICT_PATTERNS:
                 if pattern.search(line):
                     violations.append((i, why))
 
