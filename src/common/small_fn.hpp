@@ -1,0 +1,119 @@
+// Move-only callable with small-buffer storage (the event loop's
+// callback type).
+//
+// std::function heap-allocates any closure beyond ~2 pointers, and the
+// simulator schedules millions of closures that capture a Packet plus a
+// handful of ids (~100 bytes).  SmallFn gives those closures inline
+// storage sized for the fabric's hot lambdas, so scheduling an event
+// performs no allocation at all; larger closures transparently fall
+// back to the heap.  Move-only by design: a scheduled callback has
+// exactly one owner (the event node), which is what lets the event loop
+// pop-by-move without the const_cast hack the old priority_queue needed.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace objrpc {
+
+template <std::size_t kInlineBytes>
+class BasicSmallFn {
+ public:
+  BasicSmallFn() = default;
+  BasicSmallFn(std::nullptr_t) {}  // NOLINT(implicit)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BasicSmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  BasicSmallFn(F&& f) {  // NOLINT(implicit)
+    emplace(std::forward<F>(f));
+  }
+
+  BasicSmallFn(BasicSmallFn&& other) noexcept { move_from(other); }
+  BasicSmallFn& operator=(BasicSmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  BasicSmallFn(const BasicSmallFn&) = delete;
+  BasicSmallFn& operator=(const BasicSmallFn&) = delete;
+  ~BasicSmallFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the wrapped callable lives in the inline buffer (tests).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    constexpr bool fits = sizeof(Fn) <= kInlineBytes &&
+                          alignof(Fn) <= alignof(std::max_align_t) &&
+                          std::is_nothrow_move_constructible_v<Fn>;
+    if constexpr (fits) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      static constexpr Ops ops = {
+          [](void* p) { (*static_cast<Fn*>(p))(); },
+          [](void* dst, void* src) {
+            auto* s = static_cast<Fn*>(src);
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+          },
+          [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+          true,
+      };
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      static constexpr Ops ops = {
+          [](void* p) { (**static_cast<Fn**>(p))(); },
+          [](void* dst, void* src) {
+            ::new (dst) Fn*(*static_cast<Fn**>(src));
+          },
+          [](void* p) { delete *static_cast<Fn**>(p); },
+          false,
+      };
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(BasicSmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+/// Sized for the fabric's transmit/pipeline/dispatch closures: a Packet
+/// or Frame capture plus a this-pointer and a few ids stays inline.
+using SmallFn = BasicSmallFn<152>;
+
+}  // namespace objrpc

@@ -85,6 +85,10 @@ std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
     cluster->profiles_.push_back(prof);
   }
   if (invariants_enabled(cfg)) {
+    // Armed runs treat scheduling into the past as a hard causality
+    // violation (EventLoop aborts with the offending times); unarmed
+    // runs clamp and count (simcore/clamped_past_schedules).
+    cluster->fabric_->loop().set_strict_past_schedules(true);
     auto& checker = cluster->checker_;
     checker = std::make_unique<check::InvariantChecker>(
         cluster->fabric_->network());
@@ -102,6 +106,10 @@ std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
     }
     check::InvariantChecker* ck = checker.get();
     cluster->fabric_->loop().set_drain_hook([ck] { ck->on_quiesce(); });
+  } else {
+    // An explicit check_invariants=0 overrides the CHECK_INVARIANTS
+    // environment default the loop constructor picked up.
+    cluster->fabric_->loop().set_strict_past_schedules(false);
   }
   return cluster;
 }

@@ -90,9 +90,9 @@ void HostNode::dispatch(Frame frame) {
   // A frame delivered just before a crash may have its dispatch still
   // queued when the crash lands; the dead host must not process it.
   if (!alive()) return;
-  auto it = handlers_.find(static_cast<std::uint8_t>(frame.type));
-  if (it != handlers_.end()) {
-    it->second(frame);
+  FrameHandler& handler = handlers_[static_cast<std::uint8_t>(frame.type)];
+  if (handler) {
+    handler(frame);
   } else if (default_handler_) {
     default_handler_(frame);
   } else {

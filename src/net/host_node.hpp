@@ -5,8 +5,8 @@
 // single-homed: port 0 is the uplink to their switch.
 #pragma once
 
+#include <array>
 #include <functional>
-#include <unordered_map>
 
 #include "net/objnet.hpp"
 #include "objspace/store.hpp"
@@ -80,7 +80,9 @@ class HostNode : public NetworkNode {
   HostConfig cfg_;
   ObjectStore store_;
   IdAllocator ids_;
-  std::unordered_map<std::uint8_t, FrameHandler> handlers_;
+  /// Direct-indexed by the 8-bit frame type: dispatch is one load, no
+  /// hashing (this is every inbound frame's first stop).
+  std::array<FrameHandler, 256> handlers_;
   FrameHandler default_handler_;
   ReviveHook revive_hook_;
   Counters counters_;

@@ -61,7 +61,7 @@ void ReliableChannel::send(HostAddr dst, MsgType inner_type, ObjectId object,
         std::string("reliable_send:") + msg_type_name(inner_type),
         host_.event_loop().now());
   }
-  outbound_.emplace(msg_id, std::move(out));
+  outbound_.try_emplace(msg_id, std::move(out));
   ++counters_.messages_sent;
 
   for (std::uint32_t i = 0; i < frag_count; ++i) send_fragment(msg_id, i);
@@ -70,9 +70,9 @@ void ReliableChannel::send(HostAddr dst, MsgType inner_type, ObjectId object,
 
 void ReliableChannel::send_fragment(std::uint32_t msg_id,
                                     std::uint32_t frag_idx) {
-  auto it = outbound_.find(msg_id);
-  if (it == outbound_.end()) return;
-  Outbound& out = it->second;
+  Outbound* found = outbound_.find(msg_id);
+  if (found == nullptr) return;
+  Outbound& out = *found;
   const std::uint64_t lo = static_cast<std::uint64_t>(frag_idx) * cfg_.mtu;
   const std::uint64_t hi =
       std::min<std::uint64_t>(lo + cfg_.mtu, out.payload.size());
@@ -93,16 +93,16 @@ void ReliableChannel::send_fragment(std::uint32_t msg_id,
 }
 
 void ReliableChannel::arm_timer(std::uint32_t msg_id) {
-  auto it0 = outbound_.find(msg_id);
-  if (it0 == outbound_.end()) return;
+  Outbound* found = outbound_.find(msg_id);
+  if (found == nullptr) return;
   // Exponential backoff, and never shorter than the time the remaining
   // fragments need just to serialize onto the wire.
-  const int shift = std::min(it0->second.retries, 10);
+  const int shift = std::min(found->retries, 10);
   const SimDuration delay = cfg_.rto << shift;
   host_.event_loop().schedule_after(delay, [this, msg_id] {
-    auto it = outbound_.find(msg_id);
-    if (it == outbound_.end()) return;  // fully acked meanwhile
-    Outbound& out = it->second;
+    Outbound* live = outbound_.find(msg_id);
+    if (live == nullptr) return;  // fully acked meanwhile
+    Outbound& out = *live;
     if (out.progressed) {
       // Acks are flowing; restart the timer instead of retransmitting.
       out.progressed = false;
@@ -118,7 +118,7 @@ void ReliableChannel::arm_timer(std::uint32_t msg_id) {
                                "reliable_failed", host_.event_loop().now());
         host_.tracer().end_span(out.trace.parent, host_.event_loop().now());
       }
-      outbound_.erase(it);
+      outbound_.erase(msg_id);
       if (cb) cb(Error{Errc::timeout, "retry budget exhausted"});
       return;
     }
@@ -159,17 +159,17 @@ void ReliableChannel::on_push_frag(const Frame& f) {
     ++counters_.duplicate_fragments;
     return;
   }
-  auto it = inbound_.find(key);
-  if (it == inbound_.end()) {
+  Inbound* found = inbound_.find(key);
+  if (found == nullptr) {
     // A new reassembly starting is the natural moment to collect ones
     // whose sender died mid-message (no timers: lazy sweep keeps the
     // event loop drainable).
     expire_idle();
-    it = inbound_.emplace(key, Inbound{}).first;
-    it->second.frags.resize(frag_count);
-    it->second.have.assign(frag_count, false);
+    found = inbound_.try_emplace(key).first;
+    found->frags.resize(frag_count);
+    found->have.assign(frag_count, false);
   }
-  Inbound& in = it->second;
+  Inbound& in = *found;
   in.last_activity = host_.event_loop().now();
   if (frag_count != in.frags.size()) {
     Log::warn("reliable", "fragment count mismatch");
@@ -200,9 +200,9 @@ void ReliableChannel::on_push_frag(const Frame& f) {
 void ReliableChannel::on_frag_ack(const Frame& f) {
   std::uint32_t msg_id, frag_idx, frag_count;
   unpack_seq(f.seq, msg_id, frag_idx, frag_count);
-  auto it = outbound_.find(msg_id);
-  if (it == outbound_.end()) return;
-  Outbound& out = it->second;
+  Outbound* found = outbound_.find(msg_id);
+  if (found == nullptr) return;
+  Outbound& out = *found;
   if (f.src_host != out.dst) {
     // Message ids are sender-local: a stale or misrouted ack from some
     // OTHER host must not complete fragments this destination never
@@ -216,7 +216,7 @@ void ReliableChannel::on_frag_ack(const Frame& f) {
     if (host_.tracer().armed()) {
       host_.tracer().end_span(out.trace.parent, host_.event_loop().now());
     }
-    outbound_.erase(it);
+    outbound_.erase(msg_id);
     if (cb) cb(Status::ok());
   }
 }
@@ -232,17 +232,16 @@ void ReliableChannel::remember_completed(const InboundKey& key) {
 
 std::size_t ReliableChannel::expire_idle() {
   const SimTime now = host_.event_loop().now();
-  std::size_t expired = 0;
-  for (auto it = inbound_.begin(); it != inbound_.end();) {
-    if (now - it->second.last_activity > cfg_.reassembly_idle) {
-      it = inbound_.erase(it);
-      ++expired;
-    } else {
-      ++it;
-    }
-  }
-  counters_.reassembly_expired += expired;
-  return expired;
+  // Backshift deletion relocates entries mid-iteration, so collect the
+  // idle keys first and erase after.  Which entries expire is a pure
+  // time predicate — visit order never matters.
+  std::vector<InboundKey> idle;
+  inbound_.for_each([&](const InboundKey& key, const Inbound& in) {
+    if (now - in.last_activity > cfg_.reassembly_idle) idle.push_back(key);
+  });
+  for (const InboundKey& key : idle) inbound_.erase(key);
+  counters_.reassembly_expired += idle.size();
+  return idle.size();
 }
 
 }  // namespace objrpc

@@ -16,10 +16,10 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "net/host_node.hpp"
 
 namespace objrpc {
@@ -101,10 +101,11 @@ class ReliableChannel {
   std::vector<InboundSnapshot> inbound_snapshot() const {
     std::vector<InboundSnapshot> out;
     out.reserve(inbound_.size());
-    for (const auto& [key, in] : inbound_) {  // lint:allow-nondet sorted below
+    inbound_.for_each([&](const InboundKey& key,  // lint:allow-nondet sorted
+                          const Inbound& in) {
       out.push_back({key.src, key.msg_id, in.last_activity, in.received,
                      static_cast<std::uint32_t>(in.frags.size())});
-    }
+    });
     std::sort(out.begin(), out.end(),
               [](const InboundSnapshot& a, const InboundSnapshot& b) {
                 return a.src != b.src ? a.src < b.src : a.msg_id < b.msg_id;
@@ -186,11 +187,14 @@ class ReliableChannel {
   ReliableConfig cfg_;
   MessageHandler handler_;
   std::uint32_t next_msg_id_ = 1;
-  std::unordered_map<std::uint32_t, Outbound> outbound_;
-  std::unordered_map<InboundKey, Inbound, InboundKeyHash> inbound_;
+  /// Open addressing (common/flat_table.hpp): these are the per-fragment
+  /// frame-path lookups.  Keyed access only; the one iteration site
+  /// (inbound_snapshot) sorts its output.
+  FlatHashMap<std::uint32_t, Outbound> outbound_;
+  FlatHashMap<InboundKey, Inbound, InboundKeyHash> inbound_;
   /// Recently completed inbound messages, so duplicate fragments are
   /// re-acked without re-delivery.
-  std::unordered_set<InboundKey, InboundKeyHash> completed_;
+  FlatHashSet<InboundKey, InboundKeyHash> completed_;
   std::deque<InboundKey> completed_order_;
   Counters counters_;
   /// Declared last: detaches from the registry before members it reads.

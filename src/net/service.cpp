@@ -57,7 +57,7 @@ void ObjNetService::read(GlobalPtr ptr, std::uint32_t length, ReadCallback cb,
   p.read_cb = std::move(cb);
   p.opts = opts;
   p.stats.started_at = host_.event_loop().now();
-  pending_.emplace(token, std::move(p));
+  pending_.try_emplace(token, std::move(p));
   start_attempt(token);
 }
 
@@ -73,7 +73,7 @@ void ObjNetService::write(GlobalPtr ptr, Bytes data, WriteAckCallback cb,
   p.write_cb = std::move(cb);
   p.opts = opts;
   p.stats.started_at = host_.event_loop().now();
-  pending_.emplace(token, std::move(p));
+  pending_.try_emplace(token, std::move(p));
   start_attempt(token);
 }
 
@@ -101,7 +101,7 @@ void ObjNetService::start_atomic(GlobalPtr ptr, AtomicRequest req,
   p.atomic_cb = std::move(cb);
   p.opts = opts;
   p.stats.started_at = host_.event_loop().now();
-  pending_.emplace(token, std::move(p));
+  pending_.try_emplace(token, std::move(p));
   start_attempt(token);
 }
 
@@ -174,18 +174,18 @@ void ObjNetService::on_atomic_req(const Frame& f) {
 
 void ObjNetService::finish_atomic(std::uint64_t token,
                                   Result<AtomicResponse> result) {
-  auto it = pending_.find(token);
-  if (it == pending_.end()) return;
-  Pending p = std::move(it->second);
-  pending_.erase(it);
+  Pending* found = pending_.find(token);
+  if (found == nullptr) return;
+  Pending p = std::move(*found);
+  pending_.erase(token);
   p.stats.finished_at = host_.event_loop().now();
   if (p.atomic_cb) p.atomic_cb(std::move(result), p.stats);
 }
 
 void ObjNetService::start_attempt(std::uint64_t token) {
-  auto it = pending_.find(token);
-  if (it == pending_.end()) return;
-  Pending& p = it->second;
+  Pending* found = pending_.find(token);
+  if (found == nullptr) return;
+  Pending& p = *found;
   if (++p.stats.attempts > p.opts.max_attempts) {
     ++counters_.timeouts;
     const Error err{Errc::timeout, "access attempts exhausted"};
@@ -237,9 +237,9 @@ void ObjNetService::start_attempt(std::uint64_t token) {
   }
   const ObjectId object = p.ptr.object;
   discovery_->resolve(object, [this, token](Result<ResolveOutcome> out) {
-    auto it2 = pending_.find(token);
-    if (it2 == pending_.end()) return;
-    Pending& p2 = it2->second;
+    Pending* found2 = pending_.find(token);
+    if (found2 == nullptr) return;
+    Pending& p2 = *found2;
     if (!out) {
       const Error err = out.error();
       if (p2.kind == MsgType::read_req) {
@@ -271,18 +271,18 @@ void ObjNetService::start_attempt(std::uint64_t token) {
 
 void ObjNetService::arm_timeout(std::uint64_t token,
                                 std::uint64_t generation) {
-  auto it = pending_.find(token);
-  if (it == pending_.end()) return;
+  Pending* found = pending_.find(token);
+  if (found == nullptr) return;
   host_.event_loop().schedule_after(
-      it->second.opts.timeout, [this, token, generation] {
-        auto it2 = pending_.find(token);
-        if (it2 == pending_.end()) return;
-        if (it2->second.generation != generation) return;  // superseded
+      found->opts.timeout, [this, token, generation] {
+        Pending* live = pending_.find(token);
+        if (live == nullptr) return;
+        if (live->generation != generation) return;  // superseded
         // The request leg burned a round trip with no reply.  Whoever we
         // addressed is unreachable (crashed host, stale route): report
         // the location stale so the retry re-resolves instead of
         // re-sending into the void.
-        Pending& p = it2->second;
+        Pending& p = *live;
         p.stats.rtts += 1;
         if (p.last_dst != kUnspecifiedHost) {
           discovery_->on_stale(p.ptr.object, p.last_dst);
@@ -292,19 +292,19 @@ void ObjNetService::arm_timeout(std::uint64_t token,
 }
 
 void ObjNetService::finish_read(std::uint64_t token, Result<Bytes> result) {
-  auto it = pending_.find(token);
-  if (it == pending_.end()) return;
-  Pending p = std::move(it->second);
-  pending_.erase(it);
+  Pending* found = pending_.find(token);
+  if (found == nullptr) return;
+  Pending p = std::move(*found);
+  pending_.erase(token);
   p.stats.finished_at = host_.event_loop().now();
   if (p.read_cb) p.read_cb(std::move(result), p.stats);
 }
 
 void ObjNetService::finish_write(std::uint64_t token, Status status) {
-  auto it = pending_.find(token);
-  if (it == pending_.end()) return;
-  Pending p = std::move(it->second);
-  pending_.erase(it);
+  Pending* found = pending_.find(token);
+  if (found == nullptr) return;
+  Pending p = std::move(*found);
+  pending_.erase(token);
   p.stats.finished_at = host_.event_loop().now();
   if (p.write_cb) p.write_cb(status, p.stats);
 }
@@ -372,16 +372,16 @@ void ObjNetService::on_write_req(const Frame& f) {
 
 void ObjNetService::on_response(const Frame& f) {
   const std::uint64_t token = f.seq;
-  auto it = pending_.find(token);
-  if (it == pending_.end()) return;  // late duplicate
-  it->second.stats.rtts += 1;       // request + response = one round trip
-  if (it->second.kind == MsgType::read_req &&
+  Pending* found = pending_.find(token);
+  if (found == nullptr) return;  // late duplicate
+  found->stats.rtts += 1;        // request + response = one round trip
+  if (found->kind == MsgType::read_req &&
       f.type == MsgType::read_resp) {
     finish_read(token, f.payload);
-  } else if (it->second.kind == MsgType::write_req &&
+  } else if (found->kind == MsgType::write_req &&
              f.type == MsgType::write_resp) {
     finish_write(token, Status::ok());
-  } else if (it->second.kind == MsgType::atomic_req &&
+  } else if (found->kind == MsgType::atomic_req &&
              f.type == MsgType::atomic_resp) {
     auto resp = decode_atomic_response(f.payload);
     if (resp) {
@@ -394,10 +394,10 @@ void ObjNetService::on_response(const Frame& f) {
 
 void ObjNetService::on_nack(const Frame& f) {
   const std::uint64_t token = f.seq;
-  auto it = pending_.find(token);
-  if (it == pending_.end()) return;
+  Pending* found = pending_.find(token);
+  if (found == nullptr) return;
   ++counters_.nacks_received;
-  Pending& p = it->second;
+  Pending& p = *found;
   p.stats.nacks += 1;
   p.stats.rtts += 1;  // the failed leg still cost a round trip
   auto info = decode_nack_payload(f.payload);

@@ -9,9 +9,9 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "net/discovery.hpp"
 #include "net/host_node.hpp"
 #include "net/reliable.hpp"
@@ -218,7 +218,9 @@ class ObjNetService {
   AuthorityFilter authority_filter_;
   WriteRedirector write_redirector_;
   ReliableFallback reliable_fallback_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  /// Token-keyed lookups only (never iterated): open addressing keeps
+  /// the per-response completion path allocation- and chase-free.
+  FlatHashMap<std::uint64_t, Pending> pending_;
   std::uint64_t next_token_ = 1;
   Counters counters_;
 };

@@ -1,24 +1,187 @@
 #include "sim/event_loop.hpp"
 
-#include <cassert>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <utility>
 
 namespace objrpc {
 
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  strict_past_schedules_ = env_truthy("CHECK_INVARIANTS");
+  entries_.reserve(kChunk);
+}
+
+std::uint32_t EventLoop::alloc_node(SimTime at, Callback fn) {
+  if (free_head_ != kNoNode) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = entries_[idx].next;
+    entries_[idx].at = at;
+    fn_at(idx) = std::move(fn);
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(entries_.size());
+  if ((idx & (kChunk - 1)) == 0) {
+    fn_chunks_.push_back(std::make_unique<Callback[]>(kChunk));
+  }
+  entries_.push_back(Entry{at, kNoNode});
+  fn_at(idx) = std::move(fn);
+  return idx;
+}
+
 void EventLoop::schedule_at(SimTime at, Callback fn) {
-  if (at < now_) at = now_;  // never schedule into the past
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+  if (at < now_) {
+    ++clamped_past_schedules_;
+    if (strict_past_schedules_) {
+      std::fprintf(stderr,
+                   "EventLoop: schedule_at(%lld) is in the past (now=%lld); "
+                   "caller violates causality\n",
+                   static_cast<long long>(at), static_cast<long long>(now_));
+      std::abort();
+    }
+    at = now_;  // never execute into the past
+  }
+  place(alloc_node(at, std::move(fn)), /*cascading=*/false);
+  ++size_;
+}
+
+void EventLoop::place(std::uint32_t idx, bool cascading) {
+  const auto at = static_cast<std::uint64_t>(entries_[idx].at);
+  const std::uint64_t delta = at - tick_;  // at >= tick_ by invariant
+  std::size_t level = 0;
+  while (level + 1 < kLevels &&
+         (delta >> (kWheelBits * (level + 1))) != 0) {
+    ++level;
+  }
+  std::size_t slot;
+  if (level == kLevels - 1 && (delta >> (kWheelBits * kLevels)) != 0) {
+    // Beyond the wheel horizon (~13 sim-days): park in the farthest
+    // top-level bucket; each cascade re-examines it.
+    slot = ((tick_ >> (kWheelBits * (kLevels - 1))) + kSlots - 1) &
+           (kSlots - 1);
+  } else {
+    slot = (at >> (kWheelBits * level)) & (kSlots - 1);
+  }
+  Bucket& b = buckets_[level][slot];
+  Entry& n = entries_[idx];
+  if (cascading) {
+    n.next = b.head;
+    b.head = idx;
+    if (b.tail == kNoNode) b.tail = idx;
+  } else {
+    n.next = kNoNode;
+    if (b.tail == kNoNode) {
+      b.head = b.tail = idx;
+    } else {
+      entries_[b.tail].next = idx;
+      b.tail = idx;
+    }
+  }
+  bits_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+}
+
+void EventLoop::cascade(std::size_t level, std::size_t slot) {
+  Bucket& b = buckets_[level][slot];
+  std::uint32_t head = b.head;
+  if (head == kNoNode) return;
+  b.head = b.tail = kNoNode;
+  bits_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  // Reverse the FIFO, then re-place front-first: every target bucket
+  // receives its share of the list as a prepended block in the original
+  // order, keeping each bucket sorted by scheduling sequence.
+  std::uint32_t rev = kNoNode;
+  while (head != kNoNode) {
+    const std::uint32_t nxt = entries_[head].next;
+    entries_[head].next = rev;
+    rev = head;
+    head = nxt;
+  }
+  while (rev != kNoNode) {
+    const std::uint32_t nxt = entries_[rev].next;
+    place(rev, /*cascading=*/true);
+    rev = nxt;
+  }
+}
+
+bool EventLoop::find_next(SimTime limit) {
+  if (size_ == 0 || limit < 0) return false;
+  const auto ulimit = static_cast<std::uint64_t>(limit);
+  for (;;) {
+    // Scan level 0 from the cursor slot to the end of the window.  Slots
+    // behind the cursor belong to the NEXT window (a delta < 1024 can
+    // wrap), so they are correctly out of scope until the advance below.
+    const std::size_t start = tick_ & (kSlots - 1);
+    std::size_t w = start >> 6;
+    std::uint64_t word = bits_[0][w] & (~std::uint64_t{0} << (start & 63));
+    for (;;) {
+      if (word != 0) {
+        const std::size_t slot =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        const std::uint64_t at = (tick_ & ~std::uint64_t{kSlots - 1}) + slot;
+        if (at > ulimit) return false;
+        tick_ = at;
+        return true;
+      }
+      if (++w == kWords) break;
+      word = bits_[0][w];
+    }
+    // Window exhausted: step to the next one, cascading every
+    // higher-level bucket that begins at this boundary — top-down, so
+    // each level receives its parent's nodes before redistributing.
+    const std::uint64_t next_window = (tick_ | (kSlots - 1)) + 1;
+    if (next_window > ulimit) return false;
+    tick_ = next_window;
+    for (std::size_t lv = kLevels - 1; lv >= 1; --lv) {
+      const std::uint64_t mask =
+          (std::uint64_t{1} << (kWheelBits * lv)) - 1;
+      if ((tick_ & mask) == 0) {
+        cascade(lv, (tick_ >> (kWheelBits * lv)) & (kSlots - 1));
+      }
+    }
+  }
+}
+
+void EventLoop::pop_run() {
+  const std::size_t slot = tick_ & (kSlots - 1);
+  Bucket& b = buckets_[0][slot];
+  const std::uint32_t idx = b.head;
+  b.head = entries_[idx].next;
+  if (b.head == kNoNode) {
+    b.tail = kNoNode;
+    bits_[0][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  } else {
+    // Hide the next node's cache miss behind this callback's execution.
+    __builtin_prefetch(&entries_[b.head]);
+    __builtin_prefetch(&fn_at(b.head));
+  }
+  --size_;
+  now_ = static_cast<SimTime>(tick_);
+  ++executed_;
+  // Invoke in place: the chunked storage never moves, the node is the
+  // callback's sole owner, and the node is only recycled AFTER the call
+  // returns, so a callback that schedules new events (growing the entry
+  // array) cannot invalidate or reuse its own storage.  No const_cast
+  // into a container that still owns the element, and no move-out either.
+  Callback& fn = fn_at(idx);
+  fn();
+  fn.reset();
+  entries_[idx].next = free_head_;
+  free_head_ = idx;
 }
 
 bool EventLoop::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the callback must be moved out
-  // before pop, so copy the header fields and steal the function.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
-  ++executed_;
-  ev.fn();
+  if (!find_next(std::numeric_limits<SimTime>::max())) return false;
+  pop_run();
   return true;
 }
 
@@ -29,11 +192,11 @@ void EventLoop::run() {
 }
 
 void EventLoop::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().at <= deadline) {
-    step();
+  while (find_next(deadline)) {
+    pop_run();
   }
   if (now_ < deadline) now_ = deadline;
-  if (queue_.empty() && drain_hook_) drain_hook_();
+  if (size_ == 0 && drain_hook_) drain_hook_();
 }
 
 }  // namespace objrpc

@@ -5,26 +5,52 @@
 // substitute a deterministic discrete-event loop: virtual time advances
 // only through scheduled events, so identical seeds produce identical
 // traces and the figure benches are exactly reproducible (DESIGN.md §7).
+//
+// Hot-path layout (DESIGN.md §14): the ready queue is a hierarchical
+// timing wheel (calendar queue) over pool-allocated event nodes.  Five
+// levels of 1024 buckets cover deltas up to 2^50 ns; a level-0 bucket
+// spans exactly one tick, so events are never compared — execution order
+// is structural.  Within a tick, buckets are FIFO: appends happen in
+// scheduling order, and when a higher-level bucket cascades down its
+// nodes are PREPENDED as a block, which is exactly right because any
+// cascaded node was scheduled strictly earlier (its delta exceeded a
+// whole lower-level window) than any node placed directly into the same
+// bucket.  The result is the same total order as a (time, seq) heap —
+// with O(1) schedule and pop, and sift traffic replaced by one bitmap
+// word per scan.  Callbacks are SmallFn (common/small_fn.hpp), so the
+// fabric's transmit/pipeline closures are stored inline: steady-state
+// scheduling performs no heap allocation, and popping moves the callback
+// out of its node legitimately (the old std::priority_queue required a
+// const_cast to move out of top(), mutating an element the container
+// still owned).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/small_fn.hpp"
 #include "common/time.hpp"
 
 namespace objrpc {
 
-/// A deterministic priority-queue event loop over virtual time.
-/// Ties are broken by scheduling order, never by pointer or hash order.
+/// A deterministic event loop over virtual time.  Ties are broken by
+/// scheduling order, never by pointer or hash order.
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
+
+  EventLoop();
 
   SimTime now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `at` (>= now).
+  /// Schedule `fn` at absolute time `at` (>= now).  Scheduling into the
+  /// past is a causality bug in the caller: the event is clamped to
+  /// `now` and counted (`clamped_past_schedules`), and under strict
+  /// mode (armed with the invariant checker, CHECK_INVARIANTS=1) it
+  /// aborts with the offending times so the caller gets fixed instead
+  /// of silently reordered.
   void schedule_at(SimTime at, Callback fn);
   /// Schedule `fn` after `delay` from now.
   void schedule_after(SimDuration delay, Callback fn) {
@@ -45,27 +71,75 @@ class EventLoop {
   using DrainHook = std::function<void()>;
   void set_drain_hook(DrainHook hook) { drain_hook_ = std::move(hook); }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t pending() const { return size_; }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Times schedule_at was called with `at < now` (clamped to now).
+  std::uint64_t clamped_past_schedules() const {
+    return clamped_past_schedules_;
+  }
+  /// Abort on past-time schedules instead of clamping.  Defaults to the
+  /// CHECK_INVARIANTS environment toggle; the cluster config can arm it
+  /// explicitly and tests that exercise the clamp path disarm it.
+  void set_strict_past_schedules(bool strict) {
+    strict_past_schedules_ = strict;
+  }
+  bool strict_past_schedules() const { return strict_past_schedules_; }
+
  private:
-  struct Event {
-    SimTime at;
-    std::uint64_t seq;
-    Callback fn;
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+  static constexpr unsigned kWheelBits = 10;
+  static constexpr std::size_t kSlots = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kLevels = 5;  // covers deltas < 2^50 ns
+  static constexpr std::size_t kWords = kSlots / 64;
+
+  /// Event nodes are pool-allocated and linked into bucket FIFOs; `next`
+  /// doubles as the free-list link after the node is popped.  The
+  /// 16-byte link entries live in a dense array (four per cache line on
+  /// the scan/cascade path); the callbacks live in parallel CHUNKED
+  /// storage whose addresses never move, so pop can invoke the callback
+  /// in place instead of relocating it out first.
+  struct Entry {
+    SimTime at = 0;
+    std::uint32_t next = kNoNode;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct Bucket {
+    std::uint32_t head = kNoNode;
+    std::uint32_t tail = kNoNode;
   };
+  static constexpr std::size_t kChunk = 1024;  // callbacks per chunk
+
+  Callback& fn_at(std::uint32_t idx) {
+    return fn_chunks_[idx >> 10][idx & (kChunk - 1)];
+  }
+  std::uint32_t alloc_node(SimTime at, Callback fn);
+  /// File `idx` into its wheel bucket.  Cascaded nodes are prepended
+  /// (they were scheduled earlier than anything already in the bucket);
+  /// fresh schedules are appended (scheduling order == execution order).
+  void place(std::uint32_t idx, bool cascading);
+  /// Redistribute a higher-level bucket into the levels below.
+  void cascade(std::size_t level, std::size_t slot);
+  /// Advance the wheel cursor to the next pending event with time
+  /// <= `limit`.  Returns false (cursor parked at or before `limit`)
+  /// when there is none.
+  bool find_next(SimTime limit);
+  /// Pop and execute the head of the level-0 bucket at the cursor.
+  void pop_run();
 
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
+  /// Wheel cursor: <= every pending event time, == now_ whenever
+  /// callbacks can run (all wheel arithmetic is on unsigned ticks).
+  std::uint64_t tick_ = 0;
+  std::size_t size_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t clamped_past_schedules_ = 0;
+  bool strict_past_schedules_ = false;
+  Bucket buckets_[kLevels][kSlots];
+  std::uint64_t bits_[kLevels][kWords] = {};
+  std::vector<Entry> entries_;
+  std::vector<std::unique_ptr<Callback[]>> fn_chunks_;
+  std::uint32_t free_head_ = kNoNode;
   DrainHook drain_hook_;
 };
 

@@ -17,8 +17,13 @@ void EgressScheduler::notify(FqEvent::Kind kind, PortId port,
   for (const auto& obs : observers_) obs(ev);
 }
 
+EgressScheduler::PortState& EgressScheduler::port_state(PortId port) {
+  if (port >= ports_.size()) ports_.resize(port + 1);
+  return ports_[port];
+}
+
 void EgressScheduler::enqueue(PortId port, Packet pkt) {
-  PortState& ps = ports_[port];
+  PortState& ps = port_state(port);
   TenantQueue& tq = ps.tenants[pkt.tenant];
   const std::uint64_t size = pkt.wire_size();
   if (cfg_.tenant_queue_bytes != 0 &&
@@ -53,7 +58,7 @@ void EgressScheduler::schedule_drain(PortId port, SimDuration after) {
 }
 
 void EgressScheduler::drain(PortId port) {
-  PortState& ps = ports_[port];
+  PortState& ps = port_state(port);
   if (ps.rotation.empty()) {
     ps.draining = false;
     return;
@@ -109,15 +114,14 @@ void EgressScheduler::drain(PortId port) {
 
 std::uint64_t EgressScheduler::tenant_backlog(PortId port,
                                               std::uint32_t tenant) const {
-  auto pit = ports_.find(port);
-  if (pit == ports_.end()) return 0;
-  auto tit = pit->second.tenants.find(tenant);
-  return tit == pit->second.tenants.end() ? 0 : tit->second.queued_bytes;
+  if (port >= ports_.size()) return 0;
+  auto tit = ports_[port].tenants.find(tenant);
+  return tit == ports_[port].tenants.end() ? 0 : tit->second.queued_bytes;
 }
 
 std::uint64_t EgressScheduler::tenant_sent_bytes(std::uint32_t tenant) const {
-  auto it = sent_bytes_by_tenant_.find(tenant);
-  return it == sent_bytes_by_tenant_.end() ? 0 : it->second;
+  const std::uint64_t* bytes = sent_bytes_by_tenant_.find(tenant);
+  return bytes == nullptr ? 0 : *bytes;
 }
 
 bool TokenBucketGate::admit(std::uint32_t tenant, std::uint64_t wire_bytes) {
@@ -151,8 +155,8 @@ bool TokenBucketGate::admit(std::uint32_t tenant, std::uint64_t wire_bytes) {
 }
 
 std::uint64_t TokenBucketGate::dropped_for(std::uint32_t tenant) const {
-  auto it = dropped_by_tenant_.find(tenant);
-  return it == dropped_by_tenant_.end() ? 0 : it->second;
+  const std::uint64_t* n = dropped_by_tenant_.find(tenant);
+  return n == nullptr ? 0 : *n;
 }
 
 }  // namespace objrpc

@@ -37,6 +37,7 @@
 #include <map>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/packet.hpp"
 
@@ -65,7 +66,9 @@ struct TenantRate {
 struct AdmissionConfig {
   bool enabled = false;
   /// Tenants with a configured rate are policed; everyone else (and
-  /// tenant 0, the infrastructure class) passes freely.
+  /// tenant 0, the infrastructure class) passes freely.  Ordered map by
+  /// design: config surface, and tests enumerate it in tenant order.
+  // lint:allow-ordered-map config table, populated once at setup
   std::map<std::uint32_t, TenantRate> tenant_rates;
 };
 
@@ -143,7 +146,10 @@ class EgressScheduler {
     bool active = false;  // present in the port's DRR rotation
   };
   struct PortState {
-    std::map<std::uint32_t, TenantQueue> tenants;  // sorted: determinism
+    /// Sorted by design: the DRR rotation deque orders service, but the
+    /// checker's fair-share snapshots walk tenants in id order.
+    // lint:allow-ordered-map deterministic round-robin needs sorted ids
+    std::map<std::uint32_t, TenantQueue> tenants;
     /// DRR rotation, in activation order.  Front is being served.
     std::deque<std::uint32_t> rotation;
     bool draining = false;  // a drain event is scheduled
@@ -161,14 +167,17 @@ class EgressScheduler {
   void drain(PortId port);
   void notify(FqEvent::Kind kind, PortId port, std::uint32_t tenant,
               std::uint64_t bytes, const PortState& ps) const;
+  PortState& port_state(PortId port);
 
   EventLoop& loop_;
   FairQueueConfig cfg_;
   Emit emit_;
   TxTime tx_time_;
   std::vector<Observer> observers_;
-  std::map<PortId, PortState> ports_;
-  std::map<std::uint32_t, std::uint64_t> sent_bytes_by_tenant_;
+  /// Dense per-port state: switch port ids are small contiguous indices,
+  /// so the hot enqueue/drain path indexes instead of tree-walking.
+  std::vector<PortState> ports_;
+  FlatHashMap<std::uint32_t, std::uint64_t> sent_bytes_by_tenant_;
   Counters counters_;
   std::uint64_t backlog_bytes_ = 0;
 };
@@ -203,8 +212,9 @@ class TokenBucketGate {
 
   EventLoop& loop_;
   AdmissionConfig cfg_;
-  std::map<std::uint32_t, Bucket> buckets_;
-  std::map<std::uint32_t, std::uint64_t> dropped_by_tenant_;
+  /// Keyed lookups only (never iterated), so open addressing is safe.
+  FlatHashMap<std::uint32_t, Bucket> buckets_;
+  FlatHashMap<std::uint32_t, std::uint64_t> dropped_by_tenant_;
   Counters counters_;
 };
 

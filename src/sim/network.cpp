@@ -1,8 +1,22 @@
 #include "sim/network.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/log.hpp"
 
 namespace objrpc {
+
+namespace {
+
+/// Canonical unordered-pair key for the adjacency set.
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  const NodeId lo = a < b ? a : b;
+  const NodeId hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
 
 Network::Network(std::uint64_t seed) : rng_(seed) {
   metrics_.add_source("net/frames_sent", [this] { return stats_.frames_sent; });
@@ -21,6 +35,12 @@ Network::Network(std::uint64_t seed) : rng_(seed) {
   metrics_.add_source("net/bytes_sent", [this] { return stats_.bytes_sent; });
   metrics_.add_source("net/bytes_delivered",
                       [this] { return stats_.bytes_delivered; });
+  metrics_.add_source("simcore/clamped_past_schedules",
+                      [this] { return loop_.clamped_past_schedules(); });
+  metrics_.add_source("simcore/pool_fresh",
+                      [this] { return payload_pool_.stats().fresh; });
+  metrics_.add_source("simcore/pool_reused",
+                      [this] { return payload_pool_.stats().reused; });
 }
 
 std::size_t NetworkNode::port_count() const { return net_.port_count(id_); }
@@ -31,13 +51,39 @@ void NetworkNode::send(PortId port, Packet pkt) {
 
 EventLoop& NetworkNode::loop() { return net_.loop(); }
 
-std::pair<PortId, PortId> Network::connect(NodeId a, NodeId b,
-                                           LinkParams params) {
-  const auto port_a = static_cast<PortId>(ports_.at(a).size());
-  const auto port_b = static_cast<PortId>(ports_.at(b).size());
+Result<std::pair<PortId, PortId>> Network::try_connect(NodeId a, NodeId b,
+                                                       LinkParams params) {
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    return Error(Errc::not_found,
+                 "connect: node " + std::to_string(a >= nodes_.size() ? a : b) +
+                     " does not exist");
+  }
+  if (a == b) {
+    return Error(Errc::invalid_argument,
+                 "connect: self-link on node " + std::to_string(a) + " (" +
+                     nodes_[a]->name() + ")");
+  }
+  if (!adjacency_.insert(pair_key(a, b))) {
+    return Error(Errc::invalid_argument,
+                 "connect: duplicate link " + nodes_[a]->name() + " <-> " +
+                     nodes_[b]->name());
+  }
+  const auto port_a = static_cast<PortId>(ports_[a].size());
+  const auto port_b = static_cast<PortId>(ports_[b].size());
   ports_[a].push_back(Direction{b, port_b, params, 0, 0});
   ports_[b].push_back(Direction{a, port_a, params, 0, 0});
-  return {port_a, port_b};
+  return std::pair<PortId, PortId>{port_a, port_b};
+}
+
+std::pair<PortId, PortId> Network::connect(NodeId a, NodeId b,
+                                           LinkParams params) {
+  auto r = try_connect(a, b, params);
+  if (!r) {
+    std::fprintf(stderr, "Network::connect: %s\n",
+                 r.error().to_string().c_str());
+    std::abort();
+  }
+  return *r;
 }
 
 NodeId Network::peer_of(NodeId id, PortId port) const {
@@ -81,6 +127,7 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   if (port >= plist.size()) {
     Log::warn("net", "%s: send on unbound port %u",
               nodes_[from]->name().c_str(), port);
+    payload_pool_.release(std::move(pkt.data));
     return;
   }
   Direction& dir = plist[port];
@@ -88,10 +135,12 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
     // A dead node's NIC emits nothing (timers queued before the crash
     // may still fire in its software; their frames die here).
     ++stats_.frames_dropped_dead;
+    payload_pool_.release(std::move(pkt.data));
     return;
   }
   if (!dir.up) {
     ++stats_.frames_dropped_down;
+    payload_pool_.release(std::move(pkt.data));
     return;
   }
   if (pkt.frame_id == 0) {
@@ -110,6 +159,7 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   if (pkt.created_at == 0) pkt.created_at = loop_.now();
   if (pkt.hops >= Packet::kMaxHops) {
     ++stats_.frames_dropped_ttl;
+    payload_pool_.release(std::move(pkt.data));
     return;
   }
 
@@ -121,6 +171,7 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   if (dir.params.queue_bytes != 0 &&
       dir.queued_bytes + size > dir.params.queue_bytes) {
     ++stats_.frames_dropped_queue;
+    payload_pool_.release(std::move(pkt.data));
     return;
   }
 
@@ -166,11 +217,13 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
         }
         if (lost) {
           ++stats_.frames_dropped_loss;
+          payload_pool_.release(std::move(pkt.data));
           return;
         }
         if (!node_up_[dst]) {
           // The destination crashed while the frame was in flight.
           ++stats_.frames_dropped_dead;
+          payload_pool_.release(std::move(pkt.data));
           return;
         }
         ++stats_.frames_delivered;

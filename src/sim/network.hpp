@@ -11,6 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_table.hpp"
+#include "common/pool.hpp"
+#include "common/result.hpp"
 #include "common/rng.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -106,7 +109,13 @@ class Network {
   }
 
   /// Join two nodes with a full-duplex link; each side gains one port.
-  /// Returns {port on a, port on b}.
+  /// Rejects self-links and a second link between the same node pair
+  /// (which would silently shadow the first in every forwarding table
+  /// built from peer identities).  Returns {port on a, port on b}.
+  Result<std::pair<PortId, PortId>> try_connect(NodeId a, NodeId b,
+                                                LinkParams params = {});
+  /// try_connect for topology code that has already validated the pair;
+  /// aborts on a rejected link rather than returning the error.
   std::pair<PortId, PortId> connect(NodeId a, NodeId b,
                                     LinkParams params = {});
 
@@ -154,6 +163,12 @@ class Network {
   /// Enqueue a frame for transmission (called via NetworkNode::send).
   void transmit(NodeId from, PortId port, Packet pkt);
 
+  /// Recycled payload buffers (DESIGN.md §14).  The fabric releases the
+  /// payload of every frame it drops; nodes that copy or retire frames
+  /// (switch floods, sinks) acquire/release here so steady-state frame
+  /// traffic stops touching the allocator.
+  BufferPool& payload_pool() { return payload_pool_; }
+
   const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TrafficStats{}; }
 
@@ -187,6 +202,10 @@ class Network {
   std::vector<std::unique_ptr<NetworkNode>> nodes_;
   /// ports_[node][port] -> outgoing direction state.
   std::vector<std::vector<Direction>> ports_;
+  /// Connected node pairs (canonical lo<<32|hi), for duplicate-link
+  /// rejection in try_connect.
+  FlatHashSet<std::uint64_t> adjacency_;
+  BufferPool payload_pool_;
   /// Per-node liveness (fail-stop crash state).
   std::vector<bool> node_up_;
   TrafficStats stats_;

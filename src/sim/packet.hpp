@@ -53,6 +53,20 @@ struct Packet {
   /// Bytes occupied on the wire (payload + fixed framing overhead).
   std::uint64_t wire_size() const { return data.size() + kFrameOverhead; }
 
+  /// A copy of every field except the payload (left empty).  Fan-out
+  /// paths use this with BufferPool::copy_of so the payload copy comes
+  /// from the pool instead of a fresh allocation.
+  Packet header_copy() const {
+    Packet p;
+    p.frame_id = frame_id;
+    p.trace_id = trace_id;
+    p.span_parent = span_parent;
+    p.tenant = tenant;
+    p.hops = hops;
+    p.created_at = created_at;
+    return p;
+  }
+
   static constexpr std::uint64_t kFrameOverhead = 24;
   static constexpr std::uint32_t kMaxHops = 32;
 };

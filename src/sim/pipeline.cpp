@@ -23,16 +23,15 @@ MatchActionTable::MatchActionTable(std::uint32_t key_bits,
       capacity_(capacity == 0 ? tofino_exact_capacity(key_bits) : capacity) {}
 
 Status MatchActionTable::insert(const U128& key, Action action) {
-  auto it = entries_.find(key);
-  if (it != entries_.end()) {
-    it->second = action;
+  if (Action* existing = entries_.find(key)) {
+    *existing = action;
     return Status::ok();
   }
   if (entries_.size() >= capacity_) {
     return Error{Errc::capacity_exceeded,
                  "table full at " + std::to_string(capacity_) + " entries"};
   }
-  entries_.emplace(key, action);
+  entries_.try_emplace(key, action);
   return Status::ok();
 }
 
@@ -44,13 +43,13 @@ Status MatchActionTable::erase(const U128& key) {
 }
 
 std::optional<Action> MatchActionTable::lookup(const U128& key) {
-  auto it = entries_.find(key);
-  if (it == entries_.end()) {
+  const Action* action = entries_.find(key);
+  if (action == nullptr) {
     ++misses_;
     return std::nullopt;
   }
   ++hits_;
-  return it->second;
+  return *action;
 }
 
 }  // namespace objrpc

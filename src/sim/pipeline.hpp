@@ -12,8 +12,8 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_table.hpp"
 #include "common/result.hpp"
 #include "common/u128.hpp"
 #include "sim/packet.hpp"
@@ -71,7 +71,9 @@ class MatchActionTable {
  private:
   std::uint32_t key_bits_;
   std::uint64_t capacity_;
-  std::unordered_map<U128, Action> entries_;
+  /// Open addressing (common/flat_table.hpp): the per-frame lookup is
+  /// the dataplane's hottest map, and a miss must stay one cache line.
+  FlatHashMap<U128, Action> entries_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

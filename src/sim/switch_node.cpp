@@ -119,9 +119,12 @@ void SwitchNode::apply(const Action& action, PortId in_port, Packet pkt) {
     case ActionKind::flood:
       ++counters_.flooded;
       flood(in_port, pkt);
+      // The original's payload was copied per egress; retire it.
+      net().payload_pool().release(std::move(pkt.data));
       break;
     case ActionKind::drop:
       ++counters_.dropped;
+      net().payload_pool().release(std::move(pkt.data));
       break;
     case ActionKind::punt:
       if (cfg_.punt_port != kInvalidPort) {
@@ -138,7 +141,10 @@ void SwitchNode::flood(PortId except, const Packet& pkt) {
   const std::size_t n = port_count();
   for (PortId p = 0; p < n; ++p) {
     if (p == except) continue;
-    Packet copy = pkt;
+    // Per-egress payload copies come from the fabric's buffer pool so a
+    // broadcast storm recycles instead of allocating (DESIGN.md §14).
+    Packet copy = pkt.header_copy();
+    copy.data = net().payload_pool().copy_of(pkt.data);
     send(p, std::move(copy));
   }
 }

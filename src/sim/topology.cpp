@@ -33,4 +33,113 @@ void connect_full_mesh(Network& net, const std::vector<NodeId>& nodes,
   }
 }
 
+LeafSpineTopology build_leaf_spine(Network& net, const LeafSpineParams& params,
+                                   const SwitchFactory& make_switch,
+                                   const HostFactory& make_host) {
+  LeafSpineTopology topo;
+  topo.params = params;
+  topo.spines.reserve(params.spines);
+  for (std::uint32_t s = 0; s < params.spines; ++s) {
+    topo.spines.push_back(make_switch("spine" + std::to_string(s)));
+  }
+  topo.leaves.reserve(params.leaves);
+  for (std::uint32_t l = 0; l < params.leaves; ++l) {
+    topo.leaves.push_back(make_switch("leaf" + std::to_string(l)));
+  }
+  topo.hosts.reserve(std::size_t{params.leaves} * params.hosts_per_leaf);
+  for (std::uint32_t l = 0; l < params.leaves; ++l) {
+    for (std::uint32_t h = 0; h < params.hosts_per_leaf; ++h) {
+      topo.hosts.push_back(
+          make_host("h" + std::to_string(l) + "-" + std::to_string(h)));
+    }
+  }
+  // Uplinks first so leaf ports [0, spines) point at the spines; spine
+  // port l faces leaf l because leaves connect in index order.
+  for (std::uint32_t l = 0; l < params.leaves; ++l) {
+    for (std::uint32_t s = 0; s < params.spines; ++s) {
+      net.connect(topo.leaves[l], topo.spines[s], params.fabric_link);
+    }
+  }
+  // Host links after: leaf port spines + h faces its h-th host.
+  for (std::uint32_t l = 0; l < params.leaves; ++l) {
+    for (std::uint32_t h = 0; h < params.hosts_per_leaf; ++h) {
+      net.connect(topo.leaves[l],
+                  topo.hosts[std::size_t{l} * params.hosts_per_leaf + h],
+                  params.host_link);
+    }
+  }
+  return topo;
+}
+
+FatTreeTopology build_fat_tree(Network& net, const FatTreeParams& params,
+                               const SwitchFactory& make_switch,
+                               const HostFactory& make_host) {
+  const std::uint32_t k = params.k;
+  const std::uint32_t m = k / 2;  // half-width: hosts/edges/aggs per group
+  FatTreeTopology topo;
+  topo.params = params;
+  topo.cores.reserve(std::size_t{m} * m);
+  for (std::uint32_t a = 0; a < m; ++a) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      topo.cores.push_back(
+          make_switch("core" + std::to_string(a) + "-" + std::to_string(j)));
+    }
+  }
+  topo.aggs.reserve(std::size_t{k} * m);
+  topo.edges.reserve(std::size_t{k} * m);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t a = 0; a < m; ++a) {
+      topo.aggs.push_back(
+          make_switch("agg" + std::to_string(p) + "-" + std::to_string(a)));
+    }
+  }
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t e = 0; e < m; ++e) {
+      topo.edges.push_back(
+          make_switch("edge" + std::to_string(p) + "-" + std::to_string(e)));
+    }
+  }
+  topo.hosts.reserve(std::size_t{k} * m * m);
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t e = 0; e < m; ++e) {
+      for (std::uint32_t h = 0; h < m; ++h) {
+        topo.hosts.push_back(make_host("h" + std::to_string(p) + "-" +
+                                       std::to_string(e) + "-" +
+                                       std::to_string(h)));
+      }
+    }
+  }
+  // Tier 1: hosts, so edge ports [0, m) face hosts in index order.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t e = 0; e < m; ++e) {
+      const NodeId edge = topo.edges[std::size_t{p} * m + e];
+      for (std::uint32_t h = 0; h < m; ++h) {
+        net.connect(edge, topo.hosts[(std::size_t{p} * m + e) * m + h],
+                    params.host_link);
+      }
+    }
+  }
+  // Tier 2: within each pod, edge ports [m, k) face aggs in index order;
+  // agg port e faces edge e because edges connect in index order.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t e = 0; e < m; ++e) {
+      for (std::uint32_t a = 0; a < m; ++a) {
+        net.connect(topo.edges[std::size_t{p} * m + e],
+                    topo.aggs[std::size_t{p} * m + a], params.fabric_link);
+      }
+    }
+  }
+  // Tier 3: pod p's a-th agg uplinks to core row a; core (a, j) gains
+  // port p per pod because pods connect in index order.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t a = 0; a < m; ++a) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        net.connect(topo.aggs[std::size_t{p} * m + a],
+                    topo.cores[std::size_t{a} * m + j], params.fabric_link);
+      }
+    }
+  }
+  return topo;
+}
+
 }  // namespace objrpc

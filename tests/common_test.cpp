@@ -2,11 +2,16 @@
 // buffers, results, stats.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <set>
 #include <unordered_set>
 
 #include "common/bytes.hpp"
+#include "common/flat_table.hpp"
+#include "common/pool.hpp"
 #include "common/result.hpp"
+#include "common/small_fn.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
@@ -412,6 +417,209 @@ TEST(Time, FormatDuration) {
   EXPECT_EQ(format_duration(1500), "1.500us");
   EXPECT_EQ(format_duration(2 * kMillisecond), "2.000ms");
   EXPECT_EQ(format_duration(3 * kSecond), "3.000s");
+}
+
+// --- SmallFn ----------------------------------------------------------------
+
+TEST(SmallFn, SmallCapturesStayInline) {
+  int hits = 0;
+  SmallFn fn = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, LargeCapturesFallBackToHeap) {
+  std::array<std::uint64_t, 64> big{};  // 512 bytes > inline buffer
+  big[0] = 7;
+  big[63] = 9;
+  std::uint64_t sum = 0;
+  SmallFn fn = [big, &sum] { sum = big[0] + big[63]; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(sum, 16u);
+}
+
+TEST(SmallFn, MoveTransfersOwnershipOfMoveOnlyCapture) {
+  auto owned = std::make_unique<int>(41);
+  SmallFn a = [p = std::move(owned)] { ++*p; };
+  SmallFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+
+  SmallFn c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  ASSERT_TRUE(static_cast<bool>(c));
+  c();
+}
+
+TEST(SmallFn, ResetDestroysTheCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  SmallFn fn = [t = std::move(token)] { (void)t; };
+  EXPECT_FALSE(watch.expired());
+  fn.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(SmallFn, MoveAssignReleasesPreviousCapture) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = first;
+  SmallFn fn = [t = std::move(first)] { (void)t; };
+  fn = SmallFn([] {});
+  EXPECT_TRUE(watch.expired());
+}
+
+// --- FlatHashMap / FlatHashSet ----------------------------------------------
+
+TEST(FlatHashMap, InsertFindEraseRoundTrip) {
+  FlatHashMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    auto [slot, inserted] = m.try_emplace(k, static_cast<int>(k * 3));
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*slot, static_cast<int>(k * 3));
+  }
+  EXPECT_EQ(m.size(), 100u);
+  auto [slot, inserted] = m.try_emplace(7, -1);
+  EXPECT_FALSE(inserted);  // existing value untouched
+  EXPECT_EQ(*slot, 21);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    int* v = m.find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, static_cast<int>(k * 3));
+  }
+  EXPECT_EQ(m.find(100), nullptr);
+  for (std::uint64_t k = 0; k < 100; k += 2) EXPECT_TRUE(m.erase(k));
+  EXPECT_FALSE(m.erase(2));
+  EXPECT_EQ(m.size(), 50u);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(m.contains(k), k % 2 == 1) << k;
+  }
+}
+
+TEST(FlatHashMap, EraseKeepsCollidingRunsReachable) {
+  // Regression for the backward-shift bug: with linear probing, erasing
+  // from a run of colliding keys must not strand later entries behind
+  // an element that sits at its home slot.  Dense sequential keys over
+  // many erase/reinsert rounds exercise exactly those runs.
+  FlatHashMap<std::uint64_t, std::uint64_t> m;
+  std::set<std::uint64_t> live;
+  std::uint64_t next_key = 0;
+  Rng rng(99);
+  for (int round = 0; round < 2000; ++round) {
+    if (live.empty() || rng.next_below(3) != 0) {
+      m[next_key] = next_key ^ 0xF00D;
+      live.insert(next_key);
+      ++next_key;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.next_below(live.size())));
+      EXPECT_TRUE(m.erase(*it));
+      live.erase(it);
+    }
+    EXPECT_EQ(m.size(), live.size());
+  }
+  for (std::uint64_t k : live) {
+    std::uint64_t* v = m.find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k ^ 0xF00D);
+  }
+  std::size_t visited = 0;
+  m.for_each([&](const std::uint64_t& k, std::uint64_t& v) {
+    EXPECT_EQ(v, k ^ 0xF00D);
+    EXPECT_TRUE(live.count(k));
+    ++visited;
+  });
+  EXPECT_EQ(visited, live.size());
+}
+
+TEST(FlatHashMap, ReserveAvoidsRehashAndKeysCollects) {
+  FlatHashMap<int, int> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  for (int k = 0; k < 1000; ++k) m[k] = k;
+  EXPECT_EQ(m.capacity(), cap);  // no growth under the 7/8 ceiling
+  auto keys = m.keys();
+  EXPECT_EQ(keys.size(), 1000u);
+  std::set<int> unique(keys.begin(), keys.end());
+  EXPECT_EQ(unique.size(), 1000u);
+}
+
+TEST(FlatHashMap, HoldsMoveOnlyValues) {
+  FlatHashMap<int, std::unique_ptr<int>> m;
+  m.try_emplace(1, std::make_unique<int>(11));
+  m.insert_or_assign(1, std::make_unique<int>(12));
+  for (int k = 2; k < 64; ++k) m.try_emplace(k, std::make_unique<int>(k));
+  auto* v = m.find(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(**v, 12);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(FlatHashSet, InsertContainsErase) {
+  FlatHashSet<std::uint32_t> s;
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));
+  EXPECT_TRUE(s.insert(6));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.count(5), 1u);
+  EXPECT_EQ(s.count(7), 0u);
+  EXPECT_TRUE(s.erase(5));
+  EXPECT_FALSE(s.erase(5));
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+// --- BufferPool -------------------------------------------------------------
+
+TEST(BufferPool, RecyclesReleasedBuffers) {
+  BufferPool pool;
+  Bytes b = pool.acquire(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(pool.stats().fresh, 1u);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_EQ(pool.stats().released, 1u);
+
+  Bytes again = pool.acquire(50);  // served by the free list, resized
+  EXPECT_EQ(again.size(), 50u);
+  EXPECT_EQ(pool.stats().reused, 1u);
+  EXPECT_EQ(pool.stats().fresh, 1u);
+  EXPECT_EQ(pool.idle(), 0u);
+}
+
+TEST(BufferPool, CopyOfDuplicatesContents) {
+  BufferPool pool;
+  Bytes src;
+  for (int i = 0; i < 32; ++i) src.push_back(static_cast<std::uint8_t>(i));
+  Bytes copy = pool.copy_of(src);
+  EXPECT_EQ(copy, src);
+  // Recycled buffers are fully overwritten: dirty contents never leak.
+  pool.release(std::move(copy));
+  Bytes reused = pool.copy_of(src);
+  EXPECT_EQ(reused, src);
+  EXPECT_EQ(pool.stats().reused, 1u);
+}
+
+TEST(BufferPool, RetentionCapDropsBurstBuffers) {
+  BufferPool pool(2);
+  pool.release(Bytes(10));
+  pool.release(Bytes(10));
+  pool.release(Bytes(10));  // over the cap: freed, not retained
+  EXPECT_EQ(pool.idle(), 2u);
+  EXPECT_EQ(pool.stats().released, 2u);
+  EXPECT_EQ(pool.stats().dropped, 1u);
+  pool.release(Bytes());  // capacity 0: nothing worth retaining
+  EXPECT_EQ(pool.idle(), 2u);
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 // match-action tables, topologies.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <tuple>
+
+#include "common/rng.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
 #include "sim/pipeline.hpp"
@@ -46,12 +50,62 @@ TEST(EventLoop, ScheduleAfterUsesNow) {
 
 TEST(EventLoop, PastSchedulingClamps) {
   EventLoop loop;
+  // This test exercises the lenient clamp path on purpose; under
+  // CHECK_INVARIANTS=1 the constructor default would abort instead.
+  loop.set_strict_past_schedules(false);
   SimTime fired_at = -1;
   loop.schedule_at(100, [&] {
     loop.schedule_at(10, [&] { fired_at = loop.now(); });  // in the past
   });
+  EXPECT_EQ(loop.clamped_past_schedules(), 0u);
   loop.run();
   EXPECT_EQ(fired_at, 100);
+  // The causality bug is visible in the counter even though the event
+  // still ran (clamped to now).
+  EXPECT_EQ(loop.clamped_past_schedules(), 1u);
+}
+
+TEST(EventLoop, PastSchedulingAbortsWhenStrict) {
+  EventLoop loop;
+  loop.set_strict_past_schedules(true);
+  loop.schedule_at(100, [&] {
+    loop.schedule_at(10, [] {});  // causality violation
+  });
+  EXPECT_DEATH(loop.run(), "in the past");
+}
+
+TEST(EventLoop, MoveOnlyCallbacksRunOnceInOrder) {
+  // The old std::function queue required copyable callbacks and moved
+  // them out of priority_queue::top() via const_cast; the intrusive heap
+  // owns each callback exactly once.  Move-only captures prove no copy
+  // happens, and the sentinel counts prove no double-invocation.
+  EventLoop loop;
+  std::vector<int> order;
+  std::vector<int> invocations(3, 0);
+  for (int i = 2; i >= 0; --i) {
+    auto token = std::make_unique<int>(i);
+    loop.schedule_at(static_cast<SimTime>(10 * (i + 1)),
+                     [&order, &invocations, token = std::move(token)] {
+                       ++invocations[static_cast<std::size_t>(*token)];
+                       order.push_back(*token);
+                     });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(invocations, (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(loop.events_executed(), 3u);
+}
+
+TEST(EventLoop, CallbacksDestroyedAfterRun) {
+  // Pool nodes must release the callback (and its captures) as soon as
+  // it runs, not when the loop dies — captured shared state would
+  // otherwise linger for the whole simulation.
+  EventLoop loop;
+  auto shared = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = shared;
+  loop.schedule_at(5, [keep = std::move(shared)] { (void)*keep; });
+  loop.run();
+  EXPECT_TRUE(watch.expired());
 }
 
 TEST(EventLoop, RunUntilStopsAtDeadline) {
@@ -500,6 +554,307 @@ TEST(Topology, LineRingStarMeshPortCounts) {
   connect_star(net4, ids[0], {ids[1], ids[2], ids[3]});
   EXPECT_EQ(net4.port_count(ids[0]), 3u);
   EXPECT_EQ(net4.port_count(ids[1]), 1u);
+}
+
+TEST(Network, RejectsDuplicateAndSelfLinks) {
+  Network net(1);
+  auto& a = net.add_node<SinkNode>("a");
+  auto& b = net.add_node<SinkNode>("b");
+  auto& c = net.add_node<SinkNode>("c");
+
+  auto first = net.try_connect(a.id(), b.id());
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first, 0u);
+  EXPECT_EQ(first->second, 0u);
+
+  // A second link between the same pair (either orientation) would
+  // silently shadow the first in forwarding tables keyed by peer.
+  auto dup = net.try_connect(a.id(), b.id());
+  ASSERT_FALSE(dup.has_value());
+  EXPECT_EQ(dup.error().code, Errc::invalid_argument);
+  auto dup_rev = net.try_connect(b.id(), a.id());
+  ASSERT_FALSE(dup_rev.has_value());
+  EXPECT_EQ(dup_rev.error().code, Errc::invalid_argument);
+
+  auto self = net.try_connect(c.id(), c.id());
+  ASSERT_FALSE(self.has_value());
+  EXPECT_EQ(self.error().code, Errc::invalid_argument);
+
+  auto missing = net.try_connect(a.id(), 99);
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.error().code, Errc::not_found);
+
+  // The rejections left no ports behind, and distinct pairs still work.
+  EXPECT_EQ(net.port_count(a.id()), 1u);
+  EXPECT_EQ(net.port_count(b.id()), 1u);
+  EXPECT_EQ(net.port_count(c.id()), 0u);
+  EXPECT_TRUE(net.try_connect(b.id(), c.id()).has_value());
+}
+
+// --- datacenter topology generators ------------------------------------------
+
+namespace {
+
+/// Longest shortest-path over the fabric graph (BFS from every node).
+std::uint32_t graph_diameter(const Network& net) {
+  const std::size_t n = net.node_count();
+  std::uint32_t diameter = 0;
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<std::uint32_t> dist(n, UINT32_MAX);
+    std::vector<NodeId> frontier{src};
+    dist[src] = 0;
+    while (!frontier.empty()) {
+      std::vector<NodeId> next;
+      for (NodeId u : frontier) {
+        for (PortId p = 0; p < net.port_count(u); ++p) {
+          const NodeId v = net.peer_of(u, p);
+          if (v != kInvalidNode && dist[v] == UINT32_MAX) {
+            dist[v] = dist[u] + 1;
+            next.push_back(v);
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (std::uint32_t d : dist) {
+      if (d == UINT32_MAX) {
+        ADD_FAILURE() << "fabric is disconnected";
+        return 0;
+      }
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+/// Links with endpoints on different sides of `side` (true/false).
+std::uint64_t crossing_links(const Network& net,
+                             const std::vector<bool>& side) {
+  std::uint64_t endpoints = 0;
+  for (NodeId u = 0; u < net.node_count(); ++u) {
+    for (PortId p = 0; p < net.port_count(u); ++p) {
+      const NodeId v = net.peer_of(u, p);
+      if (v != kInvalidNode && side[u] != side[v]) ++endpoints;
+    }
+  }
+  return endpoints / 2;  // each link seen from both ends
+}
+
+std::uint64_t total_ports(const Network& net) {
+  std::uint64_t ports = 0;
+  for (NodeId u = 0; u < net.node_count(); ++u) ports += net.port_count(u);
+  return ports;
+}
+
+}  // namespace
+
+TEST(Topology, LeafSpineMatchesClosedForms) {
+  Network net(1);
+  LeafSpineParams params;
+  params.spines = 4;
+  params.leaves = 6;
+  params.hosts_per_leaf = 5;
+  auto topo = build_leaf_spine(
+      net, params,
+      [&](const std::string& n) { return net.add_node<SinkNode>(n).id(); },
+      [&](const std::string& n) { return net.add_node<SinkNode>(n).id(); });
+
+  EXPECT_EQ(topo.hosts.size(), topo.host_count());
+  EXPECT_EQ(topo.host_count(), 30u);
+  for (NodeId s : topo.spines) {
+    EXPECT_EQ(net.port_count(s), topo.spine_degree());
+  }
+  for (NodeId l : topo.leaves) {
+    EXPECT_EQ(net.port_count(l), topo.leaf_degree());
+  }
+  for (NodeId h : topo.hosts) EXPECT_EQ(net.port_count(h), 1u);
+  EXPECT_EQ(total_ports(net), 2 * topo.total_links());
+
+  // The documented port map.
+  for (std::uint32_t l = 0; l < params.leaves; ++l) {
+    for (std::uint32_t s = 0; s < params.spines; ++s) {
+      EXPECT_EQ(net.peer_of(topo.leaves[l], s), topo.spines[s]);
+      EXPECT_EQ(net.peer_of(topo.spines[s], l), topo.leaves[l]);
+    }
+    for (std::uint32_t h = 0; h < params.hosts_per_leaf; ++h) {
+      const NodeId host = topo.hosts[l * params.hosts_per_leaf + h];
+      EXPECT_EQ(net.peer_of(topo.leaves[l], params.spines + h), host);
+      EXPECT_EQ(net.peer_of(host, 0), topo.leaves[l]);
+    }
+  }
+
+  EXPECT_EQ(graph_diameter(net), topo.diameter_links());
+
+  // Canonical bisection: low leaves + their hosts + low spines vs rest.
+  std::vector<bool> side(net.node_count(), false);
+  for (std::uint32_t s = 0; s < params.spines / 2; ++s) {
+    side[topo.spines[s]] = true;
+  }
+  for (std::uint32_t l = 0; l < params.leaves / 2; ++l) {
+    side[topo.leaves[l]] = true;
+    for (std::uint32_t h = 0; h < params.hosts_per_leaf; ++h) {
+      side[topo.hosts[l * params.hosts_per_leaf + h]] = true;
+    }
+  }
+  EXPECT_EQ(crossing_links(net, side), topo.bisection_links());
+}
+
+TEST(Topology, FatTreeMatchesClosedForms) {
+  Network net(1);
+  FatTreeParams params;
+  params.k = 4;
+  auto topo = build_fat_tree(
+      net, params,
+      [&](const std::string& n) { return net.add_node<SinkNode>(n).id(); },
+      [&](const std::string& n) { return net.add_node<SinkNode>(n).id(); });
+  const std::uint32_t k = params.k;
+  const std::uint32_t m = k / 2;
+
+  EXPECT_EQ(topo.hosts.size(), topo.host_count());
+  EXPECT_EQ(topo.host_count(), 16u);
+  EXPECT_EQ(topo.cores.size() + topo.aggs.size() + topo.edges.size(),
+            topo.switch_count());
+  for (NodeId sw : topo.cores) EXPECT_EQ(net.port_count(sw), k);
+  for (NodeId sw : topo.aggs) EXPECT_EQ(net.port_count(sw), k);
+  for (NodeId sw : topo.edges) EXPECT_EQ(net.port_count(sw), k);
+  for (NodeId h : topo.hosts) EXPECT_EQ(net.port_count(h), 1u);
+  EXPECT_EQ(total_ports(net), 2 * topo.total_links());
+
+  // Port-map spot checks across all pods.
+  for (std::uint32_t p = 0; p < k; ++p) {
+    for (std::uint32_t e = 0; e < m; ++e) {
+      const NodeId edge = topo.edges[p * m + e];
+      for (std::uint32_t h = 0; h < m; ++h) {
+        EXPECT_EQ(net.peer_of(edge, h), topo.hosts[(p * m + e) * m + h]);
+      }
+      for (std::uint32_t a = 0; a < m; ++a) {
+        EXPECT_EQ(net.peer_of(edge, m + a), topo.aggs[p * m + a]);
+        EXPECT_EQ(net.peer_of(topo.aggs[p * m + a], e), edge);
+      }
+    }
+    for (std::uint32_t a = 0; a < m; ++a) {
+      for (std::uint32_t j = 0; j < m; ++j) {
+        EXPECT_EQ(net.peer_of(topo.aggs[p * m + a], m + j),
+                  topo.cores[a * m + j]);
+        EXPECT_EQ(net.peer_of(topo.cores[a * m + j], p), topo.aggs[p * m + a]);
+      }
+    }
+  }
+
+  EXPECT_EQ(graph_diameter(net), topo.diameter_links());
+
+  // Canonical bisection: low pods on one side, cores + high pods on the
+  // other; only the low pods' agg->core uplinks cross.
+  std::vector<bool> side(net.node_count(), false);
+  for (std::uint32_t p = 0; p < k / 2; ++p) {
+    for (std::uint32_t i = 0; i < m; ++i) {
+      side[topo.aggs[p * m + i]] = true;
+      side[topo.edges[p * m + i]] = true;
+      for (std::uint32_t h = 0; h < m; ++h) {
+        side[topo.hosts[(p * m + i) * m + h]] = true;
+      }
+    }
+  }
+  EXPECT_EQ(crossing_links(net, side), topo.bisection_links());
+}
+
+namespace {
+
+/// One routed leaf-spine run at 1024 hosts: every switch forwards on a
+/// 64-bit destination-host key using the generator's documented port
+/// map; returns the full delivery trace.
+struct BigFabricTrace {
+  std::vector<std::tuple<std::uint32_t, SimTime, std::size_t>> arrivals;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  bool operator==(const BigFabricTrace&) const = default;
+};
+
+BigFabricTrace run_big_leaf_spine(std::uint64_t seed) {
+  Network net(seed);
+  LeafSpineParams params;
+  params.spines = 32;
+  params.leaves = 32;
+  params.hosts_per_leaf = 32;
+  SwitchConfig scfg;
+  scfg.key_bits = 64;
+  auto topo = build_leaf_spine(
+      net, params,
+      [&](const std::string& n) {
+        return net.add_node<SwitchNode>(n, scfg).id();
+      },
+      [&](const std::string& n) { return net.add_node<SinkNode>(n).id(); });
+
+  auto extractor = [](const Packet& pkt) -> std::optional<ParsedKey> {
+    if (pkt.data.size() < 8) return std::nullopt;
+    std::uint64_t dst = 0;
+    for (int i = 0; i < 8; ++i) {
+      dst |= std::uint64_t{pkt.data[static_cast<std::size_t>(i)]} << (8 * i);
+    }
+    return ParsedKey(U128{0, dst}, false);
+  };
+  // Routes follow the documented port map: spines reach host h through
+  // leaf h / hosts_per_leaf; leaves deliver local hosts directly and
+  // spread remote traffic over spines by destination index.
+  for (std::uint32_t s = 0; s < params.spines; ++s) {
+    auto& sw = static_cast<SwitchNode&>(net.node(topo.spines[s]));
+    sw.set_key_extractor(extractor);
+    for (std::uint64_t h = 0; h < topo.host_count(); ++h) {
+      EXPECT_TRUE(sw.table().insert(
+          U128{0, h}, Action::forward_to(static_cast<PortId>(
+                          h / params.hosts_per_leaf))));
+    }
+  }
+  for (std::uint32_t l = 0; l < params.leaves; ++l) {
+    auto& sw = static_cast<SwitchNode&>(net.node(topo.leaves[l]));
+    sw.set_key_extractor(extractor);
+    for (std::uint64_t h = 0; h < topo.host_count(); ++h) {
+      const auto leaf_of = static_cast<std::uint32_t>(h / params.hosts_per_leaf);
+      const PortId out =
+          leaf_of == l
+              ? static_cast<PortId>(params.spines + h % params.hosts_per_leaf)
+              : static_cast<PortId>(h % params.spines);
+      EXPECT_TRUE(sw.table().insert(U128{0, h}, Action::forward_to(out)));
+    }
+  }
+
+  Rng workload(seed ^ 0xBEEF);
+  for (int i = 0; i < 400; ++i) {
+    const auto src = static_cast<std::uint32_t>(
+        workload.next_below(topo.host_count()));
+    std::uint64_t dst = workload.next_below(topo.host_count() - 1);
+    if (dst >= src) ++dst;  // never self
+    Packet pkt = make_packet(64 + workload.next_below(512));
+    for (int b = 0; b < 8; ++b) {
+      pkt.data[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(dst >> (8 * b));
+    }
+    static_cast<SinkNode&>(net.node(topo.hosts[src])).transmit(0, pkt);
+  }
+  net.loop().run();
+
+  BigFabricTrace trace;
+  for (std::uint32_t h = 0; h < topo.host_count(); ++h) {
+    const auto& sink = static_cast<const SinkNode&>(net.node(topo.hosts[h]));
+    for (const auto& arr : sink.arrivals) {
+      trace.arrivals.emplace_back(h, arr.at, arr.pkt.data.size());
+    }
+  }
+  trace.frames_sent = net.stats().frames_sent;
+  trace.frames_delivered = net.stats().frames_delivered;
+  trace.bytes_delivered = net.stats().bytes_delivered;
+  return trace;
+}
+
+}  // namespace
+
+TEST(Topology, LeafSpine1024HostsSameSeedByteIdentical) {
+  const BigFabricTrace first = run_big_leaf_spine(42);
+  const BigFabricTrace second = run_big_leaf_spine(42);
+  EXPECT_GT(first.frames_delivered, 0u);
+  EXPECT_EQ(first.arrivals.size(), 400u);  // routed fabric: no frame lost
+  EXPECT_TRUE(first == second);
 }
 
 // Property: simulator determinism — same seed, same trace.

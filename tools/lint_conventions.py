@@ -32,6 +32,14 @@ metrics registry.  New counter structs must live in a file that also
 attaches an obs::SourceGroup (registering the fields read-through), or
 carry `// lint:allow-raw-counter <reason>` on or above the struct line.
 
+A fourth rule guards the simulator hot path (DESIGN.md §14): files
+under src/sim must not declare std::map or std::unordered_map.  Both
+are node-based — one cache miss per hop on lookup — and the frame path
+was rebuilt around the open-addressing tables in common/flat_table.hpp
+precisely to remove those misses.  A cold-path site (per-tenant config
+populated once at setup, deterministic sorted iteration) can opt out
+with `// lint:allow-ordered-map <reason>` on or above the declaration.
+
 Usage: tools/lint_conventions.py [paths...]   (default: src/)
 Exit 0 = clean; 1 = violations (printed one per line, grep-style).
 """
@@ -42,6 +50,7 @@ import sys
 
 ALLOW_TAG = "lint:allow-nondet"
 RAW_COUNTER_TAG = "lint:allow-raw-counter"
+ORDERED_MAP_TAG = "lint:allow-ordered-map"
 
 # --- ambient entropy / wall-clock patterns -------------------------------
 ENTROPY_PATTERNS = [
@@ -82,6 +91,12 @@ LOAD_STRICT_PATTERNS = [
      "src/load: libm transcendental varies across platforms at the "
      "last ulp; use piecewise arithmetic shapes"),
 ]
+
+# --- src/sim node-based maps --------------------------------------------
+# The hot path's tables are open-addressing (common/flat_table.hpp);
+# node-based maps reintroduce a cache miss per probe hop.
+SIM_SCOPE = os.path.join("src", "sim") + os.sep
+SIM_MAP_RE = re.compile(r"\bstd::(?:unordered_)?map\s*<")
 
 # --- unordered iteration -------------------------------------------------
 # Declarations like:  std::unordered_map<K, V> name_;   (possibly multiline
@@ -143,6 +158,17 @@ def lint_file(path):
                 (i, "raw Counters struct without obs registry "
                     "registration: attach an obs::SourceGroup or annotate "
                     f"'// {RAW_COUNTER_TAG} <reason>'"))
+        if ORDERED_MAP_TAG in raw and \
+                not raw.split(ORDERED_MAP_TAG, 1)[1].strip():
+            violations.append(
+                (i, f"{ORDERED_MAP_TAG} needs a reason after the tag"))
+        if (SIM_SCOPE in path and SIM_MAP_RE.search(strip_comments(raw))
+                and ORDERED_MAP_TAG not in raw
+                and (i < 2 or ORDERED_MAP_TAG not in lines[i - 2])):
+            violations.append(
+                (i, "src/sim: node-based std::map/std::unordered_map on "
+                    "the simulator path: use common/flat_table.hpp or "
+                    f"annotate '// {ORDERED_MAP_TAG} <reason>'"))
         if i >= 2 and ALLOW_TAG in lines[i - 2]:
             continue
         if ALLOW_TAG in raw:

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Perf gate for bench/simcore: catch event-loop hot-path regressions.
+
+Compares a fresh BENCH_simcore.json against the committed baseline
+(bench/BENCH_simcore.baseline.json) and fails if any gated throughput
+metric regressed past its tolerance.  Two kinds of checks:
+
+  1. Relative — each metric gates against the baseline with its own
+     tolerance.  `speedup_vs_legacy` is a ratio of two measurements
+     taken in the same process, so load noise partially cancels and it
+     gets a tight band (30%).  Absolute events/sec depend on the runner
+     and swing hard on shared VMs, so they only catch catastrophic
+     regressions (50%) — e.g. the hot path reverting to a node-per-event
+     heap, which shows up as a 5-10x collapse, not a 30% dip.
+
+  2. Absolute — `speedup_vs_legacy` must also clear the floor from the
+     scaling work's acceptance bar (>= 5x over the pre-refactor loop at
+     the 262144-pending-event scale), and the routed 1024-host fabric
+     must have delivered every packet with zero checker violations.
+
+Usage: tools/simcore_gate.py <current.json> [baseline.json]
+Exit 0 = within tolerance; 1 = regression (details on stderr).
+"""
+
+import json
+import os
+import sys
+
+SPEEDUP_FLOOR = 5.0
+RATIO_TOLERANCE = 0.30
+ABSOLUTE_TOLERANCE = 0.50
+
+# Metric -> allowed drop vs baseline (higher is better for all of them).
+RELATIVE_GATES = [
+    ("chains_64_events_per_sec", ABSOLUTE_TOLERANCE),
+    ("chains_4096_events_per_sec", ABSOLUTE_TOLERANCE),
+    ("chains_262144_events_per_sec", ABSOLUTE_TOLERANCE),
+    ("chains_64_speedup", RATIO_TOLERANCE),
+    ("chains_4096_speedup", RATIO_TOLERANCE),
+    ("speedup_vs_legacy", RATIO_TOLERANCE),
+    ("fabric_events_per_sec", ABSOLUTE_TOLERANCE),
+    ("fabric_packets_per_sec", ABSOLUTE_TOLERANCE),
+]
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path = sys.argv[1]
+    baseline_path = sys.argv[2] if len(sys.argv) > 2 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "bench", "BENCH_simcore.baseline.json")
+
+    current = load(current_path)
+    baseline = load(baseline_path)
+    failures = []
+
+    for key, tolerance in RELATIVE_GATES:
+        if key not in baseline:
+            failures.append(f"baseline is missing gated metric '{key}'")
+            continue
+        if key not in current:
+            failures.append(f"current run is missing gated metric '{key}'")
+            continue
+        floor = baseline[key] * (1.0 - tolerance)
+        if current[key] < floor:
+            failures.append(
+                f"{key}: {current[key]:.4g} < {floor:.4g} "
+                f"(baseline {baseline[key]:.4g} - {tolerance:.0%})")
+
+    speedup = current.get("speedup_vs_legacy", 0.0)
+    if speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"speedup_vs_legacy: {speedup:.2f} below the {SPEEDUP_FLOOR}x "
+            "acceptance floor")
+    if current.get("checker_violations", 1) != 0:
+        failures.append("checker_violations != 0: fabric run was not clean")
+    delivered = current.get("fabric_delivered", 0)
+    if delivered <= 0:
+        failures.append("fabric_delivered is zero: routed fabric is broken")
+
+    if failures:
+        for f in failures:
+            print(f"simcore_gate: FAIL {f}", file=sys.stderr)
+        return 1
+    print(f"simcore_gate: OK ({len(RELATIVE_GATES)} metrics within "
+          f"tolerance of baseline, speedup {speedup:.2f}x >= "
+          f"{SPEEDUP_FLOOR}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
