@@ -1,0 +1,120 @@
+// Shard-affinity and hot-path annotation vocabulary (DESIGN.md §15).
+//
+// ROADMAP item 1's remaining step — partitioning the event loop by
+// switch subtree — needs one question answered *statically*: which
+// state is provably shard-local, and which crosses shards?  Following
+// the interference-free network-object model (PAPERS.md), interference
+// is excluded by construction rather than detected at runtime: every
+// piece of simulator state declares its shard affinity here, and two
+// machines check the declarations —
+//
+//   1. clang's -Wthread-safety analysis (the attributes below expand to
+//      clang's capability attributes when the compiler supports them,
+//      and to nothing under gcc), so the tree compiles green with a
+//      machine-checked interference map before a single thread exists;
+//   2. tools/fablint, an AST-level analyzer that reads the SAME macro
+//      names from source and enforces what attributes cannot express
+//      (allocation reachable from HOT_PATH, unmarked CROSS_SHARD
+//      mutation, SmallFn captures that spill the inline buffer, ...).
+//
+// Vocabulary:
+//
+//   SHARD_CAPABILITY("name")  - tags a class as a capability (a shard
+//                               execution context a thread can hold).
+//   SHARD_GUARDED_BY(cap)     - member is only touched while `cap` is
+//                               held.  In the single-threaded fabric the
+//                               loop implicitly holds every shard; the
+//                               sharded loop of ROADMAP item 1 will hold
+//                               exactly one.
+//   REQUIRES_SHARD(cap)       - function must be entered holding `cap`.
+//   ACQUIRE_SHARD / RELEASE_SHARD / ASSERT_SHARD - capability
+//                               transitions (RAII via ShardGuard).
+//   CROSS_SHARD               - marker (fablint-enforced, no clang
+//                               semantics): this member is written from
+//                               more than one future shard, or this
+//                               function mutates such state.  Every
+//                               CROSS_SHARD site is a synchronization
+//                               point the sharded loop must cover;
+//                               `fablint --shard-report` inventories
+//                               them all.
+//   HOT_PATH                  - marker: per-event / per-frame function.
+//                               fablint forbids heap allocation (new /
+//                               malloc / make_unique / std::function
+//                               construction / node-container mutation)
+//                               anywhere reachable from a HOT_PATH
+//                               function unless waived.
+//   MAY_ALLOC                 - waiver: this function (and what it
+//                               calls) is allowed to allocate even when
+//                               reached from HOT_PATH — e.g. pool
+//                               refill on exhaustion, first-touch table
+//                               growth, armed-tracer recording.
+//   FABLINT_ALLOW("rule: why") - declaration-attached suppression for a
+//                               specific fablint rule; the reason is
+//                               mandatory (an allow without a why rots).
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OBJRPC_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef OBJRPC_TSA
+#define OBJRPC_TSA(x)  // not clang: attributes vanish, markers remain
+#endif
+
+#define SHARD_CAPABILITY(name) OBJRPC_TSA(capability(name))
+#define SHARD_GUARDED_BY(cap) OBJRPC_TSA(guarded_by(cap))
+#define SHARD_PT_GUARDED_BY(cap) OBJRPC_TSA(pt_guarded_by(cap))
+#define REQUIRES_SHARD(...) OBJRPC_TSA(requires_capability(__VA_ARGS__))
+#define ACQUIRE_SHARD(...) OBJRPC_TSA(acquire_capability(__VA_ARGS__))
+#define RELEASE_SHARD(...) OBJRPC_TSA(release_capability(__VA_ARGS__))
+#define ASSERT_SHARD(...) OBJRPC_TSA(assert_capability(__VA_ARGS__))
+#define EXCLUDES_SHARD(...) OBJRPC_TSA(locks_excluded(__VA_ARGS__))
+#define NO_SHARD_ANALYSIS OBJRPC_TSA(no_thread_safety_analysis)
+#define SHARD_RETURN_CAPABILITY(x) OBJRPC_TSA(lock_returned(x))
+#define SHARD_SCOPED_CAPABILITY OBJRPC_TSA(scoped_lockable)
+
+// Markers with no clang semantics; tools/fablint reads them from the
+// token stream (they must appear verbatim in the declaration).
+#define CROSS_SHARD
+#define HOT_PATH
+#define MAY_ALLOC
+#define FABLINT_ALLOW(rule_and_reason)
+
+namespace objrpc {
+
+/// A shard execution context.  Today the single-threaded event loop
+/// implicitly holds every instance; the sharded loop will acquire one
+/// per subtree.  All operations are empty (and vanish entirely at -O1)
+/// — their value is the capability relationship the compiler tracks.
+class SHARD_CAPABILITY("shard") ShardCap {
+ public:
+  ShardCap() = default;
+  ShardCap(const ShardCap&) = delete;
+  ShardCap& operator=(const ShardCap&) = delete;
+
+  /// Declare (without proof) that the current context holds this shard.
+  /// The single-threaded loop's dispatch sites assert; when the loop is
+  /// partitioned these become real acquire/release pairs and clang
+  /// starts proving instead of trusting.
+  void assert_held() const ASSERT_SHARD(this) {}
+  void acquire() ACQUIRE_SHARD(this) {}
+  void release() RELEASE_SHARD(this) {}
+};
+
+/// RAII holder for a ShardCap (the future sharded dispatch loop's
+/// per-subtree scope; no-op today).
+class SHARD_SCOPED_CAPABILITY ShardGuard {
+ public:
+  explicit ShardGuard(ShardCap& cap) ACQUIRE_SHARD(cap) : cap_(cap) {
+    cap_.acquire();
+  }
+  ~ShardGuard() RELEASE_SHARD() { cap_.release(); }
+  ShardGuard(const ShardGuard&) = delete;
+  ShardGuard& operator=(const ShardGuard&) = delete;
+
+ private:
+  ShardCap& cap_;
+};
+
+}  // namespace objrpc

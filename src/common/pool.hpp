@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 
 namespace objrpc {
@@ -30,7 +31,9 @@ class BufferPool {
       : max_retained_(max_retained) {}
 
   /// A buffer of exactly `size` bytes (contents unspecified).
-  Bytes acquire(std::size_t size) {
+  /// MAY_ALLOC: pool refill — allocates fresh only when the free list is
+  /// empty; steady-state frame traffic recycles.
+  HOT_PATH MAY_ALLOC Bytes acquire(std::size_t size) {
     if (free_.empty()) {
       ++stats_.fresh;
       return Bytes(size);
@@ -43,14 +46,14 @@ class BufferPool {
   }
 
   /// A pooled copy of `src` (the flood path's per-port payload copy).
-  Bytes copy_of(ByteSpan src) {
+  HOT_PATH MAY_ALLOC Bytes copy_of(ByteSpan src) {
     Bytes b = acquire(src.size());
     if (!src.empty()) std::copy(src.begin(), src.end(), b.begin());
     return b;
   }
 
   /// Return a dead buffer to the free list.
-  void release(Bytes&& b) {
+  HOT_PATH void release(Bytes&& b) {
     if (b.capacity() == 0) return;  // nothing worth retaining
     if (free_.size() >= max_retained_) {
       ++stats_.dropped;
@@ -63,7 +66,6 @@ class BufferPool {
 
   std::size_t idle() const { return free_.size(); }
 
-  // lint:allow-raw-counter read-through sources registered by Network
   struct Stats {
     std::uint64_t fresh = 0;    ///< acquires served by the heap
     std::uint64_t reused = 0;   ///< acquires served by the free list

@@ -16,6 +16,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "common/annotations.hpp"
+
 namespace objrpc {
 
 template <std::size_t kInlineBytes>
@@ -67,8 +69,12 @@ class BasicSmallFn {
     bool inline_stored;
   };
 
+  /// MAY_ALLOC: the else-branch is the designed heap fallback for
+  /// over-sized captures.  It never fires on the fabric's hot paths —
+  /// capture sizes are enforced statically by fablint's smallfn-spill
+  /// rule, which proves every SmallFn construction fits kInlineBytes.
   template <typename F>
-  void emplace(F&& f) {
+  MAY_ALLOC void emplace(F&& f) {
     using Fn = std::decay_t<F>;
     constexpr bool fits = sizeof(Fn) <= kInlineBytes &&
                           alignof(Fn) <= alignof(std::max_align_t) &&

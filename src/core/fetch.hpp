@@ -130,7 +130,6 @@ class ObjectFetcher {
   std::vector<ObjectId> pending_objects() const {
     std::vector<ObjectId> ids;
     ids.reserve(pending_.size());
-    // lint:allow-nondet sorted before return
     for (const auto& [id, pf] : pending_) ids.push_back(id);
     std::sort(ids.begin(), ids.end());
     return ids;

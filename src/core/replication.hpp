@@ -107,7 +107,6 @@ class ReplicaManager {
   std::vector<ObjectId> homed_objects() const {
     std::vector<ObjectId> ids;
     ids.reserve(homes_.size());
-    // lint:allow-nondet sorted before return
     for (const auto& [id, info] : homes_) ids.push_back(id);
     std::sort(ids.begin(), ids.end());
     return ids;

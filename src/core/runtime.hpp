@@ -95,7 +95,7 @@ class InvokeRuntime {
   void invoke_at(HostAddr executor, FuncId fn, std::vector<GlobalPtr> args,
                  Bytes inline_arg, InvokeCallback cb, InvokeOptions opts = {});
 
-  // lint:allow-raw-counter feeds the figure benches directly
+  // fablint:allow(raw-counter) feeds the figure benches directly
   struct Counters {
     std::uint64_t local_executions = 0;
     std::uint64_t remote_invocations = 0;

@@ -106,7 +106,6 @@ class IncCacheStage {
   std::vector<ObjectId> pending_fill_objects() const {
     std::vector<ObjectId> ids;
     ids.reserve(fills_.size());
-    // lint:allow-nondet sorted before return
     for (const auto& [id, fill] : fills_) ids.push_back(id);
     std::sort(ids.begin(), ids.end());
     return ids;
@@ -117,7 +116,6 @@ class IncCacheStage {
   std::vector<std::pair<ObjectId, std::uint64_t>> entries_snapshot() const {
     std::vector<std::pair<ObjectId, std::uint64_t>> out;
     out.reserve(entries_.size());
-    // lint:allow-nondet sorted before return
     for (const auto& [id, e] : entries_) out.emplace_back(id, e.version);
     std::sort(out.begin(), out.end());
     return out;

@@ -49,7 +49,7 @@ class E2EDiscovery final : public DiscoveryStrategy {
   bool is_cached(ObjectId object) const { return cache_.count(object) != 0; }
   std::size_t cache_size() const { return cache_.size(); }
 
-  // lint:allow-raw-counter strategy object has no stable registry lifetime
+  // fablint:allow(raw-counter) strategy object has no stable registry lifetime
   struct Counters {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;

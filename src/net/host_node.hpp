@@ -40,14 +40,14 @@ class HostNode : public NetworkNode {
   const HostConfig& config() const { return cfg_; }
 
   /// Stamp src_host, encode, and transmit after the processing delay.
-  void send_frame(Frame frame);
+  HOT_PATH void send_frame(Frame frame);
 
   /// Route inbound frames of `type` to `handler` (one handler per type).
   void set_handler(MsgType type, FrameHandler handler);
   /// Fallback for types without a dedicated handler.
   void set_default_handler(FrameHandler handler);
 
-  void on_packet(PortId in_port, Packet pkt) override;
+  HOT_PATH void on_packet(PortId in_port, Packet pkt) override;
   void on_node_state_change(bool up) override;
 
   /// Invoked when this host revives after a fail-stop crash (store
@@ -75,7 +75,7 @@ class HostNode : public NetworkNode {
   obs::MetricsRegistry& metrics() { return net().metrics(); }
 
  private:
-  void dispatch(Frame frame);
+  HOT_PATH void dispatch(Frame frame);
 
   HostConfig cfg_;
   ObjectStore store_;

@@ -35,7 +35,9 @@ class SyncOffload {
              std::uint64_t initial_value);
 
   /// Release a word, returning its final value for write-back (nullopt
-  /// if it was never claimed).
+  /// if it was never claimed).  Control-plane only: hosts claim/release
+  /// around a synchronization epoch; the per-frame path is handle().
+  // fablint:allow(hotpath-alloc) control-plane claim/release, never per-frame
   std::optional<std::uint64_t> release(ObjectId object,
                                        std::uint64_t offset);
 
@@ -43,7 +45,7 @@ class SyncOffload {
   std::optional<std::uint64_t> peek(ObjectId object,
                                     std::uint64_t offset) const;
 
-  // lint:allow-raw-counter offload stage predates the registry
+  // fablint:allow(raw-counter) offload stage predates the registry
   struct Counters {
     std::uint64_t served = 0;
     std::uint64_t cas_failures = 0;

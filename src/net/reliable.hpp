@@ -101,8 +101,7 @@ class ReliableChannel {
   std::vector<InboundSnapshot> inbound_snapshot() const {
     std::vector<InboundSnapshot> out;
     out.reserve(inbound_.size());
-    inbound_.for_each([&](const InboundKey& key,  // lint:allow-nondet sorted
-                          const Inbound& in) {
+    inbound_.for_each([&](const InboundKey& key, const Inbound& in) {
       out.push_back({key.src, key.msg_id, in.last_activity, in.received,
                      static_cast<std::uint32_t>(in.frags.size())});
     });
@@ -177,10 +176,10 @@ class ReliableChannel {
     frag_count = static_cast<std::uint32_t>(seq & 0xFFFF);
   }
 
-  void send_fragment(std::uint32_t msg_id, std::uint32_t frag_idx);
+  HOT_PATH void send_fragment(std::uint32_t msg_id, std::uint32_t frag_idx);
   void arm_timer(std::uint32_t msg_id);
-  void on_push_frag(const Frame& f);
-  void on_frag_ack(const Frame& f);
+  HOT_PATH void on_push_frag(const Frame& f);
+  HOT_PATH void on_frag_ack(const Frame& f);
   void remember_completed(const InboundKey& key);
 
   HostNode& host_;

@@ -142,7 +142,7 @@ class ObjNetService {
     return !read_guard_ || read_guard_(id);
   }
 
-  // lint:allow-raw-counter aggregates sub-counters registered individually
+  // fablint:allow(raw-counter) aggregates sub-counters registered individually
   struct Counters {
     std::uint64_t reads_issued = 0;
     std::uint64_t writes_issued = 0;

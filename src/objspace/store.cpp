@@ -23,7 +23,7 @@ Result<ObjectPtr> ObjectStore::create(ObjectId id, std::uint64_t size) {
   auto obj = Object::create(id, size);
   if (!obj) return obj.error();
   auto ptr = std::make_shared<Object>(std::move(*obj));
-  objects_.emplace(id, ptr);
+  objects_.insert_or_assign(id, ptr);
   insertion_order_.push_back(id);
   bytes_used_ += size;
   return ptr;
@@ -37,18 +37,18 @@ Status ObjectStore::insert(Object obj) {
   if (Status s = check_capacity(obj.size()); !s) return s;
   const ObjectId id = obj.id();
   bytes_used_ += obj.size();
-  objects_.emplace(id, std::make_shared<Object>(std::move(obj)));
+  objects_.insert_or_assign(id, std::make_shared<Object>(std::move(obj)));
   insertion_order_.push_back(id);
   return Status::ok();
 }
 
 Result<Object> ObjectStore::remove(ObjectId id) {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
+  ObjectPtr* slot = objects_.find(id);
+  if (slot == nullptr) {
     return Error{Errc::not_found, "no such object: " + id.to_string()};
   }
-  ObjectPtr ptr = std::move(it->second);
-  objects_.erase(it);
+  ObjectPtr ptr = std::move(*slot);
+  objects_.erase(id);
   insertion_order_.erase(
       std::find(insertion_order_.begin(), insertion_order_.end(), id));
   bytes_used_ -= ptr->size();
@@ -61,11 +61,11 @@ Result<Object> ObjectStore::remove(ObjectId id) {
 }
 
 Result<ObjectPtr> ObjectStore::get(ObjectId id) const {
-  auto it = objects_.find(id);
-  if (it == objects_.end()) {
+  const ObjectPtr* slot = objects_.find(id);
+  if (slot == nullptr) {
     return Error{Errc::not_found, "no such object: " + id.to_string()};
   }
-  return it->second;
+  return *slot;
 }
 
 std::uint64_t ObjectStore::bytes_available() const {
@@ -78,7 +78,7 @@ std::vector<ObjectId> ObjectStore::ids() const { return insertion_order_; }
 void ObjectStore::for_each(
     const std::function<void(const ObjectPtr&)>& fn) const {
   for (const auto& id : insertion_order_) {
-    fn(objects_.at(id));
+    fn(*objects_.find(id));
   }
 }
 

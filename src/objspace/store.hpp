@@ -10,9 +10,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/flat_table.hpp"
 #include "common/result.hpp"
 #include "objspace/object.hpp"
 
@@ -30,13 +31,16 @@ class ObjectStore {
   Result<ObjectPtr> create(ObjectId id, std::uint64_t size);
 
   /// Insert an object that arrived from elsewhere (takes ownership).
-  Status insert(Object obj);
+  /// HOT_PATH: runs on frame arrival (reliable-channel reassembly hands
+  /// migrated objects straight to the store).  MAY_ALLOC: first-touch
+  /// table growth and the object buffer itself.
+  HOT_PATH MAY_ALLOC Status insert(Object obj);
 
   /// Remove an object (e.g. after it migrated away).  Returns the evicted
   /// object so the caller can forward its bytes.
   Result<Object> remove(ObjectId id);
 
-  bool contains(ObjectId id) const { return objects_.count(id) != 0; }
+  bool contains(ObjectId id) const { return objects_.contains(id); }
   Result<ObjectPtr> get(ObjectId id) const;
 
   std::size_t count() const { return objects_.size(); }
@@ -54,7 +58,12 @@ class ObjectStore {
  private:
   Status check_capacity(std::uint64_t incoming) const;
 
-  std::unordered_map<ObjectId, ObjectPtr> objects_;
+  /// Open addressing (common/flat_table.hpp): the store sits on the
+  /// frame-arrival path (fetch fills, migration pushes), where the old
+  /// node-based map cost one allocation per insert and a pointer chase
+  /// per lookup.  Iteration always goes through insertion_order_, so
+  /// hash layout never leaks into reports or digests.
+  FlatHashMap<ObjectId, ObjectPtr> objects_;
   std::vector<ObjectId> insertion_order_;
   std::uint64_t capacity_;
   std::uint64_t bytes_used_ = 0;

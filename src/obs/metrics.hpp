@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace objrpc::obs {
 
 /// A monotone event count.
@@ -130,16 +132,26 @@ class MetricsRegistry {
  public:
   using Source = std::function<std::uint64_t()>;
 
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
-  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  // CROSS_SHARD: one registry serves the whole fabric; components on
+  // any future shard register and bump through these accessors.
+  CROSS_SHARD Counter& counter(const std::string& name) {
+    return counters_[name];
+  }
+  CROSS_SHARD Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  CROSS_SHARD Histogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
 
   /// Register a read-through counter source (legacy struct member).
   /// Re-registering a name replaces the previous source.
-  void add_source(const std::string& name, Source fn) {
+  CROSS_SHARD void add_source(const std::string& name, Source fn) {
     sources_[name] = std::move(fn);
   }
-  void remove_source(const std::string& name) { sources_.erase(name); }
+  /// MAY_ALLOC: teardown-only (SourceGroup destructors); shrinking the
+  /// source list is never on a frame path.
+  CROSS_SHARD MAY_ALLOC void remove_source(const std::string& name) {
+    sources_.erase(name);
+  }
 
   /// Deterministic snapshot: every metric, sorted by name, sources
   /// evaluated now.

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/time.hpp"
 
 namespace objrpc::obs {
@@ -82,8 +83,11 @@ struct CounterSample {
 class Tracer {
  public:
   // --- id allocation: UNCONDITIONAL (see determinism contract) -------
-  std::uint64_t new_trace_id() { return next_trace_++; }
-  std::uint64_t new_span_id() { return next_span_++; }
+  // CROSS_SHARD: ids are fabric-global and minted per frame/operation
+  // from any future shard; the sharded loop must make these atomic or
+  // pre-partition the id space.
+  CROSS_SHARD HOT_PATH std::uint64_t new_trace_id() { return next_trace_++; }
+  CROSS_SHARD HOT_PATH std::uint64_t new_span_id() { return next_span_++; }
   /// Mint a root context for a new operation: fresh trace, fresh root
   /// span whose id doubles as the children's parent.
   TraceContext new_root() { return {new_trace_id(), new_span_id()}; }
@@ -100,20 +104,23 @@ class Tracer {
   // --- recording: no-ops unless armed --------------------------------
   /// Open a span whose id was pre-allocated with new_span_id() (wire-
   /// carried spans must allocate unconditionally; pass the id here).
-  void begin_span(std::uint64_t span_id, std::uint64_t trace,
-                  std::uint64_t parent, std::uint32_t node,
-                  std::string name, SimTime begin);
-  void end_span(std::uint64_t span_id, SimTime end);
+  MAY_ALLOC void begin_span(std::uint64_t span_id, std::uint64_t trace,
+                            std::uint64_t parent, std::uint32_t node,
+                            std::string name, SimTime begin);
+  /// MAY_ALLOC: armed-only recording appends to in-memory vectors; by
+  /// the determinism contract above it never runs during a measured
+  /// (unarmed) simulation, so hot paths may call it freely.
+  MAY_ALLOC void end_span(std::uint64_t span_id, SimTime end);
   /// Record a closed leaf span (never referenced by the wire); an
   /// internal id is assigned only when armed, so unarmed runs allocate
   /// nothing.
-  void leaf_span(std::uint64_t trace, std::uint64_t parent,
-                 std::uint32_t node, std::string name, SimTime begin,
-                 SimTime end);
-  void instant(std::uint64_t trace, std::uint64_t parent,
-               std::uint32_t node, std::string name, SimTime at);
-  void counter(std::uint32_t node, const std::string& name, SimTime at,
-               double value);
+  MAY_ALLOC void leaf_span(std::uint64_t trace, std::uint64_t parent,
+                           std::uint32_t node, std::string name,
+                           SimTime begin, SimTime end);
+  MAY_ALLOC void instant(std::uint64_t trace, std::uint64_t parent,
+                         std::uint32_t node, std::string name, SimTime at);
+  MAY_ALLOC void counter(std::uint32_t node, const std::string& name,
+                         SimTime at, double value);
 
   // --- introspection (tests) -----------------------------------------
   const std::vector<SpanRecord>& spans() const { return spans_; }
@@ -133,8 +140,8 @@ class Tracer {
 
  private:
   bool armed_ = false;
-  std::uint64_t next_trace_ = 1;
-  std::uint64_t next_span_ = 1;
+  CROSS_SHARD std::uint64_t next_trace_ = 1;
+  CROSS_SHARD std::uint64_t next_span_ = 1;
   /// Leaf spans get ids from a disjoint (high-bit) range so they can
   /// never collide with wire-carried ids — and, being armed-only, their
   /// counter may advance differently across armed/unarmed runs without

@@ -56,7 +56,7 @@ class RpcClient {
   void call(HostAddr dst, const std::string& method, Bytes args,
             RpcResponseCallback cb, RpcCallOptions opts = {});
 
-  // lint:allow-raw-counter rpc baseline is frozen for the paper comparison
+  // fablint:allow(raw-counter) rpc baseline is frozen for the paper comparison
   struct Counters {
     std::uint64_t calls = 0;
     std::uint64_t responses = 0;
@@ -103,7 +103,7 @@ class RpcServer {
     return methods_.count(name) != 0;
   }
 
-  // lint:allow-raw-counter rpc baseline is frozen for the paper comparison
+  // fablint:allow(raw-counter) rpc baseline is frozen for the paper comparison
   struct Counters {
     std::uint64_t requests = 0;
     std::uint64_t replies = 0;

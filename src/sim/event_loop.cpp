@@ -18,6 +18,7 @@ bool env_truthy(const char* name) {
 }  // namespace
 
 EventLoop::EventLoop() {
+  shard_.assert_held();  // construction is shard-local by definition
   strict_past_schedules_ = env_truthy("CHECK_INVARIANTS");
   entries_.reserve(kChunk);
 }
@@ -40,6 +41,9 @@ std::uint32_t EventLoop::alloc_node(SimTime at, Callback fn) {
 }
 
 void EventLoop::schedule_at(SimTime at, Callback fn) {
+  // The single-threaded loop holds every shard; the sharded dispatch of
+  // ROADMAP item 1 will route this to the owning partition instead.
+  shard_.assert_held();
   if (at < now_) {
     ++clamped_past_schedules_;
     if (strict_past_schedules_) {
@@ -180,6 +184,7 @@ void EventLoop::pop_run() {
 }
 
 bool EventLoop::step() {
+  shard_.assert_held();
   if (!find_next(std::numeric_limits<SimTime>::max())) return false;
   pop_run();
   return true;
@@ -192,6 +197,7 @@ void EventLoop::run() {
 }
 
 void EventLoop::run_until(SimTime deadline) {
+  shard_.assert_held();
   while (find_next(deadline)) {
     pop_run();
   }

@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/small_fn.hpp"
 #include "common/time.hpp"
 
@@ -51,19 +52,26 @@ class EventLoop {
   /// mode (armed with the invariant checker, CHECK_INVARIANTS=1) it
   /// aborts with the offending times so the caller gets fixed instead
   /// of silently reordered.
-  void schedule_at(SimTime at, Callback fn);
+  HOT_PATH void schedule_at(SimTime at, Callback fn);
   /// Schedule `fn` after `delay` from now.
-  void schedule_after(SimDuration delay, Callback fn) {
+  HOT_PATH void schedule_after(SimDuration delay, Callback fn) {
     schedule_at(now_ + delay, std::move(fn));
   }
 
   /// Run one event; returns false when the queue is empty.
-  bool step();
+  HOT_PATH bool step();
   /// Run until the queue drains.
   void run();
   /// Run until the queue drains or virtual time would pass `deadline`;
   /// events at exactly `deadline` execute.
   void run_until(SimTime deadline);
+
+  /// The shard this loop's wheel state belongs to.  ROADMAP item 1
+  /// partitions the loop by switch subtree; each partition will hold
+  /// exactly one of these while running its events.
+  const ShardCap& shard() const SHARD_RETURN_CAPABILITY(shard_) {
+    return shard_;
+  }
 
   /// Invoked whenever run()/run_until() returns with the queue fully
   /// drained (simulation quiesce).  The invariant checker validates its
@@ -110,36 +118,44 @@ class EventLoop {
   };
   static constexpr std::size_t kChunk = 1024;  // callbacks per chunk
 
-  Callback& fn_at(std::uint32_t idx) {
+  Callback& fn_at(std::uint32_t idx) REQUIRES_SHARD(shard_) {
     return fn_chunks_[idx >> 10][idx & (kChunk - 1)];
   }
-  std::uint32_t alloc_node(SimTime at, Callback fn);
+  /// MAY_ALLOC: pool refill — grows the entry array / callback chunks
+  /// when the free list is empty; steady state recycles via free_head_.
+  MAY_ALLOC std::uint32_t alloc_node(SimTime at, Callback fn)
+      REQUIRES_SHARD(shard_);
   /// File `idx` into its wheel bucket.  Cascaded nodes are prepended
   /// (they were scheduled earlier than anything already in the bucket);
   /// fresh schedules are appended (scheduling order == execution order).
-  void place(std::uint32_t idx, bool cascading);
+  void place(std::uint32_t idx, bool cascading) REQUIRES_SHARD(shard_);
   /// Redistribute a higher-level bucket into the levels below.
-  void cascade(std::size_t level, std::size_t slot);
+  void cascade(std::size_t level, std::size_t slot) REQUIRES_SHARD(shard_);
   /// Advance the wheel cursor to the next pending event with time
   /// <= `limit`.  Returns false (cursor parked at or before `limit`)
   /// when there is none.
-  bool find_next(SimTime limit);
+  bool find_next(SimTime limit) REQUIRES_SHARD(shard_);
   /// Pop and execute the head of the level-0 bucket at the cursor.
-  void pop_run();
+  void pop_run() REQUIRES_SHARD(shard_);
 
+  /// The wheel itself is shard-local: only the thread driving this loop
+  /// touches it.  `now_`/`size_`/counters stay unguarded — they are
+  /// read-only observers for other shards and the metrics layer.
+  ShardCap shard_;
   SimTime now_ = 0;
   /// Wheel cursor: <= every pending event time, == now_ whenever
   /// callbacks can run (all wheel arithmetic is on unsigned ticks).
-  std::uint64_t tick_ = 0;
+  std::uint64_t tick_ SHARD_GUARDED_BY(shard_) = 0;
   std::size_t size_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t clamped_past_schedules_ = 0;
   bool strict_past_schedules_ = false;
-  Bucket buckets_[kLevels][kSlots];
-  std::uint64_t bits_[kLevels][kWords] = {};
-  std::vector<Entry> entries_;
-  std::vector<std::unique_ptr<Callback[]>> fn_chunks_;
-  std::uint32_t free_head_ = kNoNode;
+  Bucket buckets_[kLevels][kSlots] SHARD_GUARDED_BY(shard_);
+  std::uint64_t bits_[kLevels][kWords] SHARD_GUARDED_BY(shard_) = {};
+  std::vector<Entry> entries_ SHARD_GUARDED_BY(shard_);
+  std::vector<std::unique_ptr<Callback[]>> fn_chunks_
+      SHARD_GUARDED_BY(shard_);
+  std::uint32_t free_head_ SHARD_GUARDED_BY(shard_) = kNoNode;
   DrainHook drain_hook_;
 };
 

@@ -37,6 +37,7 @@
 #include <map>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/flat_table.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/packet.hpp"
@@ -68,7 +69,7 @@ struct AdmissionConfig {
   /// Tenants with a configured rate are policed; everyone else (and
   /// tenant 0, the infrastructure class) passes freely.  Ordered map by
   /// design: config surface, and tests enumerate it in tenant order.
-  // lint:allow-ordered-map config table, populated once at setup
+  // fablint:allow(node-map) config table, populated once at setup
   std::map<std::uint32_t, TenantRate> tenant_rates;
 };
 
@@ -114,13 +115,13 @@ class EgressScheduler {
 
   /// Queue a frame for `port`; the scheduler emits it when its tenant's
   /// turn comes.  Must only be called when config().enabled.
-  void enqueue(PortId port, Packet pkt);
+  HOT_PATH void enqueue(PortId port, Packet pkt);
 
   /// Passive observers (the invariant checker's fair-share rule); they
   /// must not mutate the simulation.
   void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
 
-  // lint:allow-raw-counter registered by the owning SwitchNode's group
+  // fablint:allow(raw-counter) registered by the owning SwitchNode's group
   struct Counters {
     std::uint64_t enqueued = 0;
     std::uint64_t sent = 0;
@@ -148,7 +149,7 @@ class EgressScheduler {
   struct PortState {
     /// Sorted by design: the DRR rotation deque orders service, but the
     /// checker's fair-share snapshots walk tenants in id order.
-    // lint:allow-ordered-map deterministic round-robin needs sorted ids
+    // fablint:allow(node-map) deterministic round-robin needs sorted ids
     std::map<std::uint32_t, TenantQueue> tenants;
     /// DRR rotation, in activation order.  Front is being served.
     std::deque<std::uint32_t> rotation;
@@ -163,8 +164,8 @@ class EgressScheduler {
     SimTime link_free_at = 0;
   };
 
-  void schedule_drain(PortId port, SimDuration after);
-  void drain(PortId port);
+  HOT_PATH void schedule_drain(PortId port, SimDuration after);
+  HOT_PATH void drain(PortId port);
   void notify(FqEvent::Kind kind, PortId port, std::uint32_t tenant,
               std::uint64_t bytes, const PortState& ps) const;
   PortState& port_state(PortId port);
@@ -192,9 +193,9 @@ class TokenBucketGate {
 
   /// True if the frame may enter; false = drop it (tokens exhausted).
   /// Unpoliced tenants (no configured rate, or rate 0) always pass.
-  bool admit(std::uint32_t tenant, std::uint64_t wire_bytes);
+  HOT_PATH bool admit(std::uint32_t tenant, std::uint64_t wire_bytes);
 
-  // lint:allow-raw-counter registered by the owning SwitchNode's group
+  // fablint:allow(raw-counter) registered by the owning SwitchNode's group
   struct Counters {
     std::uint64_t admitted = 0;
     std::uint64_t dropped = 0;

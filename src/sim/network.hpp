@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/flat_table.hpp"
 #include "common/pool.hpp"
 #include "common/result.hpp"
@@ -48,7 +49,7 @@ class NetworkNode {
 
  protected:
   /// Transmit out of `port`.  Frames to unconnected ports are dropped.
-  void send(PortId port, Packet pkt);
+  HOT_PATH void send(PortId port, Packet pkt);
   Network& net() { return net_; }
   const Network& net() const { return net_; }
   EventLoop& loop();
@@ -97,7 +98,7 @@ class Network {
   /// Construct a node of type T in place.  T's constructor must take
   /// (Network&, NodeId, ...) — the id is assigned here.
   template <typename T, typename... Args>
-  T& add_node(Args&&... args) {
+  CROSS_SHARD T& add_node(Args&&... args) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     auto node = std::make_unique<T>(*this, id, std::forward<Args>(args)...);
     T& ref = *node;
@@ -136,7 +137,9 @@ class Network {
   /// Fail or restore both directions of the link at (node, port).
   /// Frames sent into a down link are dropped (and counted); frames
   /// already in flight still arrive (they left before the cut).
-  void set_link_up(NodeId id, PortId port, bool up);
+  /// CROSS_SHARD: a link's two directions live on both endpoints, which
+  /// the sharded loop may place in different subtrees.
+  CROSS_SHARD void set_link_up(NodeId id, PortId port, bool up);
   bool link_up(NodeId id, PortId port) const;
 
   /// Fail-stop crash / revival of a whole node.  While down, every frame
@@ -146,7 +149,7 @@ class Network {
   /// modelling a durable object store: revival is a reboot, not a wipe.
   /// Transitions invoke NetworkNode::on_node_state_change and the
   /// observer (the management plane's failure detector).
-  void set_node_up(NodeId id, bool up);
+  CROSS_SHARD void set_node_up(NodeId id, bool up);
   bool node_up(NodeId id) const { return node_up_.at(id); }
 
   /// Deterministic fault schedule: crash / revive `id` at absolute
@@ -161,7 +164,11 @@ class Network {
   void set_node_observer(NodeObserver obs) { node_observer_ = std::move(obs); }
 
   /// Enqueue a frame for transmission (called via NetworkNode::send).
-  void transmit(NodeId from, PortId port, Packet pkt);
+  /// HOT_PATH: one call per frame per hop.  CROSS_SHARD: mutates the
+  /// fabric-global counters, frame-id allocator, and loss RNG — the
+  /// per-frame synchronization points the sharded loop must own
+  /// (`fablint --shard-report` lists them).
+  HOT_PATH CROSS_SHARD void transmit(NodeId from, PortId port, Packet pkt);
 
   /// Recycled payload buffers (DESIGN.md §14).  The fabric releases the
   /// payload of every frame it drops; nodes that copy or retire frames
@@ -170,7 +177,7 @@ class Network {
   BufferPool& payload_pool() { return payload_pool_; }
 
   const TrafficStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = TrafficStats{}; }
+  CROSS_SHARD void reset_stats() { stats_ = TrafficStats{}; }
 
   /// Observation hook for tests: sees every delivered frame.
   using PacketTap =
@@ -195,24 +202,35 @@ class Network {
     bool up = true;
   };
 
+  // Shard affinity (DESIGN.md §15): `ports_`/`nodes_` rows belong to the
+  // subtree that owns the node; everything marked CROSS_SHARD below is
+  // written on behalf of arbitrary nodes and is a synchronization point
+  // once the loop is partitioned (ROADMAP item 1).
   EventLoop loop_;
-  Rng rng_;
-  obs::MetricsRegistry metrics_;
-  obs::Tracer tracer_;
+  /// CROSS_SHARD: the loss draw in transmit() consumes one value per
+  /// lossy-link frame regardless of which subtree sent it; a per-shard
+  /// stream would change the digest.
+  CROSS_SHARD Rng rng_;
+  CROSS_SHARD obs::MetricsRegistry metrics_;
+  /// CROSS_SHARD: the trace/span id allocator is fabric-global.
+  CROSS_SHARD obs::Tracer tracer_;
   std::vector<std::unique_ptr<NetworkNode>> nodes_;
   /// ports_[node][port] -> outgoing direction state.
   std::vector<std::vector<Direction>> ports_;
   /// Connected node pairs (canonical lo<<32|hi), for duplicate-link
   /// rejection in try_connect.
   FlatHashSet<std::uint64_t> adjacency_;
-  BufferPool payload_pool_;
-  /// Per-node liveness (fail-stop crash state).
-  std::vector<bool> node_up_;
-  TrafficStats stats_;
+  /// CROSS_SHARD: frames are released by whichever endpoint drops them.
+  CROSS_SHARD BufferPool payload_pool_;
+  /// Per-node liveness (fail-stop crash state).  CROSS_SHARD: written by
+  /// the fault schedule, read at delivery on the receiver's shard.
+  CROSS_SHARD std::vector<bool> node_up_;
+  CROSS_SHARD TrafficStats stats_;
   PacketTap tap_;
   std::vector<PacketTap> extra_taps_;
   NodeObserver node_observer_;
-  std::uint64_t next_frame_id_ = 1;
+  /// CROSS_SHARD: fabric-wide unique frame ids, allocated per emission.
+  CROSS_SHARD std::uint64_t next_frame_id_ = 1;
 };
 
 }  // namespace objrpc

@@ -72,8 +72,8 @@ class SwitchNode : public NetworkNode {
   const SwitchConfig& config() const { return cfg_; }
 
   /// Emit on every port except `except`; pass kInvalidPort to use all.
-  void flood(PortId except, const Packet& pkt);
-  void forward(PortId out, Packet pkt) { send(out, std::move(pkt)); }
+  HOT_PATH void flood(PortId except, const Packet& pkt);
+  HOT_PATH void forward(PortId out, Packet pkt) { send(out, std::move(pkt)); }
 
   struct Counters {
     std::uint64_t received = 0;
@@ -104,11 +104,11 @@ class SwitchNode : public NetworkNode {
   obs::Tracer& tracer() { return net().tracer(); }
   obs::MetricsRegistry& metrics() { return net().metrics(); }
 
-  void on_packet(PortId in_port, Packet pkt) override;
+  HOT_PATH void on_packet(PortId in_port, Packet pkt) override;
 
  private:
-  void run_pipeline(PortId in_port, Packet pkt);
-  void apply(const Action& action, PortId in_port, Packet pkt);
+  HOT_PATH void run_pipeline(PortId in_port, Packet pkt);
+  HOT_PATH void apply(const Action& action, PortId in_port, Packet pkt);
 
   SwitchConfig cfg_;
   MatchActionTable table_;

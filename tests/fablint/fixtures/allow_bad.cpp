@@ -1,0 +1,15 @@
+// fablint fixture: suppression hygiene.  An allow without a reason is
+// malformed (an allow without a why rots); an allow that matches no
+// finding is stale (the precise check made it obsolete) and must be
+// deleted, not left to mask future regressions.
+#include <cstdint>
+
+namespace fixture {
+
+// fablint:allow(node-map)
+std::uint64_t missing_reason() { return 0; }  // EXPECT-PREV: malformed-allow
+
+// fablint:allow(entropy) once suppressed a rand() deleted long ago
+std::uint64_t nothing_here() { return 4; }  // EXPECT-PREV: stale-allow
+
+}  // namespace fixture

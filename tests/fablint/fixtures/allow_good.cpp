@@ -1,0 +1,12 @@
+// fablint fixture: good twin of allow_bad.cpp — a well-formed
+// suppression (rule id + reason) anchored at a line that genuinely
+// fires the rule.  The finding is swallowed and the allow is used, so
+// neither the rule nor stale-allow reports.  Zero findings expected.
+#include <cstdlib>
+
+namespace fixture {
+
+// fablint:allow(entropy) torture harness deliberately unseeded
+unsigned chaos_roll() { return static_cast<unsigned>(rand()); }
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// fablint fixture: mutating CROSS_SHARD state from a function that
+// does not carry the annotation.  The shard-report is PR 9's
+// synchronization work-list; an unannotated mutator is a write the
+// sharded loop would never know to fence.
+//
+// Fixtures are analyzed, never compiled, so the bare CROSS_SHARD
+// marker identifier stands in for common/annotations.hpp.
+#include <cstdint>
+
+namespace fixture {
+
+class FrameMinter {
+ public:
+  std::uint64_t mint() { return next_id_++; }  // EXPECT: cross-shard
+
+  void reset() {
+    next_id_ = 1;  // EXPECT: cross-shard
+  }
+
+  // Reads are shard-safe; no annotation needed.
+  std::uint64_t peek() const { return next_id_; }
+
+ private:
+  CROSS_SHARD std::uint64_t next_id_ = 1;
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// fablint fixture: good twin of cross_shard_bad.cpp.  Every mutator of
+// CROSS_SHARD state carries the annotation, so the shard-report
+// inventory is complete.  Zero findings expected.
+//
+// Fixtures are analyzed, never compiled, so the bare CROSS_SHARD
+// marker identifier stands in for common/annotations.hpp.
+#include <cstdint>
+
+namespace fixture {
+
+class FrameMinter {
+ public:
+  CROSS_SHARD std::uint64_t mint() { return next_id_++; }
+
+  CROSS_SHARD void reset() { next_id_ = 1; }
+
+  std::uint64_t peek() const { return next_id_; }
+
+ private:
+  CROSS_SHARD std::uint64_t next_id_ = 1;
+};
+
+}  // namespace fixture

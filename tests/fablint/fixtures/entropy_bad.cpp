@@ -1,0 +1,25 @@
+// fablint fixture: every ambient-entropy source the `entropy` rule
+// covers, one per line.  `// EXPECT: <rule>` marks the line fablint
+// must flag; the harness fails on any mismatch (missed OR spurious).
+//
+// NOT compiled — fablint fixtures are analyzed, never built.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned roll_the_dice() {
+  std::random_device rd;                          // EXPECT: entropy
+  std::mt19937 gen(rd());                         // EXPECT: entropy
+  return gen() + static_cast<unsigned>(rand());   // EXPECT: entropy
+}
+
+long what_time_is_it() {
+  long wall = time(nullptr);                      // EXPECT: entropy
+  auto tick = std::chrono::steady_clock::now();   // EXPECT: entropy
+  return wall + tick.time_since_epoch().count();
+}
+
+}  // namespace fixture

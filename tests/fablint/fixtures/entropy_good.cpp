@@ -1,0 +1,31 @@
+// fablint fixture: the good twin of entropy_bad.cpp — deterministic
+// randomness and virtual time, the patterns the rule must NOT flag.
+// Zero findings expected.
+#include <cstdint>
+
+namespace fixture {
+
+struct Rng {  // stand-in for common/rng.hpp: seeded, deterministic
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  std::uint64_t next() { return state = state * 6364136223846793005ull + 1; }
+};
+
+struct EventLoop {
+  std::int64_t now_ = 0;
+  std::int64_t now() const { return now_; }
+};
+
+std::uint64_t roll_the_dice(Rng& rng) { return rng.next(); }
+
+// Identifiers that merely CONTAIN flagged names must pass: `rand` as a
+// member call, `time` as a member, a user type named random_device.
+struct Sampler {
+  std::uint64_t rand() { return 4; }
+  std::int64_t time() const { return 0; }
+};
+
+std::uint64_t no_false_positives(Sampler& s, EventLoop& loop) {
+  return s.rand() + static_cast<std::uint64_t>(s.time() + loop.now());
+}
+
+}  // namespace fixture

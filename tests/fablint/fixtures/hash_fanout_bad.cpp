@@ -1,0 +1,42 @@
+// fablint fixture: hash-order fan-out.  Iterating a hash-ordered
+// container and sending inside the loop makes wire order depend on
+// hash layout — the classic nondeterminism the `hash-fanout` rule
+// exists for.  The taint matters: iteration alone is fine (see the
+// good twin); iteration REACHING a send-family call is not.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+template <typename K, typename V>
+struct FlatHashMap {  // stand-in for common/flat_table.hpp
+  template <typename F>
+  void for_each(F&&) {}
+};
+
+struct Fabric {
+  std::unordered_map<std::uint32_t, std::uint32_t> routes_;
+  std::unordered_set<std::uint32_t> peers_;
+  FlatHashMap<std::uint32_t, std::uint32_t> links_;
+
+  void send(std::uint32_t, std::uint32_t) {}
+
+  void notify_all() {
+    for (auto& kv : routes_) {  // EXPECT: hash-fanout
+      send(kv.first, kv.second);
+    }
+  }
+
+  void ping_peers() {
+    for (auto peer : peers_) {  // EXPECT: hash-fanout
+      send(peer, 0);
+    }
+  }
+
+  void flood_links() {
+    links_.for_each([&](std::uint32_t n) { send(n, 0); });  // EXPECT: hash-fanout
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// fablint fixture: good twin of hash_fanout_bad.cpp.  Two patterns the
+// taint-aware rule must NOT flag: (a) iterating a hash-ordered
+// container WITHOUT sending (collect, then sort, then send from the
+// sorted view); (b) sending while iterating an ordered container.
+// Zero findings expected.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Fabric {
+  std::unordered_map<std::uint32_t, std::uint32_t> routes_;
+  std::vector<std::uint32_t> order_;
+
+  void send(std::uint32_t, std::uint32_t) {}
+
+  void notify_all_sorted() {
+    std::vector<std::uint32_t> ids;
+    for (auto& kv : routes_) {  // iteration alone: no taint, no finding
+      ids.push_back(kv.first);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (auto id : ids) {  // sorted view: deterministic fan-out order
+      send(id, 0);
+    }
+  }
+
+  std::uint64_t census() {
+    std::uint64_t sum = 0;
+    for (auto& kv : routes_) {  // read-only fold, never reaches the wire
+      sum += kv.second;
+    }
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// fablint fixture: heap allocation reachable from a HOT_PATH function.
+// The rule chases the call graph from every HOT_PATH definition, so
+// the allocation two hops down in `refill` is flagged even though the
+// entry point itself never says `new`.
+// Fixtures are analyzed, never compiled, so the bare HOT_PATH /
+// MAY_ALLOC marker identifiers stand in for common/annotations.hpp.
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Frame {
+  std::uint64_t id = 0;
+};
+
+class Channel {
+ public:
+  HOT_PATH void on_frame(Frame f) {
+    record(f);
+    stash(f);
+  }
+
+ private:
+  void record(Frame f) { refill(f.id); }
+  void refill(std::uint64_t id) {
+    auto* slab = new std::uint8_t[64];  // EXPECT: hotpath-alloc
+    slab[0] = static_cast<std::uint8_t>(id);
+    delete[] slab;                      // EXPECT: hotpath-alloc
+  }
+  void stash(Frame f) {
+    inflight_.emplace(f.id, f);        // EXPECT: hotpath-alloc
+  }
+
+  std::unordered_map<std::uint64_t, Frame> inflight_;
+};
+
+}  // namespace fixture

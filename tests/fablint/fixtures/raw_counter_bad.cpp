@@ -1,0 +1,22 @@
+// fablint fixture: a raw `Counters` struct in a file with no
+// obs-registry registration.  Counters that never reach the metrics
+// registry are invisible to dashboards and to the invariant checker's
+// conservation rules — the `raw-counter` rule forces the author to
+// either register them or state why not.
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  struct Counters {  // EXPECT: raw-counter
+    std::uint64_t produced = 0;
+    std::uint64_t dropped = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Counters counters_;
+};
+
+}  // namespace fixture

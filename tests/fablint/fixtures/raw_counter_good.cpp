@@ -1,0 +1,26 @@
+// fablint fixture: good twin of raw_counter_bad.cpp.  The same
+// Counters struct is fine once the file registers with the obs
+// registry (an obs::SourceGroup member wires every counter into
+// MetricsRegistry snapshots).  Zero findings expected.
+#include <cstdint>
+
+namespace fixture {
+
+namespace obs {
+struct SourceGroup {};  // stand-in for src/obs/metrics.hpp
+}
+
+class Widget {
+ public:
+  struct Counters {
+    std::uint64_t produced = 0;
+    std::uint64_t dropped = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Counters counters_;
+  obs::SourceGroup metrics_;  // registered: rule stands down
+};
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// fablint fixture: node-based containers on the simulator path (this
+// file lives under a sim/ directory, which scopes the `node-map`
+// rule).  std::map / std::set / std::list cost one cache miss per hop
+// at 1000-host scale; the flat tables in common/flat_table.hpp are the
+// sanctioned replacement.
+#include <cstdint>
+#include <list>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct RouteTable {
+  std::map<std::uint32_t, std::uint32_t> next_hop_;  // EXPECT: node-map
+  std::set<std::uint32_t> members_;                  // EXPECT: node-map
+};
+
+void drain_backlog() {
+  std::list<std::uint64_t> backlog;  // EXPECT: node-map
+  backlog.push_back(1);
+}
+
+}  // namespace fixture

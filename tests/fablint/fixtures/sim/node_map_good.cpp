@@ -1,0 +1,22 @@
+// fablint fixture: good twin of node_map_bad.cpp.  Flat tables and
+// vectors are the sanctioned simulator-path containers, and a
+// declaration-attached suppression (with its mandatory reason) covers
+// the one legitimate ordered map.  Zero findings expected.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fixture {
+
+template <typename K, typename V>
+struct FlatHashMap {};  // stand-in for common/flat_table.hpp
+
+struct RouteTable {
+  FlatHashMap<std::uint32_t, std::uint32_t> next_hop_;
+  std::vector<std::uint32_t> members_;
+  /// Ordered by design: the checker snapshots tenants in id order.
+  // fablint:allow(node-map) config table, walked in key order by tests
+  std::map<std::uint32_t, std::uint32_t> tenant_rates_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// fablint fixture: SmallFn captures that spill the inline buffer.
+// BasicSmallFn silently heap-allocates when the closure outgrows its
+// buffer — the `smallfn-spill` rule computes a capture-layout lower
+// bound at the construction site and flags the spill statically.
+// The tiny 16-byte alias keeps the fixture self-contained.
+#include <cstdint>
+
+namespace fixture {
+
+template <std::size_t N>
+class BasicSmallFn {};  // stand-in for common/small_fn.hpp
+
+using SmallFn = BasicSmallFn<16>;
+
+struct Packet {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint64_t frame_id = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t checksum = 0;
+};
+
+class Link {
+ public:
+  void schedule_at(std::uint64_t, SmallFn) {}
+
+  void deliver(Packet pkt, std::uint64_t at) {
+    // Packet alone is 48 bytes -> spills the 16-byte buffer.
+    schedule_at(at, [pkt]() { (void)pkt; });  // EXPECT: smallfn-spill
+  }
+
+  void deliver_moved(Packet pkt, std::uint64_t seq) {
+    SmallFn cb = [p = std::move(pkt), seq]() {  // EXPECT: smallfn-spill
+      (void)p;
+      (void)seq;
+    };
+    (void)cb;
+  }
+};
+
+}  // namespace fixture

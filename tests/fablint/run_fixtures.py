@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fixture harness for fablint (tools/fablint).
+
+Each fixture file under fixtures/ is analyzed in isolation and its
+findings are diffed against inline expectations:
+
+    int* p = new int;   // EXPECT: hotpath-alloc
+    // fablint:allow(node-map)
+    int next() { ... }  // EXPECT-PREV: malformed-allow
+
+`EXPECT: <rule>` demands exactly that rule on exactly that line;
+`EXPECT-PREV: <rule>` anchors to the line above (for findings that
+land on comment lines, where an inline EXPECT would change the text
+under test).  Files with no expectations are "good twins" and must
+produce zero findings.  Any mismatch — a missed finding OR a spurious
+one — fails the fixture, so the corpus pins both rule sensitivity and
+rule precision.
+
+Usage: run_fixtures.py <fablint-binary> <fixtures-dir>
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"EXPECT(-PREV)?:\s*([a-z][a-z-]*)")
+FINDING_RE = re.compile(r"^(.*?):(\d+): \[([a-z-]+)\] (.*)$")
+
+
+def expected_findings(path: pathlib.Path):
+    want = set()
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        for prev, rule in EXPECT_RE.findall(text):
+            want.add((lineno - 1 if prev else lineno, rule))
+    return want
+
+
+def actual_findings(fablint: str, path: pathlib.Path):
+    proc = subprocess.run(
+        [fablint, str(path)], capture_output=True, text=True, check=False
+    )
+    if proc.returncode not in (0, 1):
+        sys.stderr.write(
+            f"fablint crashed on {path} (exit {proc.returncode}):\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+        sys.exit(2)
+    got = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            got.add((int(m.group(2)), m.group(3)))
+    return got
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    fablint, fixture_dir = sys.argv[1], pathlib.Path(sys.argv[2])
+    fixtures = sorted(fixture_dir.rglob("*.cpp"))
+    if not fixtures:
+        sys.stderr.write(f"no fixtures under {fixture_dir}\n")
+        return 2
+
+    failures = 0
+    for fx in fixtures:
+        want = expected_findings(fx)
+        got = actual_findings(fablint, fx)
+        rel = fx.relative_to(fixture_dir)
+        if want == got:
+            kind = "good twin" if not want else f"{len(want)} finding(s)"
+            print(f"  ok   {rel} ({kind})")
+            continue
+        failures += 1
+        print(f"  FAIL {rel}")
+        for line, rule in sorted(want - got):
+            print(f"         missed: expected [{rule}] at line {line}")
+        for line, rule in sorted(got - want):
+            print(f"       spurious: reported [{rule}] at line {line}")
+
+    total = len(fixtures)
+    print(f"{total - failures}/{total} fixtures pass")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

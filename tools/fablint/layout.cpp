@@ -1,0 +1,233 @@
+#include "layout.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fablint {
+
+namespace {
+
+std::size_t round_up(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+/// Strip cv-qualifiers and elaborated-type keywords from the edges.
+std::string strip_qualifiers(std::string t) {
+  const char* prefixes[] = {"const ", "volatile ", "struct ", "class ",
+                            "typename ", "mutable ", "static ", "constexpr "};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const char* p : prefixes) {
+      const std::size_t len = std::string(p).size();
+      if (t.rfind(p, 0) == 0) {
+        t = t.substr(len);
+        changed = true;
+      }
+    }
+    // `int const` postfix form.
+    if (t.size() > 6 && t.compare(t.size() - 6, 6, " const") == 0) {
+      t = t.substr(0, t.size() - 6);
+      changed = true;
+    }
+  }
+  return t;
+}
+
+/// Split "name<arg1,arg2>" into the template name and top-level args.
+bool split_template(const std::string& t, std::string* name,
+                    std::vector<std::string>* args) {
+  const auto lt = t.find('<');
+  if (lt == std::string::npos || t.back() != '>') return false;
+  *name = t.substr(0, lt);
+  int depth = 0;
+  std::string cur;
+  for (std::size_t i = lt; i + 1 < t.size(); ++i) {
+    const char c = t[i];
+    if (c == '<' || c == '(' || c == '[') {
+      if (depth++ > 0) cur += c;
+      continue;
+    }
+    if (c == '>' || c == ')' || c == ']') {
+      if (--depth > 0) cur += c;
+      continue;
+    }
+    if (c == ',' && depth == 1) {
+      args->push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) args->push_back(cur);
+  return true;
+}
+
+std::optional<Layout> builtin(const std::string& t) {
+  struct Entry {
+    const char* name;
+    std::size_t size;
+  };
+  static const Entry kTable[] = {
+      {"bool", 1},          {"char", 1},
+      {"signed char", 1},   {"unsigned char", 1},
+      {"char8_t", 1},       {"std::int8_t", 1},
+      {"std::uint8_t", 1},  {"int8_t", 1},
+      {"uint8_t", 1},       {"short", 2},
+      {"unsigned short", 2},{"char16_t", 2},
+      {"std::int16_t", 2},  {"std::uint16_t", 2},
+      {"int16_t", 2},       {"uint16_t", 2},
+      {"int", 4},           {"unsigned", 4},
+      {"unsigned int", 4},  {"float", 4},
+      {"char32_t", 4},      {"wchar_t", 4},
+      {"std::int32_t", 4},  {"std::uint32_t", 4},
+      {"int32_t", 4},       {"uint32_t", 4},
+      {"long", 8},          {"unsigned long", 8},
+      {"long long", 8},     {"unsigned long long", 8},
+      {"long int", 8},      {"unsigned long int", 8},
+      {"double", 8},        {"std::int64_t", 8},
+      {"std::uint64_t", 8}, {"int64_t", 8},
+      {"uint64_t", 8},      {"std::size_t", 8},
+      {"size_t", 8},        {"std::ptrdiff_t", 8},
+      {"std::uintptr_t", 8},{"std::intptr_t", 8},
+      {"long double", 16},  {"std::nullptr_t", 8},
+  };
+  for (const Entry& e : kTable) {
+    if (t == e.name) return Layout{e.size, e.size > 8 ? 16 : e.size};
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Layout> LayoutEngine::of_type(const std::string& raw) const {
+  const std::string t = strip_qualifiers(raw);
+  if (t.empty()) return std::nullopt;
+
+  if (auto it = cache_.find(t); it != cache_.end()) return it->second;
+  // Recursion guard (self-referential via pointers is handled below;
+  // anything else unresolvable).
+  if (std::find(in_progress_.begin(), in_progress_.end(), t) !=
+      in_progress_.end()) {
+    return std::nullopt;
+  }
+
+  auto memo = [&](std::optional<Layout> l) {
+    cache_[t] = l;
+    return l;
+  };
+
+  // Pointers and references are one word regardless of pointee.
+  if (t.back() == '*' || t.back() == '&') return memo(Layout{8, 8});
+
+  if (t == "std::string" || t == "string") return memo(Layout{32, 8});
+
+  if (auto b = builtin(t)) return memo(b);
+
+  std::string name;
+  std::vector<std::string> args;
+  if (split_template(t, &name, &args)) {
+    auto arg_layout = [&](std::size_t i) -> std::optional<Layout> {
+      return i < args.size() ? of_type(args[i]) : std::nullopt;
+    };
+    // libstdc++ x86-64 sizes for the std vocabulary the project uses.
+    if (name == "std::vector" || name == "vector") return memo(Layout{24, 8});
+    if (name == "std::deque" || name == "deque") return memo(Layout{80, 8});
+    if (name == "std::basic_string") return memo(Layout{32, 8});
+    if (name == "std::unique_ptr" || name == "unique_ptr") {
+      return memo(Layout{8, 8});
+    }
+    if (name == "std::shared_ptr" || name == "std::weak_ptr") {
+      return memo(Layout{16, 8});
+    }
+    if (name == "std::function" || name == "function") {
+      return memo(Layout{32, 8});
+    }
+    if (name == "std::span" || name == "std::string_view") {
+      return memo(Layout{16, 8});
+    }
+    if (name == "std::optional" || name == "optional") {
+      if (auto a = arg_layout(0)) {
+        return memo(Layout{round_up(a->size + 1, a->align), a->align});
+      }
+      return memo(std::nullopt);
+    }
+    if (name == "std::atomic" || name == "atomic") {
+      if (auto a = arg_layout(0)) return memo(a);
+      return memo(std::nullopt);
+    }
+    if (name == "std::pair" || name == "pair" || name == "std::tuple" ||
+        name == "tuple") {
+      std::size_t size = 0, align = 1;
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        auto a = arg_layout(i);
+        if (!a) return memo(std::nullopt);
+        size = round_up(size, a->align) + a->size;
+        align = std::max(align, a->align);
+      }
+      return memo(Layout{round_up(std::max<std::size_t>(size, 1), align),
+                         align});
+    }
+    if (name == "std::array" || name == "array") {
+      auto a = arg_layout(0);
+      if (!a || args.size() < 2) return memo(std::nullopt);
+      const long long n = std::atoll(args[1].c_str());
+      if (n <= 0) return memo(std::nullopt);
+      return memo(Layout{a->size * static_cast<std::size_t>(n), a->align});
+    }
+    if (name == "std::map" || name == "std::set") return memo(Layout{48, 8});
+    if (name == "std::unordered_map" || name == "std::unordered_set") {
+      return memo(Layout{56, 8});
+    }
+    if (name == "std::list" || name == "list") return memo(Layout{24, 8});
+    if (name == "FlatHashMap" || name == "FlatHashSet") {
+      // common/flat_table.hpp: slot vector + size/tombstone bookkeeping.
+      return memo(Layout{40, 8});
+    }
+    if (name == "BasicSmallFn") {
+      // ops pointer + buffer aligned to max_align_t (16).
+      const long long n = args.empty() ? 0 : std::atoll(args[0].c_str());
+      if (n <= 0) return memo(std::nullopt);
+      return memo(
+          Layout{round_up(16 + static_cast<std::size_t>(n), 16), 16});
+    }
+    // Unknown template: try it as a project struct by base name (a
+    // non-template match would be a different entity; give up instead).
+    return memo(std::nullopt);
+  }
+
+  // Alias chain (using X = Y;), bounded.
+  {
+    std::string cur = t;
+    for (int depth = 0; depth < 8; ++depth) {
+      auto it = corpus_.aliases.find(cur);
+      if (it == corpus_.aliases.end()) break;
+      cur = strip_qualifiers(it->second);
+      if (auto l = of_type(cur)) return memo(l);
+    }
+  }
+
+  // Project struct.
+  if (auto it = corpus_.structs_by_name.find(t);
+      it != corpus_.structs_by_name.end()) {
+    in_progress_.push_back(t);
+    auto l = of_struct(*it->second);
+    in_progress_.pop_back();
+    return memo(l);
+  }
+  return memo(std::nullopt);
+}
+
+std::optional<Layout> LayoutEngine::of_struct(const StructDef& def) const {
+  std::size_t size = 0, align = 1;
+  for (const VarDecl& m : def.members) {
+    auto l = of_type(m.type_text);
+    if (!l) return std::nullopt;
+    size = round_up(size, l->align) + l->size;
+    align = std::max(align, l->align);
+  }
+  if (size == 0) return Layout{1, 1};  // empty struct
+  return Layout{round_up(size, align), align};
+}
+
+}  // namespace fablint

@@ -1,0 +1,39 @@
+// fablint: best-effort type layout estimation (size/alignment).
+//
+// The smallfn-spill rule needs sizeof() for lambda captures without a
+// compiler.  This engine computes struct layouts from the parsed member
+// lists — builtin scalar sizes, a table of std:: vocabulary types at
+// their libstdc++ x86-64 sizes, alias resolution, and recursive project
+// structs with natural alignment.  Anything it cannot resolve is
+// `nullopt`, and the rule treats unknown capture sizes as a LOWER bound
+// of one pointer — it never reports on a guess.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "model.hpp"
+
+namespace fablint {
+
+struct Layout {
+  std::size_t size = 0;
+  std::size_t align = 1;
+};
+
+class LayoutEngine {
+ public:
+  explicit LayoutEngine(const Corpus& corpus) : corpus_(corpus) {}
+
+  /// Layout of a canonical type string (join_type form), or nullopt.
+  std::optional<Layout> of_type(const std::string& type_text) const;
+
+ private:
+  std::optional<Layout> of_struct(const StructDef& def) const;
+
+  const Corpus& corpus_;
+  mutable std::map<std::string, std::optional<Layout>> cache_;
+  mutable std::vector<std::string> in_progress_;
+};
+
+}  // namespace fablint

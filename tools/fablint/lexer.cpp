@@ -1,0 +1,181 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace fablint {
+
+namespace {
+
+const char* kPunct3[] = {"<<=", ">>=", "...", "->*"};
+const char* kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=",
+                         "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+                         "%=", "&=", "|=", "^=", ".*"};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+  bool at_line_start = true;
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: swallow through continuation lines.
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          text += ' ';
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        text += src[i++];
+      }
+      out.push_back({Tok::kPreproc, std::move(text), start_line});
+      continue;
+    }
+    at_line_start = false;
+
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      std::string text;
+      i += 2;
+      while (i < n && src[i] != '\n') text += src[i++];
+      out.push_back({Tok::kComment, std::move(text), line});
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      std::string text;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        text += src[i++];
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      out.push_back({Tok::kComment, std::move(text), start_line});
+      continue;
+    }
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n') {
+        delim += src[j++];
+      }
+      if (j < n && src[j] == '(') {
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = src.find(closer, j + 1);
+        if (end == std::string::npos) end = n;
+        for (std::size_t k = i; k < end && k < n; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        i = end == n ? n : end + closer.size();
+        out.push_back({Tok::kString, "R\"...\"", line});
+        continue;
+      }
+      // Not a raw string after all; fall through as identifier 'R'.
+    }
+
+    // String / char literal.  The payload is kept (suppression macros
+    // carry their rule id and reason in a string literal).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::string text;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i++];
+        }
+        if (src[i] == '\n') ++line;
+        text += src[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      out.push_back({quote == '"' ? Tok::kString : Tok::kChar,
+                     std::move(text), start_line});
+      continue;
+    }
+
+    // Number (incl. hex, digit separators, suffixes, floats).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string text;
+      while (i < n) {
+        const char d = src[i];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.' ||
+            d == '\'' ||
+            ((d == '+' || d == '-') && i > 0 &&
+             (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+              src[i - 1] == 'P'))) {
+          text += d;
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.push_back({Tok::kNumber, std::move(text), line});
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        text += src[i++];
+      }
+      out.push_back({Tok::kIdent, std::move(text), line});
+      continue;
+    }
+
+    // Punctuation, maximal munch.
+    bool matched = false;
+    for (const char* p : kPunct3) {
+      if (c == p[0] && peek(1) == p[1] && peek(2) == p[2]) {
+        out.push_back({Tok::kPunct, p, line});
+        i += 3;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const char* p : kPunct2) {
+      if (c == p[0] && peek(1) == p[1]) {
+        out.push_back({Tok::kPunct, p, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    out.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+
+  out.push_back({Tok::kEof, "", line});
+  return out;
+}
+
+}  // namespace fablint

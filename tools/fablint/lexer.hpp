@@ -1,0 +1,43 @@
+// fablint: C++ token stream (DESIGN.md §15).
+//
+// fablint analyzes the project's own sources, so the lexer handles the
+// full C++ surface the codebase uses — raw strings, digit separators,
+// line-spliced preprocessor directives — but nothing it doesn't (no
+// trigraphs, no UCNs).  Comments are kept as tokens: suppression tags
+// (`// fablint:allow(rule) why`) attach to declarations through them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fablint {
+
+enum class Tok : std::uint8_t {
+  kIdent,    // identifiers and keywords (callers check the text)
+  kNumber,
+  kString,   // "..." and R"(...)" (text excludes the payload)
+  kChar,
+  kPunct,    // maximal-munch operator / punctuator
+  kComment,  // // and /* */; text is the comment body
+  kPreproc,  // a whole # directive including continuation lines
+  kEof,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  int line = 0;
+};
+
+/// Lex `source` into tokens.  Never fails: unrecognized bytes become
+/// single-character punctuators, which is fine for an analyzer that
+/// only pattern-matches structure.
+std::vector<Token> lex(const std::string& source);
+
+/// True for tokens rules should skip when scanning code structure.
+inline bool is_trivia(const Token& t) {
+  return t.kind == Tok::kComment || t.kind == Tok::kPreproc;
+}
+
+}  // namespace fablint

@@ -1,46 +1,27 @@
 #!/usr/bin/env python3
-"""Convention linter: reject nondeterminism hazards before they ship.
+"""Convention linter: src/load strict determinism rules.
 
-The simulation's contract is full determinism in the seed (DESIGN.md §7,
-enforced end-to-end by tools/determinism_audit).  Two classes of code
-break that contract quietly:
+Historical note: this linter once carried regex approximations of four
+repo-wide rules — ambient entropy, hash-order fan-out, raw counter
+structs, node-based maps under src/sim.  Those graduated to AST-level
+checks in tools/fablint (rules `entropy`, `hash-fanout`, `raw-counter`,
+`node-map`), which resolve declarations and call chains instead of
+pattern-matching lines; run `fablint src` or see DESIGN.md §15.  What
+remains here is the one scope fablint does not model: src/load's
+*numerical* determinism.
 
-  1. Ambient entropy — rand()/srand()/std::random_device, wall-clock
-     time (time(), clock(), std::chrono::*_clock).  All randomness must
-     flow through common/rng (seeded splitmix streams); all time is
-     EventLoop sim time.
+The load generator's arrival times and popularity draws feed the
+determinism digest directly, so src/load is held to rules stricter
+than the global entropy ban:
 
-  2. Hash-order iteration — a range-for over a std::unordered_{map,set}
-     feeding protocol decisions or wire output.  Iteration order there
-     depends on the allocator and hash salt, so two same-seed runs can
-     emit frames in different orders.  Protocol fan-out must iterate a
-     sorted view (see fetch.cpp's copyset fan-out) or an order-stable
-     container.
+  * no <random> — its distributions are implementation-defined across
+    standard libraries, so the same seed yields different draws on
+    libstdc++ vs libc++.  Draws must come from common/rng.
+  * no libm transcendentals (sin/cos/exp/log...) — they may differ at
+    the last ulp between platforms.  Shapes must be piecewise
+    arithmetic (see arrival.cpp's triangle wave).
 
-A site that is genuinely order-insensitive (pure aggregation, counter
-sums, destruction) can be suppressed with a trailing comment on the
-offending line:
-
-    for (auto& [id, e] : entries_) {  // lint:allow-nondet sum only
-
-or on its own line immediately above the offending one.  The reason
-after the tag is mandatory — an allow without a why rots.
-
-A third rule guards observability (DESIGN.md §12): ad-hoc `struct
-Counters` blocks of raw std::uint64_t members are invisible to the
-metrics registry.  New counter structs must live in a file that also
-attaches an obs::SourceGroup (registering the fields read-through), or
-carry `// lint:allow-raw-counter <reason>` on or above the struct line.
-
-A fourth rule guards the simulator hot path (DESIGN.md §14): files
-under src/sim must not declare std::map or std::unordered_map.  Both
-are node-based — one cache miss per hop on lookup — and the frame path
-was rebuilt around the open-addressing tables in common/flat_table.hpp
-precisely to remove those misses.  A cold-path site (per-tenant config
-populated once at setup, deterministic sorted iteration) can opt out
-with `// lint:allow-ordered-map <reason>` on or above the declaration.
-
-Usage: tools/lint_conventions.py [paths...]   (default: src/)
+Usage: tools/lint_conventions.py [paths...]   (default: src/load)
 Exit 0 = clean; 1 = violations (printed one per line, grep-style).
 """
 
@@ -48,36 +29,6 @@ import os
 import re
 import sys
 
-ALLOW_TAG = "lint:allow-nondet"
-RAW_COUNTER_TAG = "lint:allow-raw-counter"
-ORDERED_MAP_TAG = "lint:allow-ordered-map"
-
-# --- ambient entropy / wall-clock patterns -------------------------------
-ENTROPY_PATTERNS = [
-    (re.compile(r"(?<![\w:])s?rand\s*\("), "raw rand()/srand(): use common/rng"),
-    (re.compile(r"std::random_device"), "std::random_device: use common/rng"),
-    (re.compile(r"std::mt19937"), "std::mt19937: use common/rng"),
-    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0|&)"),
-     "wall-clock time(): use EventLoop sim time"),
-    (re.compile(r"(?<![\w:])clock\s*\(\s*\)"),
-     "clock(): use EventLoop sim time"),
-    (re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
-     "std::chrono clock: use EventLoop sim time"),
-    (re.compile(r"getentropy|getrandom|/dev/u?random"),
-     "OS entropy: use common/rng"),
-]
-
-# Files allowed to own entropy/clock primitives.
-ENTROPY_EXEMPT = ("common/rng",)
-
-# --- src/load strict rules ----------------------------------------------
-# The load generator's arrival times and popularity draws feed the
-# determinism digest directly, so src/load adds rules on top of the
-# global entropy set: no <random> (its distributions are
-# implementation-defined across standard libraries) and no libm
-# transcendentals (sin/cos/exp... may differ at the last ulp between
-# platforms).  Shapes must be piecewise arithmetic (see arrival.cpp's
-# triangle wave); draws must come from common/rng.
 LOAD_SCOPE = os.path.join("src", "load") + os.sep
 LOAD_STRICT_PATTERNS = [
     (re.compile(r"#\s*include\s*<random>"),
@@ -91,25 +42,6 @@ LOAD_STRICT_PATTERNS = [
      "src/load: libm transcendental varies across platforms at the "
      "last ulp; use piecewise arithmetic shapes"),
 ]
-
-# --- src/sim node-based maps --------------------------------------------
-# The hot path's tables are open-addressing (common/flat_table.hpp);
-# node-based maps reintroduce a cache miss per probe hop.
-SIM_SCOPE = os.path.join("src", "sim") + os.sep
-SIM_MAP_RE = re.compile(r"\bstd::(?:unordered_)?map\s*<")
-
-# --- unordered iteration -------------------------------------------------
-# Declarations like:  std::unordered_map<K, V> name_;   (possibly multiline
-# template args; we only need the variable name that follows the closing
-# angle bracket on the same logical line.)
-DECL_RE = re.compile(
-    r"\bunordered_(?:map|set)\s*<[^;{}]*?>\s+(\w+)\s*[;{=]")
-RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;)]*?:\s*([^)]+)\)")
-
-# --- unregistered counter structs ---------------------------------------
-COUNTER_STRUCT_RE = re.compile(r"^\s*struct\s+Counters\b")
-# Files under src/obs define the registry itself.
-RAW_COUNTER_EXEMPT = (os.path.join("src", "obs") + os.sep,)
 
 
 def strip_comments(line):
@@ -130,80 +62,22 @@ def iter_source_files(paths):
 
 
 def lint_file(path):
+    if LOAD_SCOPE not in path and not path.startswith("load"):
+        return []
     with open(path, "r", encoding="utf-8", errors="replace") as f:
         lines = f.read().splitlines()
 
     violations = []
-    entropy_ok = any(tag in path for tag in ENTROPY_EXEMPT)
-    counters_ok = (any(tag in path for tag in RAW_COUNTER_EXEMPT)
-                   or "obs::SourceGroup" in "\n".join(lines))
-
-    # Pass 1: names of unordered containers declared anywhere in the file
-    # (members and locals alike).  Joined text so multiline declarations
-    # still match.
-    joined = "\n".join(strip_comments(l) for l in lines)
-    unordered_names = set(DECL_RE.findall(joined))
-
-    # Pass 2: per-line checks.  An allow tag suppresses its own line and
-    # the line after it (so the annotation can sit above a long loop).
     for i, raw in enumerate(lines, start=1):
-        if RAW_COUNTER_TAG in raw and \
-                not raw.split(RAW_COUNTER_TAG, 1)[1].strip():
-            violations.append(
-                (i, f"{RAW_COUNTER_TAG} needs a reason after the tag"))
-        if (not counters_ok and COUNTER_STRUCT_RE.match(raw)
-                and RAW_COUNTER_TAG not in raw
-                and (i < 2 or RAW_COUNTER_TAG not in lines[i - 2])):
-            violations.append(
-                (i, "raw Counters struct without obs registry "
-                    "registration: attach an obs::SourceGroup or annotate "
-                    f"'// {RAW_COUNTER_TAG} <reason>'"))
-        if ORDERED_MAP_TAG in raw and \
-                not raw.split(ORDERED_MAP_TAG, 1)[1].strip():
-            violations.append(
-                (i, f"{ORDERED_MAP_TAG} needs a reason after the tag"))
-        if (SIM_SCOPE in path and SIM_MAP_RE.search(strip_comments(raw))
-                and ORDERED_MAP_TAG not in raw
-                and (i < 2 or ORDERED_MAP_TAG not in lines[i - 2])):
-            violations.append(
-                (i, "src/sim: node-based std::map/std::unordered_map on "
-                    "the simulator path: use common/flat_table.hpp or "
-                    f"annotate '// {ORDERED_MAP_TAG} <reason>'"))
-        if i >= 2 and ALLOW_TAG in lines[i - 2]:
-            continue
-        if ALLOW_TAG in raw:
-            if not raw.split(ALLOW_TAG, 1)[1].strip():
-                violations.append(
-                    (i, f"{ALLOW_TAG} needs a reason after the tag"))
-            continue  # explicitly suppressed (with rationale)
         line = strip_comments(raw)
-
-        if not entropy_ok:
-            for pattern, why in ENTROPY_PATTERNS:
-                if pattern.search(line):
-                    violations.append((i, why))
-
-        if LOAD_SCOPE in path:
-            for pattern, why in LOAD_STRICT_PATTERNS:
-                if pattern.search(line):
-                    violations.append((i, why))
-
-        m = RANGE_FOR_RE.search(line)
-        if m:
-            domain = m.group(1).strip()
-            base = re.split(r"[.\->(\[]", domain, 1)[0].strip().rstrip("_")
-            for name in unordered_names:
-                if base == name.rstrip("_") or domain == name:
-                    violations.append(
-                        (i, f"range-for over unordered container "
-                            f"'{name}': iterate a sorted view or annotate "
-                            f"'// {ALLOW_TAG} <reason>'"))
-                    break
+        for pattern, why in LOAD_STRICT_PATTERNS:
+            if pattern.search(line):
+                violations.append((i, why))
     return violations
 
 
 def main():
-    paths = sys.argv[1:] or ["src"]
+    paths = sys.argv[1:] or [os.path.join("src", "load")]
     total = 0
     for path in iter_source_files(paths):
         for lineno, why in lint_file(path):
