@@ -16,6 +16,13 @@
 //     by an open-loop packet schedule and run under an ARMED invariant
 //     checker.  Reports events/sec, delivered packets/sec, and the
 //     sim-time/wall-time ratio.  Checker violations fail the bench.
+//
+//  3. `shards_*` — the same open-loop workload swept over 1/2/4/8
+//     shards on two fabrics (the 32x32x32 leaf-spine and a 1024-host
+//     fat-tree, k=16), wire digest armed.  Every point must produce the
+//     1-shard digest byte-for-byte (`shards_digest_match`); the scaling
+//     ratios are gated by tools/simcore_gate.py only when the machine
+//     has the cores to show them (`cores`).
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -24,6 +31,7 @@
 #include <optional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -31,6 +39,7 @@
 #include "common/rng.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/network.hpp"
+#include "sim/shard.hpp"
 #include "sim/switch_node.hpp"
 #include "sim/topology.hpp"
 
@@ -165,12 +174,20 @@ struct FabricResult {
   std::size_t violations = 0;
 };
 
-FabricResult run_fabric(std::uint64_t packets) {
-  Network net(2026);
-  LeafSpineParams params;
-  params.spines = 32;
-  params.leaves = 32;
-  params.hosts_per_leaf = 32;
+std::optional<ParsedKey> dst_key_extractor(const Packet& pkt) {
+  if (pkt.data.size() < 8) return std::nullopt;
+  std::uint64_t dst = 0;
+  for (int i = 0; i < 8; ++i) {
+    dst |= std::uint64_t{pkt.data[static_cast<std::size_t>(i)]} << (8 * i);
+  }
+  return ParsedKey(U128{0, dst}, false);
+}
+
+/// 32x32x32 leaf-spine with every switch forwarding on the exact-match
+/// destination key (spine -> leaf, leaf -> local host or up via the
+/// host-indexed spine).
+LeafSpineTopology build_routed_leaf_spine(Network& net,
+                                          const LeafSpineParams& params) {
   SwitchConfig scfg;
   scfg.key_bits = 64;
   auto topo = build_leaf_spine(
@@ -179,18 +196,9 @@ FabricResult run_fabric(std::uint64_t packets) {
         return net.add_node<SwitchNode>(n, scfg).id();
       },
       [&](const std::string& n) { return net.add_node<BenchSink>(n).id(); });
-
-  auto extractor = [](const Packet& pkt) -> std::optional<ParsedKey> {
-    if (pkt.data.size() < 8) return std::nullopt;
-    std::uint64_t dst = 0;
-    for (int i = 0; i < 8; ++i) {
-      dst |= std::uint64_t{pkt.data[static_cast<std::size_t>(i)]} << (8 * i);
-    }
-    return ParsedKey(U128{0, dst}, false);
-  };
   for (std::uint32_t s = 0; s < params.spines; ++s) {
     auto& sw = static_cast<SwitchNode&>(net.node(topo.spines[s]));
-    sw.set_key_extractor(extractor);
+    sw.set_key_extractor(dst_key_extractor);
     for (std::uint64_t h = 0; h < topo.host_count(); ++h) {
       sw.table().insert(U128{0, h}, Action::forward_to(static_cast<PortId>(
                                         h / params.hosts_per_leaf)));
@@ -198,7 +206,7 @@ FabricResult run_fabric(std::uint64_t packets) {
   }
   for (std::uint32_t l = 0; l < params.leaves; ++l) {
     auto& sw = static_cast<SwitchNode&>(net.node(topo.leaves[l]));
-    sw.set_key_extractor(extractor);
+    sw.set_key_extractor(dst_key_extractor);
     for (std::uint64_t h = 0; h < topo.host_count(); ++h) {
       const auto leaf_of =
           static_cast<std::uint32_t>(h / params.hosts_per_leaf);
@@ -209,17 +217,70 @@ FabricResult run_fabric(std::uint64_t packets) {
       sw.table().insert(U128{0, h}, Action::forward_to(out));
     }
   }
+  return topo;
+}
 
-  check::InvariantChecker checker(net);
-  net.loop().set_drain_hook([&checker] { checker.on_quiesce(); });
+/// 1024-host fat-tree (k=16) with deterministic exact-match routing:
+/// upward port choice hashes on the destination index, so every
+/// (src, dst) pair takes one fixed path (the digest needs that).
+FatTreeTopology build_routed_fat_tree(Network& net,
+                                      const FatTreeParams& params) {
+  SwitchConfig scfg;
+  scfg.key_bits = 64;
+  auto topo = build_fat_tree(
+      net, params,
+      [&](const std::string& n) {
+        return net.add_node<SwitchNode>(n, scfg).id();
+      },
+      [&](const std::string& n) { return net.add_node<BenchSink>(n).id(); });
+  const std::uint64_t m = params.k / 2;
+  const std::uint64_t hosts = topo.host_count();
+  auto pod_of = [m](std::uint64_t h) { return h / (m * m); };
+  auto edge_of = [m](std::uint64_t h) { return (h / m) % m; };
+  for (std::uint64_t p = 0; p < params.k; ++p) {
+    for (std::uint64_t e = 0; e < m; ++e) {
+      auto& sw = static_cast<SwitchNode&>(net.node(topo.edges[p * m + e]));
+      sw.set_key_extractor(dst_key_extractor);
+      for (std::uint64_t h = 0; h < hosts; ++h) {
+        const PortId out = (pod_of(h) == p && edge_of(h) == e)
+                               ? static_cast<PortId>(h % m)
+                               : static_cast<PortId>(m + h % m);
+        sw.table().insert(U128{0, h}, Action::forward_to(out));
+      }
+    }
+    for (std::uint64_t a = 0; a < m; ++a) {
+      auto& sw = static_cast<SwitchNode&>(net.node(topo.aggs[p * m + a]));
+      sw.set_key_extractor(dst_key_extractor);
+      for (std::uint64_t h = 0; h < hosts; ++h) {
+        const PortId out = pod_of(h) == p
+                               ? static_cast<PortId>(edge_of(h))
+                               : static_cast<PortId>(m + (h / m) % m);
+        sw.table().insert(U128{0, h}, Action::forward_to(out));
+      }
+    }
+  }
+  for (NodeId core : topo.cores) {
+    auto& sw = static_cast<SwitchNode&>(net.node(core));
+    sw.set_key_extractor(dst_key_extractor);
+    for (std::uint64_t h = 0; h < hosts; ++h) {
+      sw.table().insert(U128{0, h},
+                        Action::forward_to(static_cast<PortId>(pod_of(h))));
+    }
+  }
+  return topo;
+}
 
-  // Open-loop injection: `packets` sends spread across sim time from
-  // rng-chosen hosts, scheduled up front so the run is pure hot path.
+/// Open-loop injection: `packets` sends spread across sim time from
+/// rng-chosen hosts, scheduled up front so the run is pure hot path.
+/// schedule_on (not schedule_at) homes each send on its source's shard,
+/// which also pins the canonical event key independent of shard count.
+void inject_open_loop(Network& net, const std::vector<NodeId>& hosts,
+                      std::uint64_t packets) {
   Rng workload(2026 ^ 0xBEEF);
+  const std::uint64_t n = hosts.size();
   for (std::uint64_t i = 0; i < packets; ++i) {
-    const auto src =
-        static_cast<std::uint32_t>(workload.next_below(topo.host_count()));
-    std::uint64_t dst = workload.next_below(topo.host_count() - 1);
+    const auto src = static_cast<std::uint32_t>(workload.next_below(n));
+    std::uint64_t dst = workload.next_below(n - 1);
     if (dst >= src) ++dst;
     Packet pkt;
     pkt.data.assign(64 + workload.next_below(1400), 0x5A);
@@ -228,11 +289,25 @@ FabricResult run_fabric(std::uint64_t packets) {
           static_cast<std::uint8_t>(dst >> (8 * b));
     }
     const SimTime at = (i / 256) * kMicrosecond + workload.next_below(999);
-    auto* host = static_cast<BenchSink*>(&net.node(topo.hosts[src]));
-    net.loop().schedule_at(at, [host, pkt = std::move(pkt)]() mutable {
+    auto* host = static_cast<BenchSink*>(&net.node(hosts[src]));
+    net.schedule_on(hosts[src], at, [host, pkt = std::move(pkt)]() mutable {
       host->transmit(0, std::move(pkt));
     });
   }
+}
+
+FabricResult run_fabric(std::uint64_t packets) {
+  Network net(2026);
+  LeafSpineParams params;
+  params.spines = 32;
+  params.leaves = 32;
+  params.hosts_per_leaf = 32;
+  auto topo = build_routed_leaf_spine(net, params);
+
+  check::InvariantChecker checker(net);
+  net.loop().set_drain_hook([&checker] { checker.on_quiesce(); });
+
+  inject_open_loop(net, topo.hosts, packets);
 
   const auto start = std::chrono::steady_clock::now();
   net.loop().run();
@@ -248,6 +323,42 @@ FabricResult run_fabric(std::uint64_t packets) {
   r.sim_wall_ratio = static_cast<double>(net.loop().now()) / (secs * 1e9);
   r.violations = checker.violations().size();
   return r;
+}
+
+// --- part 3: shard-count sweep ----------------------------------------------
+
+struct SweepPoint {
+  std::uint32_t shards_applied = 0;
+  double events_per_sec = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t digest_events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t cross_frames = 0;
+};
+
+/// One sweep run: build the fabric, partition it, arm the wire digest,
+/// drive the open-loop workload.  `build` returns the host list after
+/// calling enable_sharding for `shards` > 1.
+template <typename BuildFn>
+SweepPoint run_sweep_point(std::uint32_t shards, std::uint64_t packets,
+                           BuildFn build) {
+  Network net(2026);
+  const std::vector<NodeId> hosts = build(net, shards);
+  net.arm_wire_digest();
+  inject_open_loop(net, hosts, packets);
+  const auto start = std::chrono::steady_clock::now();
+  net.loop().run();
+  const double secs = seconds_since(start);
+  SweepPoint p;
+  p.shards_applied = net.shard_count();
+  p.events_per_sec = static_cast<double>(net.loop().events_executed()) / secs;
+  p.digest = net.wire_digest();
+  p.digest_events = net.wire_digest_events();
+  for (NodeId h : hosts) {
+    p.delivered += static_cast<const BenchSink&>(net.node(h)).delivered;
+  }
+  if (const ShardRunner* r = net.runner()) p.cross_frames = r->cross_frames();
+  return p;
 }
 
 }  // namespace
@@ -321,6 +432,74 @@ int main() {
   json.value("fabric_events", static_cast<double>(fabric.events));
   json.value("fabric_delivered", static_cast<double>(fabric.delivered));
   json.value("checker_violations", static_cast<double>(fabric.violations));
+
+  // --- shard sweep ----------------------------------------------------------
+  constexpr std::uint64_t kSweepPackets = 10'000;
+  constexpr std::uint32_t kShardCounts[] = {1, 2, 4, 8};
+  const std::uint32_t cores = std::thread::hardware_concurrency();
+
+  auto ls_build = [](Network& net, std::uint32_t shards) {
+    LeafSpineParams params;
+    params.spines = 32;
+    params.leaves = 32;
+    params.hosts_per_leaf = 32;
+    auto topo = build_routed_leaf_spine(net, params);
+    if (shards > 1) {
+      net.enable_sharding(ShardPlan::leaf_spine(net, topo, shards));
+    }
+    return topo.hosts;
+  };
+  auto ft_build = [](Network& net, std::uint32_t shards) {
+    FatTreeParams params;
+    params.k = 16;
+    auto topo = build_routed_fat_tree(net, params);
+    if (shards > 1) {
+      net.enable_sharding(ShardPlan::fat_tree(net, topo, shards));
+    }
+    return topo.hosts;
+  };
+
+  std::printf("\nsimcore: shard sweep (%" PRIu64
+              " packets, wire digest armed, %u hardware threads)\n\n",
+              kSweepPackets, cores);
+  std::printf("%12s%8s%14s%10s%10s%12s\n", "fabric", "shards", "ev/s",
+              "scaling", "cross", "digest ok");
+  bool digests_ok = true;
+  bool lost_packets = false;
+  struct Fabric {
+    const char* tag;
+    std::function<std::vector<NodeId>(Network&, std::uint32_t)> build;
+  };
+  const Fabric fabrics[] = {{"leafspine", ls_build}, {"fattree", ft_build}};
+  for (std::size_t f = 0; f < 2; ++f) {
+    double base_eps = 0;
+    std::uint64_t base_digest = 0;
+    for (std::uint32_t n : kShardCounts) {
+      const SweepPoint p =
+          run_sweep_point(n, kSweepPackets, fabrics[f].build);
+      if (n == 1) {
+        base_eps = p.events_per_sec;
+        base_digest = p.digest;
+      }
+      const bool match = p.digest == base_digest;
+      digests_ok = digests_ok && match;
+      lost_packets = lost_packets || p.delivered != kSweepPackets;
+      const double scaling = p.events_per_sec / base_eps;
+      std::printf("%12s%8u%14.3g%10.2f%10" PRIu64 "%12s\n", fabrics[f].tag,
+                  p.shards_applied, p.events_per_sec, scaling, p.cross_frames,
+                  match ? "yes" : "NO");
+      const std::string prefix = std::string("shards_") + fabrics[f].tag +
+                                 "_" + std::to_string(n);
+      json.value((prefix + "_events_per_sec").c_str(), p.events_per_sec);
+      if (n == 4) {
+        json.value(
+            (std::string("shards_") + fabrics[f].tag + "_scaling_4").c_str(),
+            scaling);
+      }
+    }
+  }
+  json.value("cores", static_cast<double>(cores));
+  json.value("shards_digest_match", digests_ok ? 1.0 : 0.0);
   json.emit_metrics_json();
 
   if (fabric.violations != 0) {
@@ -333,6 +512,16 @@ int main() {
                  "simcore: routed fabric lost packets (%" PRIu64 "/%" PRIu64
                  ")\n",
                  fabric.delivered, kFabricPackets);
+    return 1;
+  }
+  if (!digests_ok) {
+    std::fprintf(stderr,
+                 "simcore: shard sweep wire digest diverged from the "
+                 "1-shard run\n");
+    return 1;
+  }
+  if (lost_packets) {
+    std::fprintf(stderr, "simcore: shard sweep lost packets\n");
     return 1;
   }
   return 0;

@@ -31,12 +31,22 @@
 //                               transitions (RAII via ShardGuard).
 //   CROSS_SHARD               - marker (fablint-enforced, no clang
 //                               semantics): this member is written from
-//                               more than one future shard, or this
-//                               function mutates such state.  Every
-//                               CROSS_SHARD site is a synchronization
-//                               point the sharded loop must cover;
-//                               `fablint --shard-report` inventories
-//                               them all.
+//                               more than one shard, or this function
+//                               mutates such state.  Every CROSS_SHARD
+//                               site is a synchronization point the
+//                               sharded loop must cover — a barrier, a
+//                               handoff queue, or coordinator-only
+//                               execution; `fablint --shard-report`
+//                               inventories them all.
+//   SHARD_LANED               - marker: this member is replicated one
+//                               lane per shard (plus the control lane)
+//                               and indexed by ExecLane::idx
+//                               (common/exec_lane.hpp), so each lane is
+//                               written by exactly one thread.  Reads
+//                               that merge lanes happen at barriers or
+//                               quiesce.  `fablint --shard-report`
+//                               lists laned state separately from
+//                               cross-shard state.
 //   HOT_PATH                  - marker: per-event / per-frame function.
 //                               fablint forbids heap allocation (new /
 //                               malloc / make_unique / std::function
@@ -77,6 +87,7 @@
 // Markers with no clang semantics; tools/fablint reads them from the
 // token stream (they must appear verbatim in the declaration).
 #define CROSS_SHARD
+#define SHARD_LANED
 #define HOT_PATH
 #define MAY_ALLOC
 #define FABLINT_ALLOW(rule_and_reason)

@@ -1,0 +1,7 @@
+#include "common/exec_lane.hpp"
+
+namespace objrpc {
+
+thread_local std::uint32_t ExecLane::idx = 0;
+
+}  // namespace objrpc

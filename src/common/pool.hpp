@@ -7,15 +7,28 @@
 // traffic.  Pool reuse is invisible to behaviour: recycled buffers are
 // fully overwritten before anyone reads them, so determinism digests
 // are unaffected.
+//
+// Shard safety (DESIGN.md §16): the sharded event loop runs acquire()
+// and release() concurrently from every shard's worker thread.  The
+// pool is SHARD_LANED — one free list per execution lane, indexed by
+// ExecLane::idx — so the steady state never synchronizes.  A buffer
+// whose frame crosses shards is acquired on the sender's lane and
+// released on the receiver's: that release is the EXPLICIT cross-shard
+// return, and it deposits the buffer into the RELEASING lane's free
+// list.  Ownership migrates with the frame; no lock, no CAS, and the
+// worst case (all traffic one-directional) only redistributes capacity
+// between lanes, never leaks it.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/exec_lane.hpp"
 
 namespace objrpc {
 
@@ -25,23 +38,37 @@ namespace objrpc {
 /// them) are simply never released — the pool only ever helps.
 class BufferPool {
  public:
-  /// Retain at most this many idle buffers (beyond that, release() lets
-  /// the buffer free normally so a burst can't pin memory forever).
+  /// Retain at most this many idle buffers PER LANE (beyond that,
+  /// release() lets the buffer free normally so a burst can't pin
+  /// memory forever).
   explicit BufferPool(std::size_t max_retained = 4096)
-      : max_retained_(max_retained) {}
+      : max_retained_(max_retained), lanes_(1) {}
+
+  /// Replicate the free list across `n` execution lanes (one per shard
+  /// plus the control lane).  Called once by Network::enable_sharding
+  /// before any worker thread exists; buffers already retained stay on
+  /// lane 0.
+  void configure_lanes(std::uint32_t n) {
+    if (n == 0) n = 1;
+    lanes_.resize(n);
+  }
+  std::uint32_t lane_count() const {
+    return static_cast<std::uint32_t>(lanes_.size());
+  }
 
   /// A buffer of exactly `size` bytes (contents unspecified).
-  /// MAY_ALLOC: pool refill — allocates fresh only when the free list is
-  /// empty; steady-state frame traffic recycles.
+  /// MAY_ALLOC: pool refill — allocates fresh only when the lane's free
+  /// list is empty; steady-state frame traffic recycles.
   HOT_PATH MAY_ALLOC Bytes acquire(std::size_t size) {
-    if (free_.empty()) {
-      ++stats_.fresh;
+    Lane& lane = lanes_[exec_lane_below(lane_count())];
+    if (lane.free.empty()) {
+      ++lane.stats.fresh;
       return Bytes(size);
     }
-    Bytes b = std::move(free_.back());
-    free_.pop_back();
+    Bytes b = std::move(lane.free.back());
+    lane.free.pop_back();
     b.resize(size);
-    ++stats_.reused;
+    ++lane.stats.reused;
     return b;
   }
 
@@ -52,32 +79,59 @@ class BufferPool {
     return b;
   }
 
-  /// Return a dead buffer to the free list.
+  /// Return a dead buffer to the CURRENT lane's free list.  When the
+  /// buffer was acquired on another shard this is the explicit
+  /// cross-shard return: the capacity migrates to the releasing lane.
   HOT_PATH void release(Bytes&& b) {
     if (b.capacity() == 0) return;  // nothing worth retaining
-    if (free_.size() >= max_retained_) {
-      ++stats_.dropped;
+    Lane& lane = lanes_[exec_lane_below(lane_count())];
+    if (lane.free.size() >= max_retained_) {
+      ++lane.stats.dropped;
       Bytes dying = std::move(b);  // frees here
       return;
     }
-    ++stats_.released;
-    free_.push_back(std::move(b));
+    ++lane.stats.released;
+    lane.free.push_back(std::move(b));
   }
 
-  std::size_t idle() const { return free_.size(); }
+  /// Idle buffers across all lanes (meaningful at quiesce/barriers).
+  std::size_t idle() const {
+    std::size_t n = 0;
+    for (const Lane& lane : lanes_) n += lane.free.size();
+    return n;
+  }
 
   struct Stats {
     std::uint64_t fresh = 0;    ///< acquires served by the heap
-    std::uint64_t reused = 0;   ///< acquires served by the free list
+    std::uint64_t reused = 0;   ///< acquires served by a free list
     std::uint64_t released = 0; ///< buffers returned and retained
     std::uint64_t dropped = 0;  ///< returns discarded (list full)
   };
-  const Stats& stats() const { return stats_; }
+  /// Lane-merged counters; read at quiesce or barriers (the metrics
+  /// layer and tests), never from a racing hot path.
+  Stats stats() const {
+    Stats s;
+    for (const Lane& lane : lanes_) {
+      s.fresh += lane.stats.fresh;
+      s.reused += lane.stats.reused;
+      s.released += lane.stats.released;
+      s.dropped += lane.stats.dropped;
+    }
+    return s;
+  }
 
  private:
-  std::vector<Bytes> free_;
+  /// Padded so two lanes' heads never share a cache line (the free
+  /// lists are written concurrently by their owning shard threads).
+  struct alignas(64) Lane {
+    std::vector<Bytes> free;
+    Stats stats;
+  };
+
   std::size_t max_retained_;
-  Stats stats_;
+  /// SHARD_LANED: lanes_[ExecLane::idx] is the only element the current
+  /// thread touches; configure_lanes sizes it before threads exist.
+  SHARD_LANED std::vector<Lane> lanes_;
 };
 
 }  // namespace objrpc

@@ -111,6 +111,12 @@ std::unique_ptr<Cluster> Cluster::build(const ClusterConfig& cfg) {
     // environment default the loop constructor picked up.
     cluster->fabric_->loop().set_strict_past_schedules(false);
   }
+  // Multi-core opt-in (OBJRPC_SHARDS=N): partition the fabric with the
+  // generic switch-group planner.  Last build step, after every node
+  // exists.  Serialized observers (the invariant checker's taps, an
+  // armed tracer) keep the run on the serial key-merge driver — the
+  // event order and wire bytes are identical either way (DESIGN.md §16).
+  cluster->fabric_->network().maybe_shard_from_env();
   return cluster;
 }
 

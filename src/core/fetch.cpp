@@ -91,8 +91,8 @@ void ObjectFetcher::fetch(ObjectId id, FetchCallback cb) {
   // deterministic counters (wire bytes identical armed or not); the
   // span record itself only exists when the tracer is armed.
   obs::Tracer& tracer = service_.host().tracer();
-  it->second.trace.trace = tracer.new_trace_id();
-  it->second.trace.parent = tracer.new_span_id();
+  it->second.trace.trace = tracer.new_trace_id(service_.host().id());
+  it->second.trace.parent = tracer.new_span_id(service_.host().id());
   if (tracer.armed()) {
     tracer.begin_span(it->second.trace.parent, it->second.trace.trace, 0,
                       service_.host().id(), "fetch:" + id.to_string(),

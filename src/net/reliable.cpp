@@ -53,8 +53,8 @@ void ReliableChannel::send(HostAddr dst, MsgType inner_type, ObjectId object,
   // Allocate the message's causal identity unconditionally (plain
   // counters — the wire bytes are the same whether or not anyone
   // records); the span itself is recorded only when the tracer is armed.
-  out.trace.trace = host_.tracer().new_trace_id();
-  out.trace.parent = host_.tracer().new_span_id();
+  out.trace.trace = host_.tracer().new_trace_id(host_.id());
+  out.trace.parent = host_.tracer().new_span_id(host_.id());
   if (host_.tracer().armed()) {
     host_.tracer().begin_span(
         out.trace.parent, out.trace.trace, 0, host_.id(),

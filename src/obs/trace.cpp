@@ -7,6 +7,7 @@
 namespace objrpc::obs {
 
 void Tracer::set_process_name(std::uint32_t node, std::string name) {
+  if (node >= node_ids_.size()) node_ids_.resize(node + 1);
   for (auto& [n, nm] : process_names_) {
     if (n == node) {
       nm = std::move(name);

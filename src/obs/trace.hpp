@@ -29,6 +29,7 @@
 // ClusterConfig::trace_file (see core/cluster.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -83,14 +84,28 @@ struct CounterSample {
 class Tracer {
  public:
   // --- id allocation: UNCONDITIONAL (see determinism contract) -------
-  // CROSS_SHARD: ids are fabric-global and minted per frame/operation
-  // from any future shard; the sharded loop must make these atomic or
-  // pre-partition the id space.
-  CROSS_SHARD HOT_PATH std::uint64_t new_trace_id() { return next_trace_++; }
-  CROSS_SHARD HOT_PATH std::uint64_t new_span_id() { return next_span_++; }
-  /// Mint a root context for a new operation: fresh trace, fresh root
-  /// span whose id doubles as the children's parent.
-  TraceContext new_root() { return {new_trace_id(), new_span_id()}; }
+  // The id space is partitioned BY SOURCE NODE, not by execution lane:
+  // id = (node+1) << 40 | that node's monotone counter.  Two properties
+  // follow, and both matter:
+  //   * shard-safety — a node's counters only advance while its owning
+  //     shard executes it, so no two worker threads ever touch the same
+  //     slot and no synchronization is needed;
+  //   * shard-count INVARIANCE — trace ids ride in frame headers, and
+  //     frame bytes feed the wire digest, so allocation must not depend
+  //     on how the fabric is partitioned.  A per-node sequence depends
+  //     only on that node's (deterministic) execution order; an
+  //     exec-lane-strided allocator would bake the shard count into the
+  //     wire bytes and break the sequential-vs-sharded digest identity.
+  // (node+1) keeps ids nonzero ({0,0} = untraced) and below the leaf
+  // range at bit 63 for any node id < 2^23.
+  HOT_PATH std::uint64_t new_trace_id(std::uint32_t node) {
+    return (static_cast<std::uint64_t>(node + 1) << kNodeIdShift) |
+           ++node_ids_[node].trace;
+  }
+  HOT_PATH std::uint64_t new_span_id(std::uint32_t node) {
+    return (static_cast<std::uint64_t>(node + 1) << kNodeIdShift) |
+           ++node_ids_[node].span;
+  }
 
   // --- arming --------------------------------------------------------
   void arm() { armed_ = true; }
@@ -98,7 +113,8 @@ class Tracer {
   bool armed() const { return armed_; }
 
   /// Name a node's process lane in the export (registered by the
-  /// Network as nodes are added; cheap, unconditional).
+  /// Network as nodes are added; cheap, unconditional).  Also sizes the
+  /// per-node id allocators, so every registered node may mint ids.
   void set_process_name(std::uint32_t node, std::string name);
 
   // --- recording: no-ops unless armed --------------------------------
@@ -140,12 +156,22 @@ class Tracer {
 
  private:
   bool armed_ = false;
-  CROSS_SHARD std::uint64_t next_trace_ = 1;
-  CROSS_SHARD std::uint64_t next_span_ = 1;
+  static constexpr std::uint32_t kNodeIdShift = 40;
+  /// Padded so two nodes' counters never share a cache line (adjacent
+  /// nodes may live on different shards).  Grown by set_process_name as
+  /// the Network registers nodes — always on the control thread, before
+  /// any worker exists — and thereafter each slot is written only by
+  /// the shard that owns its node.
+  struct alignas(64) IdNode {
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+  };
+  std::vector<IdNode> node_ids_;
   /// Leaf spans get ids from a disjoint (high-bit) range so they can
   /// never collide with wire-carried ids — and, being armed-only, their
   /// counter may advance differently across armed/unarmed runs without
-  /// touching the wire.
+  /// touching the wire.  Recording (and therefore leaf allocation) only
+  /// happens in serialized runs, so this member stays un-laned.
   std::uint64_t next_leaf_ = 1;
 
   std::vector<SpanRecord> spans_;

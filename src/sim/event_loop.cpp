@@ -1,10 +1,12 @@
 #include "sim/event_loop.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
-#include <limits>
 #include <utility>
+
+#include "common/exec_lane.hpp"
 
 namespace objrpc {
 
@@ -15,19 +17,35 @@ bool env_truthy(const char* name) {
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 
+SimTime clamp_bound(std::uint64_t b) {
+  const auto mx =
+      static_cast<std::uint64_t>(std::numeric_limits<SimTime>::max());
+  return static_cast<SimTime>(b < mx ? b : mx);
+}
+
 }  // namespace
 
-EventLoop::EventLoop() {
+thread_local EventLoop::SchedCtx EventLoop::tls_ctx_;
+
+// ---------------------------------------------------------------- wheel
+
+TimingWheel::TimingWheel(EventLoop* owner, std::uint32_t lane)
+    : owner_(owner), lane_(lane) {
   shard_.assert_held();  // construction is shard-local by definition
-  strict_past_schedules_ = env_truthy("CHECK_INVARIANTS");
   entries_.reserve(kChunk);
 }
 
-std::uint32_t EventLoop::alloc_node(SimTime at, Callback fn) {
+std::uint32_t TimingWheel::alloc_node(SimTime at, std::uint64_t key_a,
+                                      std::uint64_t key_b,
+                                      std::uint32_t exec_src, Callback fn) {
   if (free_head_ != kNoNode) {
     const std::uint32_t idx = free_head_;
-    free_head_ = entries_[idx].next;
-    entries_[idx].at = at;
+    Entry& n = entries_[idx];
+    free_head_ = n.next;
+    n.at = at;
+    n.key_a = key_a;
+    n.key_b = key_b;
+    n.exec_src = exec_src;
     fn_at(idx) = std::move(fn);
     return idx;
   }
@@ -35,32 +53,60 @@ std::uint32_t EventLoop::alloc_node(SimTime at, Callback fn) {
   if ((idx & (kChunk - 1)) == 0) {
     fn_chunks_.push_back(std::make_unique<Callback[]>(kChunk));
   }
-  entries_.push_back(Entry{at, kNoNode});
+  entries_.push_back(Entry{at, key_a, key_b, kNoNode, exec_src});
   fn_at(idx) = std::move(fn);
   return idx;
 }
 
-void EventLoop::schedule_at(SimTime at, Callback fn) {
-  // The single-threaded loop holds every shard; the sharded dispatch of
-  // ROADMAP item 1 will route this to the owning partition instead.
+void TimingWheel::schedule(SimTime at, std::uint64_t key_a,
+                           std::uint64_t key_b, std::uint32_t exec_src,
+                           SimTime floor, Callback fn) {
   shard_.assert_held();
-  if (at < now_) {
+  if (at < floor) {
     ++clamped_past_schedules_;
     if (strict_past_schedules_) {
       std::fprintf(stderr,
                    "EventLoop: schedule_at(%lld) is in the past (now=%lld); "
                    "caller violates causality\n",
+                   static_cast<long long>(at), static_cast<long long>(floor));
+      std::abort();
+    }
+    at = floor;  // never execute into the past
+  }
+  if (at < now_) {
+    // The scheduler's clock passed the floor check but this wheel has
+    // already executed past `at`: only the parallel runner can cause
+    // this, by handing a cross-shard frame over with less delay than
+    // the lookahead bound it promised.
+    ++clamped_past_schedules_;
+    if (strict_past_schedules_) {
+      std::fprintf(stderr,
+                   "EventLoop: lookahead violation: cross-shard event at "
+                   "%lld is behind shard clock %lld\n",
                    static_cast<long long>(at), static_cast<long long>(now_));
       std::abort();
     }
-    at = now_;  // never execute into the past
+    at = now_;
   }
-  place(alloc_node(at, std::move(fn)), /*cascading=*/false);
+  if (at < min_bound_) min_bound_ = at;
+  place(alloc_node(at, key_a, key_b, exec_src, std::move(fn)),
+        /*cascading=*/false);
   ++size_;
 }
 
-void EventLoop::place(std::uint32_t idx, bool cascading) {
+void TimingWheel::place(std::uint32_t idx, bool cascading) {
   const auto at = static_cast<std::uint64_t>(entries_[idx].at);
+  if (!cascading && at < tick_) {
+    // Cursor rollback: the serial key-merge peeks every wheel's next
+    // event, which can park an idle wheel's cursor well past the global
+    // execution point; a cross-wheel schedule may then land behind it.
+    // Moving the cursor back is safe — nothing between `at` and the old
+    // cursor has executed — but level-0 slots become window-ambiguous,
+    // which next_time resolves by checking entry times (and place by
+    // sorting on (at, key)).
+    tick_ = at;
+    sorted_tick_ = kNoTick;
+  }
   const std::uint64_t delta = at - tick_;  // at >= tick_ by invariant
   std::size_t level = 0;
   while (level + 1 < kLevels &&
@@ -78,6 +124,36 @@ void EventLoop::place(std::uint32_t idx, bool cascading) {
   }
   Bucket& b = buckets_[level][slot];
   Entry& n = entries_[idx];
+  if (level == 0 && at == tick_ && sorted_tick_ == tick_) {
+    // Same-tick child landing in the bucket the cursor is draining
+    // (schedule_at(now) from a running callback, including past-time
+    // clamps).  Insert in key order so execution order stays a pure
+    // function of the event-key set — the property every shard count
+    // must agree on.  The walk is short: only the not-yet-executed
+    // remainder of one tick.
+    std::uint32_t prev = kNoNode;
+    std::uint32_t cur = b.head;
+    while (cur != kNoNode) {
+      const Entry& e = entries_[cur];
+      if (e.at > n.at ||
+          (e.at == n.at &&
+           (e.key_a > n.key_a ||
+            (e.key_a == n.key_a && e.key_b > n.key_b)))) {
+        break;
+      }
+      prev = cur;
+      cur = e.next;
+    }
+    n.next = cur;
+    if (prev == kNoNode) {
+      b.head = idx;
+    } else {
+      entries_[prev].next = idx;
+    }
+    if (cur == kNoNode) b.tail = idx;
+    bits_[0][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+    return;
+  }
   if (cascading) {
     n.next = b.head;
     b.head = idx;
@@ -94,15 +170,17 @@ void EventLoop::place(std::uint32_t idx, bool cascading) {
   bits_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
 }
 
-void EventLoop::cascade(std::size_t level, std::size_t slot) {
+void TimingWheel::cascade(std::size_t level, std::size_t slot) {
   Bucket& b = buckets_[level][slot];
   std::uint32_t head = b.head;
   if (head == kNoNode) return;
   b.head = b.tail = kNoNode;
   bits_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
-  // Reverse the FIFO, then re-place front-first: every target bucket
-  // receives its share of the list as a prepended block in the original
-  // order, keeping each bucket sorted by scheduling sequence.
+  // Reverse the list, then re-place front-first: every target bucket
+  // receives its share as a prepended block in the original order.
+  // Arrival order within a bucket no longer matters for execution (the
+  // per-tick key sort decides), but keeping it stable keeps the sort's
+  // input deterministic.
   std::uint32_t rev = kNoNode;
   while (head != kNoNode) {
     const std::uint32_t nxt = entries_[head].next;
@@ -117,9 +195,61 @@ void EventLoop::cascade(std::size_t level, std::size_t slot) {
   }
 }
 
-bool EventLoop::find_next(SimTime limit) {
-  if (size_ == 0 || limit < 0) return false;
+void TimingWheel::sort_bucket(std::size_t slot) {
+  Bucket& b = buckets_[0][slot];
+  if (b.head == kNoNode || entries_[b.head].next == kNoNode) return;
+  // Copy the keys out so the comparator touches no guarded state (and
+  // no pointer-chased memory).
+  sort_scratch_.clear();
+  for (std::uint32_t i = b.head; i != kNoNode; i = entries_[i].next) {
+    const Entry& e = entries_[i];
+    sort_scratch_.push_back(SortRec{e.at, e.key_a, e.key_b, i});
+  }
+  std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+            [](const SortRec& x, const SortRec& y) {
+              if (x.at != y.at) return x.at < y.at;
+              if (x.key_a != y.key_a) return x.key_a < y.key_a;
+              return x.key_b < y.key_b;
+            });
+  for (std::size_t i = 0; i + 1 < sort_scratch_.size(); ++i) {
+    entries_[sort_scratch_[i].idx].next = sort_scratch_[i + 1].idx;
+  }
+  entries_[sort_scratch_.back().idx].next = kNoNode;
+  b.head = sort_scratch_.front().idx;
+  b.tail = sort_scratch_.back().idx;
+}
+
+std::uint64_t TimingWheel::first_set_from(std::size_t level,
+                                          std::size_t from) const {
+  std::size_t w = from >> 6;
+  std::uint64_t word =
+      bits_[level][w] & (~std::uint64_t{0} << (from & 63));
+  for (std::size_t i = 0;; ++i) {
+    if (word != 0) {
+      const std::size_t slot =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      return (slot + kSlots - from) & (kSlots - 1);
+    }
+    if (i == kWords) return kNoDist;
+    w = (w + 1) & (kWords - 1);
+    word = bits_[level][w];
+    if (i + 1 == kWords) {
+      // Wrapped back to the starting word: only the bits below `from`
+      // are new.
+      word &= (from & 63) != 0
+                  ? ~(~std::uint64_t{0} << (from & 63))
+                  : 0;
+    }
+  }
+}
+
+SimTime TimingWheel::next_time(SimTime limit) {
+  shard_.assert_held();
+  if (size_ == 0 || limit < 0 || limit < min_bound_) return kNoEventTime;
   const auto ulimit = static_cast<std::uint64_t>(limit);
+  // Earliest event seen in a skipped (future-window) slot: keeps
+  // min_bound_ honest when the scan comes up empty.
+  std::uint64_t min_skip = ~std::uint64_t{0};
   for (;;) {
     // Scan level 0 from the cursor slot to the end of the window.  Slots
     // behind the cursor belong to the NEXT window (a delta < 1024 can
@@ -128,23 +258,92 @@ bool EventLoop::find_next(SimTime limit) {
     std::size_t w = start >> 6;
     std::uint64_t word = bits_[0][w] & (~std::uint64_t{0} << (start & 63));
     for (;;) {
-      if (word != 0) {
+      while (word != 0) {
         const std::size_t slot =
             (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
         const std::uint64_t at = (tick_ & ~std::uint64_t{kSlots - 1}) + slot;
-        if (at > ulimit) return false;
-        tick_ = at;
-        return true;
+        if (at > ulimit) {
+          // Everything still pending is at `at` or later, except events
+          // in slots we skipped below.
+          min_bound_ = clamp_bound(std::min(ulimit + 1, min_skip));
+          return kNoEventTime;
+        }
+        // A slot can hold events of a later window after a cursor
+        // rollback; they fire only when the cursor wraps around to
+        // their window, so check the bucket's earliest real time.
+        // Once the bucket is sorted for this tick its head holds that
+        // minimum (sorted by `at` first, and every later insert goes
+        // through place()'s ordered fast path), so only the FIRST
+        // touch pays the walk: next_time runs once per pop, and a
+        // full re-scan here would turn a k-event tick into O(k^2).
+        std::uint64_t mn;
+        if (sorted_tick_ == at) {
+          mn = static_cast<std::uint64_t>(
+              entries_[buckets_[0][slot].head].at);
+        } else {
+          // One walk doubles as a sortedness probe: schedule order
+          // usually IS key order (parents execute in key order and
+          // append their children in turn), and a bucket that arrives
+          // sorted skips sort_bucket wholesale — the difference
+          // between paying O(k log k) per tick and paying one
+          // comparison per event.
+          mn = ~std::uint64_t{0};
+          bool in_order = true;
+          const Entry* prev = nullptr;
+          for (std::uint32_t i = buckets_[0][slot].head; i != kNoNode;
+               i = entries_[i].next) {
+            const Entry& e = entries_[i];
+            mn = std::min(mn, static_cast<std::uint64_t>(e.at));
+            if (prev != nullptr &&
+                (prev->at > e.at ||
+                 (prev->at == e.at &&
+                  (prev->key_a > e.key_a ||
+                   (prev->key_a == e.key_a && prev->key_b > e.key_b))))) {
+              in_order = false;
+            }
+            prev = &e;
+          }
+          if (in_order && mn == at) sorted_tick_ = at;
+        }
+        if (mn == at) {
+          if (sorted_tick_ != at) {
+            sort_bucket(slot);
+            sorted_tick_ = at;
+          }
+          tick_ = at;
+          min_bound_ = static_cast<SimTime>(at);
+          return static_cast<SimTime>(at);
+        }
+        min_skip = std::min(min_skip, mn);
+        word &= word - 1;  // future-window slot: keep scanning
       }
       if (++w == kWords) break;
       word = bits_[0][w];
     }
-    // Window exhausted: step to the next one, cascading every
-    // higher-level bucket that begins at this boundary — top-down, so
-    // each level receives its parent's nodes before redistributing.
+    // Window exhausted: jump to the next tick where anything can
+    // happen — the earliest of (a) the cursor reaching an occupied
+    // level-0 slot in a later window, (b) a cascade boundary whose
+    // higher-level bucket is occupied.  Boundaries in between are
+    // no-ops by construction (their buckets are empty), so skipping
+    // them wholesale is exact, and a far-future timer costs O(levels)
+    // bitmap scans instead of one iteration per empty window.
     const std::uint64_t next_window = (tick_ | (kSlots - 1)) + 1;
-    if (next_window > ulimit) return false;
-    tick_ = next_window;
+    std::uint64_t target = ~std::uint64_t{0};
+    const std::uint64_t d0 = first_set_from(0, 0);
+    if (d0 != kNoDist) target = next_window + d0;
+    for (std::size_t lv = 1; lv < kLevels; ++lv) {
+      std::uint64_t c0 = next_window >> (kWheelBits * lv);
+      if ((c0 << (kWheelBits * lv)) != next_window) ++c0;
+      const std::uint64_t d =
+          first_set_from(lv, static_cast<std::size_t>(c0 & (kSlots - 1)));
+      if (d == kNoDist) continue;
+      target = std::min(target, (c0 + d) << (kWheelBits * lv));
+    }
+    if (target > ulimit) {
+      min_bound_ = clamp_bound(std::min(ulimit + 1, min_skip));
+      return kNoEventTime;
+    }
+    tick_ = target;
     for (std::size_t lv = kLevels - 1; lv >= 1; --lv) {
       const std::uint64_t mask =
           (std::uint64_t{1} << (kWheelBits * lv)) - 1;
@@ -155,7 +354,15 @@ bool EventLoop::find_next(SimTime limit) {
   }
 }
 
-void EventLoop::pop_run() {
+void TimingWheel::head_key(std::uint64_t& key_a, std::uint64_t& key_b) {
+  shard_.assert_held();
+  const Entry& e = entries_[buckets_[0][tick_ & (kSlots - 1)].head];
+  key_a = e.key_a;
+  key_b = e.key_b;
+}
+
+void TimingWheel::pop_run_raw() {
+  shard_.assert_held();
   const std::size_t slot = tick_ & (kSlots - 1);
   Bucket& b = buckets_[0][slot];
   const std::uint32_t idx = b.head;
@@ -171,11 +378,17 @@ void EventLoop::pop_run() {
   --size_;
   now_ = static_cast<SimTime>(tick_);
   ++executed_;
+  // Point the scheduling context at this event: schedules from inside
+  // the callback inherit the wheel, the source identity (for seq
+  // stamping), and the lane (for SHARD_LANED allocators).
+  const Entry& e = entries_[idx];
+  EventLoop::tls_ctx_ =
+      EventLoop::SchedCtx{owner_, this, e.exec_src, e.key_a, e.key_b};
+  ExecLane::idx = lane_;
   // Invoke in place: the chunked storage never moves, the node is the
   // callback's sole owner, and the node is only recycled AFTER the call
   // returns, so a callback that schedules new events (growing the entry
-  // array) cannot invalidate or reuse its own storage.  No const_cast
-  // into a container that still owns the element, and no move-out either.
+  // array) cannot invalidate or reuse its own storage.
   Callback& fn = fn_at(idx);
   fn();
   fn.reset();
@@ -183,26 +396,302 @@ void EventLoop::pop_run() {
   free_head_ = idx;
 }
 
-bool EventLoop::step() {
+void TimingWheel::pop_run() {
+  const EventLoop::SchedCtx saved = EventLoop::tls_ctx_;
+  const std::uint32_t saved_lane = ExecLane::idx;
+  pop_run_raw();
+  ExecLane::idx = saved_lane;
+  EventLoop::tls_ctx_ = saved;
+}
+
+void TimingWheel::drain_current_tick_raw() {
   shard_.assert_held();
-  if (!find_next(std::numeric_limits<SimTime>::max())) return false;
-  pop_run();
+  while (sorted_tick_ == tick_) {
+    const std::uint32_t h = buckets_[0][tick_ & (kSlots - 1)].head;
+    if (h == kNoNode ||
+        static_cast<std::uint64_t>(entries_[h].at) != tick_) {
+      break;
+    }
+    pop_run_raw();
+  }
+}
+
+void TimingWheel::run_until(SimTime limit) {
+  const EventLoop::SchedCtx saved = EventLoop::tls_ctx_;
+  const std::uint32_t saved_lane = ExecLane::idx;
+  while (next_time(limit) != kNoEventTime) {
+    pop_run_raw();
+    drain_current_tick_raw();
+  }
+  ExecLane::idx = saved_lane;
+  EventLoop::tls_ctx_ = saved;
+}
+
+void TimingWheel::extract_all(std::vector<Extracted>& out) {
+  shard_.assert_held();
+  for (std::size_t lv = 0; lv < kLevels; ++lv) {
+    for (std::size_t slot = 0; slot < kSlots; ++slot) {
+      for (std::uint32_t i = buckets_[lv][slot].head; i != kNoNode;
+           i = entries_[i].next) {
+        const Entry& e = entries_[i];
+        out.push_back(
+            Extracted{e.at, e.key_a, e.key_b, e.exec_src,
+                      std::move(fn_at(i))});
+      }
+      buckets_[lv][slot] = Bucket{};
+    }
+  }
+  for (auto& words : bits_) {
+    for (auto& word : words) word = 0;
+  }
+  entries_.clear();
+  fn_chunks_.clear();
+  free_head_ = kNoNode;
+  size_ = 0;
+  sorted_tick_ = kNoTick;
+  min_bound_ = 0;
+}
+
+// --------------------------------------------------------------- facade
+
+EventLoop::EventLoop() : control_(this, /*lane=*/1) {
+  wheels_.push_back(std::make_unique<TimingWheel>(this, /*lane=*/0));
+  set_strict_past_schedules(env_truthy("CHECK_INVARIANTS"));
+}
+
+EventLoop::~EventLoop() = default;
+
+SimTime EventLoop::now() const {
+  const SchedCtx& c = tls_ctx_;
+  if (c.owner == this && c.wheel != nullptr) return c.wheel->now();
+  return global_now_;
+}
+
+void EventLoop::set_strict_past_schedules(bool strict) {
+  strict_past_schedules_ = strict;
+  control_.set_strict_past_schedules(strict);
+  for (auto& w : wheels_) w->set_strict_past_schedules(strict);
+}
+
+void EventLoop::schedule_at(SimTime at, Callback fn) {
+  SchedCtx& c = tls_ctx_;
+  if (c.owner == this && c.wheel != &control_) {
+    // Node context: the event is this node's own timer — it stays on
+    // the node's wheel, stamped from the node's seq counter.
+    TimingWheel* w = c.wheel;
+    const SimTime sched_now = w->now();
+    w->schedule(at,
+                kShardLaneBit | static_cast<std::uint64_t>(sched_now),
+                stamp(c.src), c.src, sched_now, std::move(fn));
+    return;
+  }
+  // External or control-lane context: control wheel, lane-0 key (runs
+  // before any shard event at the same tick, in every mode).
+  control_.set_now(global_now_);
+  const SimTime sched_now = control_.now();
+  control_.schedule(at, static_cast<std::uint64_t>(sched_now),
+                    stamp(kExternalSource), kExternalSource, sched_now,
+                    std::move(fn));
+}
+
+void EventLoop::schedule_routed(std::uint32_t dst, SimTime at, Callback fn) {
+  SchedCtx& c = tls_ctx_;
+  std::uint32_t stamp_src = kExternalSource;
+  SimTime sched_now = global_now_;
+  if (c.owner == this && c.wheel != nullptr) {
+    sched_now = c.wheel->now();
+    if (c.wheel != &control_) stamp_src = c.src;
+  }
+  wheel_of_source(dst)->schedule(
+      at, kShardLaneBit | static_cast<std::uint64_t>(sched_now),
+      stamp(stamp_src), dst, sched_now, std::move(fn));
+}
+
+void EventLoop::stamp_routed(std::uint64_t& key_a, std::uint64_t& key_b) {
+  SchedCtx& c = tls_ctx_;
+  std::uint32_t stamp_src = kExternalSource;
+  SimTime sched_now = global_now_;
+  if (c.owner == this && c.wheel != nullptr) {
+    sched_now = c.wheel->now();
+    if (c.wheel != &control_) stamp_src = c.src;
+  }
+  key_a = kShardLaneBit | static_cast<std::uint64_t>(sched_now);
+  key_b = stamp(stamp_src);
+}
+
+void EventLoop::schedule_stamped(std::uint32_t dst, SimTime at,
+                                 std::uint64_t key_a, std::uint64_t key_b,
+                                 Callback fn) {
+  // floor == at: the "in the past" clamp can never fire here; an `at`
+  // behind dst's wheel clock falls through to the lookahead-violation
+  // check inside TimingWheel::schedule.
+  wheel_of_source(dst)->schedule(at, key_a, key_b, dst, at, std::move(fn));
+}
+
+void EventLoop::schedule_on_source(std::uint32_t src, SimTime at,
+                                   Callback fn) {
+  const SimTime sched_now = now();
+  wheel_of_source(src)->schedule(
+      at, kShardLaneBit | static_cast<std::uint64_t>(sched_now), stamp(src),
+      src, sched_now, std::move(fn));
+}
+
+void EventLoop::register_source(std::uint32_t src) {
+  if (src >= source_seq_.size()) {
+    source_seq_.resize(src + 1, 0);
+    wheel_of_.resize(src + 1, 0);
+  }
+}
+
+void EventLoop::configure_shards(std::uint32_t shards,
+                                 const std::vector<std::uint32_t>& shard_of) {
+  if (shards == 0) shards = 1;
+  // Re-home pending shard events: keys travel with them, so a
+  // partition change never reorders anything.
+  std::vector<TimingWheel::Extracted> moved;
+  for (auto& w : wheels_) w->extract_all(moved);
+  wheels_.clear();
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    auto w = std::make_unique<TimingWheel>(this, i);
+    w->set_strict_past_schedules(strict_past_schedules_);
+    w->set_now(global_now_);
+    wheels_.push_back(std::move(w));
+  }
+  control_.set_lane(shards);
+  wheel_of_.assign(source_seq_.size(), 0);
+  for (std::size_t src = 0; src < wheel_of_.size(); ++src) {
+    if (src < shard_of.size() && shard_of[src] < shards) {
+      wheel_of_[src] = shard_of[src];
+    }
+  }
+  for (auto& e : moved) {
+    TimingWheel* w = e.exec_src == kExternalSource
+                         ? wheels_[0].get()
+                         : wheel_of_source(e.exec_src);
+    w->schedule(e.at, e.key_a, e.key_b, e.exec_src, /*floor=*/e.at,
+                std::move(e.fn));
+  }
+}
+
+void EventLoop::run_shards_serial(SimTime limit) {
+  if (limit < 0) return;
+  if (wheels_.size() == 1) {
+    TimingWheel& w = *wheels_[0];
+    w.run_until(limit);
+    if (w.now() > global_now_) global_now_ = w.now();
+    return;
+  }
+  merge_run(limit);
+}
+
+void EventLoop::merge_run(SimTime limit) {
+  // Serialized-canonical execution across K wheels: repeatedly run the
+  // event with the globally smallest (at, key_a, key_b).  This is the
+  // order the key design defines for EVERY mode, so observers (taps,
+  // the invariant checker, the tracer) see exactly the 1-shard stream.
+  for (;;) {
+    TimingWheel* best = nullptr;
+    SimTime best_at = 0;
+    std::uint64_t best_a = 0;
+    std::uint64_t best_b = 0;
+    for (auto& up : wheels_) {
+      TimingWheel* w = up.get();
+      const SimTime t = w->next_time(limit);
+      if (t == kNoEventTime) continue;
+      std::uint64_t a = 0;
+      std::uint64_t b = 0;
+      w->head_key(a, b);
+      if (best == nullptr || t < best_at ||
+          (t == best_at &&
+           (a < best_a || (a == best_a && b < best_b)))) {
+        best = w;
+        best_at = t;
+        best_a = a;
+        best_b = b;
+      }
+    }
+    if (best == nullptr) return;
+    best->pop_run();
+    if (best_at > global_now_) global_now_ = best_at;
+  }
+}
+
+void EventLoop::drain_control_at(SimTime tc) {
+  if (tc > global_now_) global_now_ = tc;
+  control_.set_now(tc);
+  const SchedCtx saved = tls_ctx_;
+  const std::uint32_t saved_lane = ExecLane::idx;
+  while (control_.next_time(tc) == tc) {
+    control_.pop_run_raw();
+    control_.drain_current_tick_raw();
+  }
+  ExecLane::idx = saved_lane;
+  tls_ctx_ = saved;
+}
+
+void EventLoop::run_core(SimTime deadline) {
+  for (;;) {
+    const SimTime tc = control_.next_time(deadline);
+    // Shard events strictly before the next control time: control
+    // events (lane 0) precede shard events (lane 1) at the same tick.
+    run_shards_serial(tc == kNoEventTime ? deadline : tc - 1);
+    if (tc == kNoEventTime) return;
+    drain_control_at(tc);
+  }
+}
+
+void EventLoop::settle_clocks(SimTime t) {
+  if (t > global_now_) global_now_ = t;
+  control_.set_now(global_now_);
+  for (auto& w : wheels_) w->set_now(global_now_);
+}
+
+bool EventLoop::step() {
+  constexpr SimTime kLim = std::numeric_limits<SimTime>::max();
+  TimingWheel* best = nullptr;
+  SimTime best_at = 0;
+  std::uint64_t best_a = 0;
+  std::uint64_t best_b = 0;
+  auto consider = [&](TimingWheel* w) {
+    const SimTime t = w->next_time(kLim);
+    if (t == kNoEventTime) return;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    w->head_key(a, b);
+    if (best == nullptr || t < best_at ||
+        (t == best_at && (a < best_a || (a == best_a && b < best_b)))) {
+      best = w;
+      best_at = t;
+      best_a = a;
+      best_b = b;
+    }
+  };
+  consider(&control_);
+  for (auto& w : wheels_) consider(w.get());
+  if (best == nullptr) return false;
+  best->pop_run();
+  if (best_at > global_now_) global_now_ = best_at;
   return true;
 }
 
 void EventLoop::run() {
-  while (step()) {
+  if (driver_ != nullptr && driver_->ready()) {
+    driver_->run_until(std::numeric_limits<SimTime>::max());
+  } else {
+    run_core(std::numeric_limits<SimTime>::max());
   }
-  if (drain_hook_) drain_hook_();
+  settle_clocks(global_now_);
+  if (drain_hook_ && pending() == 0) drain_hook_();
 }
 
 void EventLoop::run_until(SimTime deadline) {
-  shard_.assert_held();
-  while (find_next(deadline)) {
-    pop_run();
+  if (driver_ != nullptr && driver_->ready()) {
+    driver_->run_until(deadline);
+  } else {
+    run_core(deadline);
   }
-  if (now_ < deadline) now_ = deadline;
-  if (size_ == 0 && drain_hook_) drain_hook_();
+  settle_clocks(deadline);
+  if (pending() == 0 && drain_hook_) drain_hook_();
 }
 
 }  // namespace objrpc

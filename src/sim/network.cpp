@@ -1,9 +1,11 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/log.hpp"
+#include "sim/shard.hpp"
 
 namespace objrpc {
 
@@ -16,25 +18,39 @@ std::uint64_t pair_key(NodeId a, NodeId b) {
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
+/// splitmix-style finalizer, the same shape the checker's digest uses.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::uint64_t kWireDigestSeed = 0x9E3779B97F4A7C15ull;
+
 }  // namespace
 
-Network::Network(std::uint64_t seed) : rng_(seed) {
-  metrics_.add_source("net/frames_sent", [this] { return stats_.frames_sent; });
+Network::Network(std::uint64_t seed)
+    : rng_(seed), wire_digest_chain_(kWireDigestSeed) {
+  metrics_.add_source("net/frames_sent",
+                      [this] { return stats().frames_sent; });
   metrics_.add_source("net/frames_delivered",
-                      [this] { return stats_.frames_delivered; });
+                      [this] { return stats().frames_delivered; });
   metrics_.add_source("net/frames_dropped_queue",
-                      [this] { return stats_.frames_dropped_queue; });
+                      [this] { return stats().frames_dropped_queue; });
   metrics_.add_source("net/frames_dropped_loss",
-                      [this] { return stats_.frames_dropped_loss; });
+                      [this] { return stats().frames_dropped_loss; });
   metrics_.add_source("net/frames_dropped_ttl",
-                      [this] { return stats_.frames_dropped_ttl; });
+                      [this] { return stats().frames_dropped_ttl; });
   metrics_.add_source("net/frames_dropped_down",
-                      [this] { return stats_.frames_dropped_down; });
+                      [this] { return stats().frames_dropped_down; });
   metrics_.add_source("net/frames_dropped_dead",
-                      [this] { return stats_.frames_dropped_dead; });
-  metrics_.add_source("net/bytes_sent", [this] { return stats_.bytes_sent; });
+                      [this] { return stats().frames_dropped_dead; });
+  metrics_.add_source("net/bytes_sent", [this] { return stats().bytes_sent; });
   metrics_.add_source("net/bytes_delivered",
-                      [this] { return stats_.bytes_delivered; });
+                      [this] { return stats().bytes_delivered; });
   metrics_.add_source("simcore/clamped_past_schedules",
                       [this] { return loop_.clamped_past_schedules(); });
   metrics_.add_source("simcore/pool_fresh",
@@ -42,6 +58,8 @@ Network::Network(std::uint64_t seed) : rng_(seed) {
   metrics_.add_source("simcore/pool_reused",
                       [this] { return payload_pool_.stats().reused; });
 }
+
+Network::~Network() = default;
 
 std::size_t NetworkNode::port_count() const { return net_.port_count(id_); }
 
@@ -70,8 +88,22 @@ Result<std::pair<PortId, PortId>> Network::try_connect(NodeId a, NodeId b,
   }
   const auto port_a = static_cast<PortId>(ports_[a].size());
   const auto port_b = static_cast<PortId>(ports_[b].size());
-  ports_[a].push_back(Direction{b, port_b, params, 0, 0});
-  ports_[b].push_back(Direction{a, port_a, params, 0, 0});
+  Direction fwd;
+  fwd.dst = b;
+  fwd.dst_port = port_b;
+  fwd.params = params;
+  Direction rev;
+  rev.dst = a;
+  rev.dst_port = port_a;
+  rev.params = params;
+  // Per-direction loss substreams: forked (not drawn) from the fabric
+  // seed, labelled by the canonical pair plus the side, so each
+  // direction owns an independent deterministic stream regardless of
+  // connect order or shard count.
+  fwd.loss_rng = rng_.fork(pair_key(a, b) * 2 + (a < b ? 0 : 1));
+  rev.loss_rng = rng_.fork(pair_key(a, b) * 2 + (a < b ? 1 : 0));
+  ports_[a].push_back(std::move(fwd));
+  ports_[b].push_back(std::move(rev));
   return std::pair<PortId, PortId>{port_a, port_b};
 }
 
@@ -106,11 +138,22 @@ bool Network::link_up(NodeId id, PortId port) const {
 }
 
 void Network::set_node_up(NodeId id, bool up) {
+  if (!loop_.in_control_context() && loop_.strict_past_schedules()) {
+    std::fprintf(stderr,
+                 "Network::set_node_up(%u): called from a node callback; "
+                 "crash/revive is control-plane only — use schedule_crash/"
+                 "schedule_revive\n",
+                 id);
+    std::abort();
+  }
   if (node_up_.at(id) == up) return;
   node_up_[id] = up;
   Log::debug("net", "%s: node %s", nodes_[id]->name().c_str(),
              up ? "revived" : "crashed");
-  nodes_[id]->on_node_state_change(up);
+  // The node's own reaction (timers it arms, frames it emits) executes
+  // AS the node: its wheel, its lane, its seq counter — so the reaction
+  // is stamped identically in every mode.
+  loop_.with_source(id, [&] { nodes_[id]->on_node_state_change(up); });
   if (node_observer_) node_observer_(id, up);
 }
 
@@ -134,43 +177,50 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   if (!node_up_.at(from)) {
     // A dead node's NIC emits nothing (timers queued before the crash
     // may still fire in its software; their frames die here).
-    ++stats_.frames_dropped_dead;
+    ++lane_stats().frames_dropped_dead;
     payload_pool_.release(std::move(pkt.data));
     return;
   }
   if (!dir.up) {
-    ++stats_.frames_dropped_down;
+    ++lane_stats().frames_dropped_down;
     payload_pool_.release(std::move(pkt.data));
     return;
   }
   if (pkt.frame_id == 0) {
     // First transmit of this emission; copies (switch forwarding,
     // floods) keep the id so duplicate suppression can recognise them.
-    pkt.frame_id = next_frame_id_++;
+    pkt.frame_id = mint_frame_id();
   }
   if (pkt.trace_id == 0) {
     // Untraced frame: mint a fresh causal id so per-hop spans of one
     // frame still correlate.  Protocol layers that carry a TraceContext
     // stamp trace_id before the send and skip this.  Minted from the
-    // tracer's allocator so these ids can never collide with a trace
-    // some operation is recording spans against.
-    pkt.trace_id = tracer_.new_trace_id();
+    // tracer's allocator (under the sending node's slot) so these ids
+    // can never collide with a trace some operation is recording spans
+    // against.
+    pkt.trace_id = tracer_.new_trace_id(from);
   }
-  if (pkt.created_at == 0) pkt.created_at = loop_.now();
+  const SimTime send_now = loop_.now();
+  if (pkt.created_at == 0) pkt.created_at = send_now;
   if (pkt.hops >= Packet::kMaxHops) {
-    ++stats_.frames_dropped_ttl;
+    ++lane_stats().frames_dropped_ttl;
     payload_pool_.release(std::move(pkt.data));
     return;
   }
 
   const std::uint64_t size = pkt.wire_size();
-  ++stats_.frames_sent;
-  stats_.bytes_sent += size;
+  TrafficStats& st = lane_stats();
+  ++st.frames_sent;
+  st.bytes_sent += size;
 
   // Drop-tail queue: bound the bytes waiting for the transmitter.
+  // Frames that have reached their arrive time have left the queue;
+  // settle them first (the old design did this with one event per
+  // frame, which on the receiver's shard would be a cross-shard write).
+  prune_inflight(dir, send_now);
   if (dir.params.queue_bytes != 0 &&
       dir.queued_bytes + size > dir.params.queue_bytes) {
-    ++stats_.frames_dropped_queue;
+    ++st.frames_dropped_queue;
     payload_pool_.release(std::move(pkt.data));
     return;
   }
@@ -178,61 +228,194 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   // Serialization: the transmitter sends one frame at a time.
   const auto tx_ns = static_cast<SimDuration>(
       static_cast<double>(size) * 8.0 / dir.params.bandwidth_bps * 1e9);
-  const SimTime start = std::max(loop_.now(), dir.busy_until);
+  const SimTime start = std::max(send_now, dir.busy_until);
   const SimTime done = start + std::max<SimDuration>(tx_ns, 1);
   dir.busy_until = done;
-  dir.queued_bytes += size;
-
-  // Random loss is decided at enqueue so the draw order is deterministic.
-  const bool lost =
-      dir.params.loss_rate > 0.0 && rng_.next_bool(dir.params.loss_rate);
-
   const SimTime arrive = done + dir.params.latency;
+  dir.queued_bytes += size;
+  dir.inflight.emplace_back(arrive, static_cast<std::uint32_t>(size));
+
+  // Random loss is decided at enqueue from the DIRECTION's substream,
+  // so the draw order is this direction's frame order in every mode.
+  const bool lost =
+      dir.params.loss_rate > 0.0 && dir.loss_rng.next_bool(dir.params.loss_rate);
+
   const NodeId dst = dir.dst;
   const PortId dst_port = dir.dst_port;
   if (tracer_.armed()) {
     // Passive per-hop attribution: time spent waiting for the
     // transmitter vs. serialization + propagation, plus the link's
     // queue-depth gauge.  Recording only — nothing here feeds back
-    // into the simulation.
-    if (start > loop_.now()) {
+    // into the simulation.  Armed runs are serialized, so recording
+    // from the sender's context is safe.
+    if (start > send_now) {
       tracer_.leaf_span(pkt.trace_id, pkt.span_parent, from, "queue",
-                        loop_.now(), start);
+                        send_now, start);
     }
     tracer_.leaf_span(pkt.trace_id, pkt.span_parent, from, "wire", start,
                       arrive);
-    tracer_.counter(from, "txq_bytes:p" + std::to_string(port), loop_.now(),
+    tracer_.counter(from, "txq_bytes:p" + std::to_string(port), send_now,
                     static_cast<double>(dir.queued_bytes));
-    tracer_.counter(from, "link_bytes:p" + std::to_string(port), loop_.now(),
-                    static_cast<double>(stats_.bytes_sent));
+    tracer_.counter(from, "link_bytes:p" + std::to_string(port), send_now,
+                    static_cast<double>(stats().bytes_sent));
   }
-  loop_.schedule_at(
-      arrive, [this, from, port, dst, dst_port, lost,
-               pkt = std::move(pkt)]() mutable {
-        ports_[from][port].queued_bytes -= pkt.wire_size();
-        if (tracer_.armed()) {
-          tracer_.counter(
-              from, "txq_bytes:p" + std::to_string(port), loop_.now(),
-              static_cast<double>(ports_[from][port].queued_bytes));
-        }
-        if (lost) {
-          ++stats_.frames_dropped_loss;
-          payload_pool_.release(std::move(pkt.data));
-          return;
-        }
-        if (!node_up_[dst]) {
-          // The destination crashed while the frame was in flight.
-          ++stats_.frames_dropped_dead;
-          payload_pool_.release(std::move(pkt.data));
-          return;
-        }
-        ++stats_.frames_delivered;
-        stats_.bytes_delivered += pkt.wire_size();
-        ++pkt.hops;
-        if (tap_) tap_(from, dst, pkt);
-        for (auto& t : extra_taps_) t(from, dst, pkt);
-        nodes_[dst]->on_packet(dst_port, std::move(pkt));
+  if (lost) {
+    // The frame still consumed its transmitter slot and queue bytes
+    // (accounted above, released when its arrive time passes); only the
+    // delivery disappears.
+    ++st.frames_dropped_loss;
+    payload_pool_.release(std::move(pkt.data));
+    return;
+  }
+  if (runner_ != nullptr) {
+    // Concurrent epoch in progress and the destination lives on another
+    // shard: hand the frame over through the runner's bounded rings
+    // (drained at the next barrier — the lookahead bound guarantees
+    // that is early enough).
+    if (runner_->offer_cross(from, dst, dst_port, arrive, std::move(pkt))) {
+      return;
+    }
+  }
+  loop_.schedule_routed(
+      dst, arrive,
+      [this, from, dst, dst_port, pkt = std::move(pkt)]() mutable {
+        deliver_now(from, dst, dst_port, std::move(pkt));
       });
+}
+
+void Network::deliver_now(NodeId from, NodeId dst, PortId dst_port,
+                          Packet&& pkt) {
+  if (!node_up_[dst]) {
+    // The destination crashed while the frame was in flight.
+    ++lane_stats().frames_dropped_dead;
+    payload_pool_.release(std::move(pkt.data));
+    return;
+  }
+  TrafficStats& st = lane_stats();
+  ++st.frames_delivered;
+  st.bytes_delivered += pkt.wire_size();
+  ++pkt.hops;
+  if (wire_digest_armed_) fold_wire_digest(from, dst, pkt);
+  if (tap_) tap_(from, dst, pkt);
+  for (auto& t : extra_taps_) t(from, dst, pkt);
+  nodes_[dst]->on_packet(dst_port, std::move(pkt));
+}
+
+void Network::fold_wire_digest(NodeId from, NodeId dst, const Packet& pkt) {
+  const SimTime at = loop_.now();
+  std::uint64_t h = kWireDigestSeed;
+  h = mix64(h ^ static_cast<std::uint64_t>(at));
+  h = mix64(h ^ ((static_cast<std::uint64_t>(from) << 32) | dst));
+  h = mix64(h ^ pkt.wire_size());
+  h = mix64(h ^ ((static_cast<std::uint64_t>(pkt.tenant) << 32) | pkt.hops));
+  // Full payload bytes: 8-byte words plus tail, so any payload
+  // divergence — not just size — breaks the digest.
+  const Bytes& d = pkt.data;
+  std::size_t i = 0;
+  for (; i + 8 <= d.size(); i += 8) {
+    std::uint64_t w = 0;
+    for (std::size_t b = 0; b < 8; ++b) {
+      w |= static_cast<std::uint64_t>(d[i + b]) << (8 * b);
+    }
+    h = mix64(h ^ w);
+  }
+  std::uint64_t tail = 0;
+  for (std::size_t b = 0; i + b < d.size(); ++b) {
+    tail |= static_cast<std::uint64_t>(d[i + b]) << (8 * b);
+  }
+  h = mix64(h ^ tail ^ (static_cast<std::uint64_t>(d.size()) << 48));
+  if (wire_digest_buffering_) {
+    // Concurrent epoch: buffer on the executing lane with the event's
+    // canonical key; the coordinator merges lanes at the next barrier.
+    std::uint64_t ka = 0;
+    std::uint64_t kb = 0;
+    EventLoop::current_event_key(ka, kb);
+    const std::uint32_t lane = exec_lane_below(
+        static_cast<std::uint32_t>(digest_lanes_.size()));
+    digest_lanes_[lane].recs.push_back(DigestRec{at, ka, kb, h});
+    return;
+  }
+  wire_digest_chain_ = mix64(wire_digest_chain_ ^ h);
+  ++wire_digest_count_;
+}
+
+void Network::merge_wire_digest_buffers() {
+  auto& scratch = digest_merge_scratch_;
+  scratch.clear();
+  for (DigestLane& lane : digest_lanes_) {
+    scratch.insert(scratch.end(), lane.recs.begin(), lane.recs.end());
+    lane.recs.clear();
+  }
+  if (scratch.empty()) return;
+  std::sort(scratch.begin(), scratch.end(),
+            [](const DigestRec& a, const DigestRec& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.key_a != b.key_a) return a.key_a < b.key_a;
+              return a.key_b < b.key_b;
+            });
+  for (const DigestRec& r : scratch) {
+    wire_digest_chain_ = mix64(wire_digest_chain_ ^ r.h);
+  }
+  wire_digest_count_ += scratch.size();
+}
+
+std::uint32_t Network::enable_sharding(const ShardPlan& plan) {
+  std::uint32_t shards = plan.shards;
+  if (shards < 1) shards = 1;
+  if (shards > 1 && plan.lookahead < 1) {
+    Log::warn("net",
+              "shard plan rejected: cross-shard lookahead %lld < 1ns "
+              "(zero-latency cross-shard link); running single-shard",
+              static_cast<long long>(plan.lookahead));
+    shards = 1;
+  }
+  if (shards > 1 && plan.shard_of.size() < nodes_.size()) {
+    Log::warn("net",
+              "shard plan rejected: covers %zu of %zu nodes; running "
+              "single-shard",
+              plan.shard_of.size(), nodes_.size());
+    shards = 1;
+  }
+  loop_.configure_shards(shards, plan.shard_of);
+  const std::uint32_t lanes = shards + 1;  // + control lane
+  payload_pool_.configure_lanes(lanes);
+  // The tracer needs no reconfiguration: its ids are partitioned per
+  // source node (see obs/trace.hpp), which is both race-free under any
+  // shard count and — because trace ids ride in frame headers and thus
+  // feed the wire digest — the only striping that keeps the digest
+  // shard-count-invariant.
+  // Re-stripe the frame-id allocator above everything already minted.
+  // Frame ids are sim-internal (never serialized into frame bytes), so
+  // unlike trace ids they may be lane-strided without touching the
+  // digest.
+  std::uint64_t hi = 0;
+  for (const FrameIdLane& l : frame_id_lanes_) {
+    hi = std::max(hi, l.counter);
+  }
+  frame_id_base_ += (hi + 1) * frame_id_stride_;
+  frame_id_lanes_.assign(lanes, FrameIdLane{});
+  frame_id_stride_ = lanes;
+  // Merge-then-grow the remaining laned state so nothing is lost.
+  const TrafficStats merged = stats();
+  stats_lanes_.assign(lanes, StatsLane{});
+  stats_lanes_[0].s = merged;
+  digest_lanes_.assign(lanes, DigestLane{});
+  loop_.set_parallel_driver(nullptr);
+  runner_.reset();
+  if (shards > 1) {
+    runner_ = std::make_unique<ShardRunner>(*this, plan.lookahead, shards);
+    loop_.set_parallel_driver(runner_.get());
+  }
+  return shards;
+}
+
+std::uint32_t Network::maybe_shard_from_env() {
+  const char* v = std::getenv("OBJRPC_SHARDS");
+  if (v == nullptr || v[0] == '\0') return 1;
+  const long n = std::strtol(v, nullptr, 10);
+  if (n <= 1) return 1;
+  auto plan = ShardPlan::by_switch_groups(*this, static_cast<std::uint32_t>(n));
+  return enable_sharding(plan);
 }
 
 }  // namespace objrpc

@@ -3,7 +3,11 @@
 // This is the Mininet substitute (DESIGN.md §7): a graph of nodes joined
 // by full-duplex links with propagation delay, finite bandwidth, optional
 // drop-tail queues, and optional loss.  All behaviour is deterministic in
-// the seed.
+// the seed — and independent of the shard count (DESIGN.md §16): every
+// frame-scoped allocator below is either per-direction (the loss RNG),
+// SHARD_LANED (frame ids, traffic counters, payload pool), or keyed by
+// the canonical event order (delivery), so a 1-shard and an 8-shard run
+// produce byte-identical wire traffic.
 #pragma once
 
 #include <functional>
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "common/annotations.hpp"
+#include "common/exec_lane.hpp"
 #include "common/flat_table.hpp"
 #include "common/pool.hpp"
 #include "common/result.hpp"
@@ -24,6 +29,8 @@
 namespace objrpc {
 
 class Network;
+class ShardRunner;
+struct ShardPlan;
 
 /// Base class for anything attached to the fabric (hosts, switches,
 /// controllers).  Subclasses react to frames in `on_packet` and emit
@@ -78,9 +85,15 @@ struct TrafficStats {
 class Network {
  public:
   explicit Network(std::uint64_t seed);
+  ~Network();
 
   EventLoop& loop() { return loop_; }
   SimTime now() const { return loop_.now(); }
+  /// Setup-time randomness (workload forks, table salts, topology
+  /// shuffles).  Nothing draws from it per frame: the only runtime
+  /// consumer — the loss draw — forks one substream per link direction
+  /// at connect time, so draw order is per-direction frame order and
+  /// therefore shard-count-independent.
   Rng& rng() { return rng_; }
 
   /// The simulation-wide metrics registry (src/obs): every component
@@ -105,6 +118,7 @@ class Network {
     nodes_.push_back(std::move(node));
     ports_.emplace_back();
     node_up_.push_back(true);
+    loop_.register_source(id);
     tracer_.set_process_name(id, ref.name());
     return ref;
   }
@@ -138,7 +152,8 @@ class Network {
   /// Frames sent into a down link are dropped (and counted); frames
   /// already in flight still arrive (they left before the cut).
   /// CROSS_SHARD: a link's two directions live on both endpoints, which
-  /// the sharded loop may place in different subtrees.
+  /// the sharded loop may place in different subtrees; transitions run
+  /// on the control lane with the shards parked.
   CROSS_SHARD void set_link_up(NodeId id, PortId port, bool up);
   bool link_up(NodeId id, PortId port) const;
 
@@ -148,14 +163,26 @@ class Network {
   /// receives nothing).  Node memory (stores, protocol state) survives,
   /// modelling a durable object store: revival is a reboot, not a wipe.
   /// Transitions invoke NetworkNode::on_node_state_change and the
-  /// observer (the management plane's failure detector).
+  /// observer (the management plane's failure detector).  Control-plane
+  /// only: under strict mode (CHECK_INVARIANTS=1) calling this from a
+  /// node callback aborts — route fault schedules through
+  /// schedule_crash/schedule_revive, which run on the control lane.
   CROSS_SHARD void set_node_up(NodeId id, bool up);
   bool node_up(NodeId id) const { return node_up_.at(id); }
 
   /// Deterministic fault schedule: crash / revive `id` at absolute
-  /// simulated time `at`.
+  /// simulated time `at` (a control-lane event in every mode).
   void schedule_crash(NodeId id, SimTime at);
   void schedule_revive(NodeId id, SimTime at);
+
+  /// Schedule `fn` to run AS node `id` at time `at`: on id's shard, in
+  /// id's lane, stamped from id's seq counter.  Callable from setup or
+  /// control-lane code.  Open-loop load injection uses this instead of
+  /// loop().schedule_at so a parallel run's control lane stays empty
+  /// (every control event is a fleet-wide barrier).
+  void schedule_on(NodeId id, SimTime at, EventLoop::Callback fn) {
+    loop_.schedule_on_source(id, at, std::move(fn));
+  }
 
   /// Management-plane hook: sees every node up/down transition (the SDN
   /// controller registers here; the simulator plays the role of its
@@ -164,10 +191,10 @@ class Network {
   void set_node_observer(NodeObserver obs) { node_observer_ = std::move(obs); }
 
   /// Enqueue a frame for transmission (called via NetworkNode::send).
-  /// HOT_PATH: one call per frame per hop.  CROSS_SHARD: mutates the
-  /// fabric-global counters, frame-id allocator, and loss RNG — the
-  /// per-frame synchronization points the sharded loop must own
-  /// (`fablint --shard-report` lists them).
+  /// HOT_PATH: one call per frame per hop.  CROSS_SHARD: the delivery
+  /// lands on the destination's shard — same-shard (or serialized) as a
+  /// direct wheel insert, cross-shard in a concurrent run through the
+  /// runner's bounded handoff rings.
   HOT_PATH CROSS_SHARD void transmit(NodeId from, PortId port, Packet pkt);
 
   /// Recycled payload buffers (DESIGN.md §14).  The fabric releases the
@@ -176,10 +203,29 @@ class Network {
   /// traffic stops touching the allocator.
   BufferPool& payload_pool() { return payload_pool_; }
 
-  const TrafficStats& stats() const { return stats_; }
-  CROSS_SHARD void reset_stats() { stats_ = TrafficStats{}; }
+  /// Lane-merged traffic counters (by value; the lanes are written
+  /// concurrently in parallel runs, so read at quiesce or barriers).
+  TrafficStats stats() const {
+    TrafficStats s;
+    for (const StatsLane& lane : stats_lanes_) {
+      s.frames_sent += lane.s.frames_sent;
+      s.frames_delivered += lane.s.frames_delivered;
+      s.frames_dropped_queue += lane.s.frames_dropped_queue;
+      s.frames_dropped_loss += lane.s.frames_dropped_loss;
+      s.frames_dropped_ttl += lane.s.frames_dropped_ttl;
+      s.frames_dropped_down += lane.s.frames_dropped_down;
+      s.frames_dropped_dead += lane.s.frames_dropped_dead;
+      s.bytes_sent += lane.s.bytes_sent;
+      s.bytes_delivered += lane.s.bytes_delivered;
+    }
+    return s;
+  }
+  CROSS_SHARD void reset_stats() {
+    for (StatsLane& lane : stats_lanes_) lane.s = TrafficStats{};
+  }
 
-  /// Observation hook for tests: sees every delivered frame.
+  /// Observation hook for tests: sees every delivered frame.  A tap
+  /// forces serialized execution (concurrent_allowed() below).
   using PacketTap =
       std::function<void(NodeId from, NodeId to, const Packet&)>;
   void set_tap(PacketTap tap) { tap_ = std::move(tap); }
@@ -189,48 +235,175 @@ class Network {
   /// order, after the primary tap; they must not mutate the simulation.
   void add_tap(PacketTap tap) { extra_taps_.push_back(std::move(tap)); }
 
+  // --- sharding (DESIGN.md §16) --------------------------------------
+
+  /// Partition the fabric per `plan` (see sim/shard.hpp).  Reconfigures
+  /// the event loop's wheels, re-stripes every SHARD_LANED allocator,
+  /// and (for >1 shard) spins up the parallel runner.  Setup-time only.
+  /// Returns the shard count actually applied (1 if the plan was
+  /// rejected, e.g. zero-latency cross-shard links).
+  std::uint32_t enable_sharding(const ShardPlan& plan);
+  /// enable_sharding from the OBJRPC_SHARDS environment toggle, using
+  /// the generic switch-group planner.  No-op (returns 1) when unset.
+  std::uint32_t maybe_shard_from_env();
+  std::uint32_t shard_count() const { return loop_.shard_count(); }
+  ShardRunner* runner() { return runner_.get(); }
+
+  /// True when a run may execute shards on concurrent worker threads:
+  /// requires >1 shard and NO serialized observers — taps (the
+  /// invariant checker attaches as one), the node observer, or an armed
+  /// tracer all see fabric-global event order and so force the serial
+  /// key-merge driver.  Either way the event ORDER is identical; this
+  /// only decides whether it is produced by one thread or N.
+  bool concurrent_allowed() const {
+    return shard_count() > 1 && !tap_ && extra_taps_.empty() &&
+           !node_observer_ && !tracer_.armed();
+  }
+
+  /// Arm the wire digest: a running hash over every delivery (time,
+  /// endpoints, size, full payload bytes) in canonical event order.
+  /// This is the cheap, sim-native determinism witness the shard tests
+  /// and bench sweep compare across shard counts — unlike the taps it
+  /// works in concurrent mode (per-lane buffers, merged by canonical
+  /// key at every barrier).
+  void arm_wire_digest() { wire_digest_armed_ = true; }
+  bool wire_digest_armed() const { return wire_digest_armed_; }
+  /// Digest and delivery count so far (read at quiesce).
+  std::uint64_t wire_digest() const { return wire_digest_chain_; }
+  std::uint64_t wire_digest_events() const { return wire_digest_count_; }
+
  private:
+  friend class ShardRunner;
+
   struct Direction {
     NodeId dst = kInvalidNode;
     PortId dst_port = kInvalidPort;
     LinkParams params;
     /// Time the transmitter is busy until (models serialization delay).
     SimTime busy_until = 0;
-    /// Bytes currently queued awaiting transmission.
+    /// Bytes currently queued awaiting transmission (running sum over
+    /// `inflight` entries that have not yet reached their arrive time).
     std::uint64_t queued_bytes = 0;
     /// Administrative / failure state.
     bool up = true;
+    /// Per-direction loss substream, forked from the fabric seed and
+    /// the endpoint pair at connect time.  Draw order is frame order on
+    /// this direction — shard-count-independent by construction.
+    Rng loss_rng{0};
+    /// FIFO of (arrive time, wire size) for frames occupying the queue;
+    /// head index advances lazily (see prune_inflight).  Replaces the
+    /// old per-frame decrement EVENT, which would have been a write to
+    /// the sender's state from the receiver's shard.
+    std::vector<std::pair<SimTime, std::uint32_t>> inflight;
+    std::size_t inflight_head = 0;
   };
 
-  // Shard affinity (DESIGN.md §15): `ports_`/`nodes_` rows belong to the
-  // subtree that owns the node; everything marked CROSS_SHARD below is
-  // written on behalf of arbitrary nodes and is a synchronization point
-  // once the loop is partitioned (ROADMAP item 1).
+  /// Drop inflight entries whose frames have fully arrived by `now`,
+  /// releasing their bytes from the drop-tail budget.  Exactly the old
+  /// decrement-at-arrive semantics, evaluated lazily at the next send.
+  HOT_PATH void prune_inflight(Direction& dir, SimTime now) {
+    auto& q = dir.inflight;
+    std::size_t h = dir.inflight_head;
+    while (h < q.size() && q[h].first <= now) {
+      dir.queued_bytes -= q[h].second;
+      ++h;
+    }
+    dir.inflight_head = h;
+    if (h == q.size()) {
+      q.clear();
+      dir.inflight_head = 0;
+    } else if (h > 64 && h * 2 > q.size()) {
+      q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(h));
+      dir.inflight_head = 0;
+    }
+  }
+
+  /// Execute a delivery (receiver context): liveness check, stats,
+  /// digest fold, taps, on_packet.
+  HOT_PATH void deliver_now(NodeId from, NodeId dst, PortId dst_port,
+                            Packet&& pkt);
+  /// Fold one delivery into the wire digest (or the executing lane's
+  /// buffer in a concurrent run).
+  HOT_PATH void fold_wire_digest(NodeId from, NodeId dst, const Packet& pkt);
+  /// Merge and fold every lane's buffered digest records in canonical
+  /// (at, key) order.  Runner-only, called at barriers (workers parked).
+  void merge_wire_digest_buffers();
+  /// Fabric-unique frame id from the executing lane's strided allocator.
+  HOT_PATH std::uint64_t mint_frame_id() {
+    const std::uint32_t lane =
+        exec_lane_below(static_cast<std::uint32_t>(frame_id_lanes_.size()));
+    return frame_id_base_ +
+           frame_id_lanes_[lane].counter++ * frame_id_stride_ + lane + 1;
+  }
+  TrafficStats& lane_stats() {
+    return stats_lanes_[exec_lane_below(static_cast<std::uint32_t>(
+                            stats_lanes_.size()))]
+        .s;
+  }
+
+  // Shard affinity (DESIGN.md §15/§16): `ports_`/`nodes_` rows belong
+  // to the shard that owns the node; SHARD_LANED members are replicated
+  // per execution lane; the remaining CROSS_SHARD members are written
+  // only on the control lane with the shards parked.
   EventLoop loop_;
-  /// CROSS_SHARD: the loss draw in transmit() consumes one value per
-  /// lossy-link frame regardless of which subtree sent it; a per-shard
-  /// stream would change the digest.
-  CROSS_SHARD Rng rng_;
-  CROSS_SHARD obs::MetricsRegistry metrics_;
-  /// CROSS_SHARD: the trace/span id allocator is fabric-global.
-  CROSS_SHARD obs::Tracer tracer_;
+  /// Setup-time randomness only (see rng()).
+  Rng rng_;
+  obs::MetricsRegistry metrics_;
+  /// Trace/span id allocation is laned inside the tracer; recording is
+  /// armed-only and armed runs are serialized.
+  obs::Tracer tracer_;
   std::vector<std::unique_ptr<NetworkNode>> nodes_;
   /// ports_[node][port] -> outgoing direction state.
   std::vector<std::vector<Direction>> ports_;
   /// Connected node pairs (canonical lo<<32|hi), for duplicate-link
   /// rejection in try_connect.
   FlatHashSet<std::uint64_t> adjacency_;
-  /// CROSS_SHARD: frames are released by whichever endpoint drops them.
-  CROSS_SHARD BufferPool payload_pool_;
+  /// Laned free lists with explicit cross-shard return (common/pool.hpp).
+  BufferPool payload_pool_;
   /// Per-node liveness (fail-stop crash state).  CROSS_SHARD: written by
-  /// the fault schedule, read at delivery on the receiver's shard.
+  /// the fault schedule on the control lane (shards parked), read at
+  /// delivery on the receiver's shard.
   CROSS_SHARD std::vector<bool> node_up_;
-  CROSS_SHARD TrafficStats stats_;
+  /// Padded per-lane traffic counters; stats() merges them.
+  struct alignas(64) StatsLane {
+    TrafficStats s;
+  };
+  SHARD_LANED std::vector<StatsLane> stats_lanes_{1};
   PacketTap tap_;
   std::vector<PacketTap> extra_taps_;
   NodeObserver node_observer_;
-  /// CROSS_SHARD: fabric-wide unique frame ids, allocated per emission.
-  CROSS_SHARD std::uint64_t next_frame_id_ = 1;
+  /// Frame ids: strided per-lane counters (id = base + c*stride +
+  /// lane + 1), unique fabric-wide without synchronization.  Re-strided
+  /// by enable_sharding; ids never feed the wire digest.
+  struct alignas(64) FrameIdLane {
+    std::uint64_t counter = 0;
+  };
+  SHARD_LANED std::vector<FrameIdLane> frame_id_lanes_{1};
+  std::uint64_t frame_id_stride_ = 1;
+  std::uint64_t frame_id_base_ = 0;
+
+  // Wire digest state.  Serialized runs fold inline (chain/count);
+  // concurrent runs buffer per lane and the coordinator merges at
+  // barriers.
+  bool wire_digest_armed_ = false;
+  /// Set by the runner for the duration of an epoch (workers parked at
+  /// both edges, so no torn reads).
+  bool wire_digest_buffering_ = false;
+  std::uint64_t wire_digest_chain_;
+  std::uint64_t wire_digest_count_ = 0;
+  struct DigestRec {
+    SimTime at;
+    std::uint64_t key_a;
+    std::uint64_t key_b;
+    std::uint64_t h;
+  };
+  struct alignas(64) DigestLane {
+    std::vector<DigestRec> recs;
+  };
+  SHARD_LANED std::vector<DigestLane> digest_lanes_{1};
+  std::vector<DigestRec> digest_merge_scratch_;
+
+  std::unique_ptr<ShardRunner> runner_;
 };
 
 }  // namespace objrpc

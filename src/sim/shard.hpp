@@ -1,0 +1,208 @@
+// Sharded multi-core execution of the event loop (DESIGN.md §16).
+//
+// The fabric is partitioned by topology subtree: every event source
+// (node) is assigned to one of K shards, each shard owns one timing
+// wheel, and K worker threads drive the wheels concurrently under
+// conservative-lookahead synchronization.  The lookahead L is the
+// minimum latency of any link whose endpoints live on different shards:
+// if every shard has executed all events with time < M, then any
+// cross-shard frame still unsent leaves at some t >= M and arrives at
+// t + serialization + L > M + L — so all shards may run freely up to
+// the horizon H = min(M + L, next control time, deadline + 1) without
+// ever receiving a frame behind their clock.  Epochs are BSP rounds:
+// release workers to H-1, park them at a barrier, drain the cross-shard
+// handoff rings, merge the wire-digest lanes, repeat.
+//
+// Determinism (the non-negotiable): event ORDER is a pure function of
+// the canonical key set (see sim/event_loop.hpp), and every key is
+// assigned by its sender's own clock and seq counter — identical in
+// serial and parallel runs.  Cross-shard frames carry their key through
+// the rings and are inserted with it intact, so a 1-, 2-, 4- and
+// 8-shard run of the same seed produces a byte-identical wire digest.
+// tests/shard_test.cpp and the bench sweep enforce this.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/time.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/packet.hpp"
+#include "sim/topology.hpp"
+
+namespace objrpc {
+
+class Network;
+
+/// A partition of the fabric's event sources over K shards, plus the
+/// conservative lookahead the partition supports.  Produce one with the
+/// topology-aware planners below (or by hand in tests) and apply it
+/// with Network::enable_sharding.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  /// shard_of[node] in [0, shards).  Must cover every node.
+  std::vector<std::uint32_t> shard_of;
+  /// Minimum latency of any cross-shard link (ns).  A plan with
+  /// lookahead < 1 is rejected (zero-latency cross-shard links admit no
+  /// conservative horizon).
+  SimDuration lookahead = 0;
+
+  /// The trivial plan: everything on one shard (serial execution).
+  static ShardPlan single();
+
+  /// Leaf-spine subtree partition: leaf l (and every host hanging off
+  /// it) goes to shard l % shards; spines — which touch every leaf —
+  /// are spread round-robin.  Cross-shard links are exactly the
+  /// leaf<->spine fabric links, so lookahead = fabric_link.latency.
+  static ShardPlan leaf_spine(Network& net, const LeafSpineTopology& topo,
+                              std::uint32_t shards);
+
+  /// Fat-tree pod partition: pod p (edges, aggs, hosts) goes to shard
+  /// p % shards; cores are spread round-robin.  Cross-shard links are
+  /// agg<->core (and, when shards does not divide k, some intra-tier
+  /// fabric links), never host links.
+  static ShardPlan fat_tree(Network& net, const FatTreeTopology& topo,
+                            std::uint32_t shards);
+
+  /// Generic planner for arbitrary fabrics (the OBJRPC_SHARDS path):
+  /// multi-port nodes (switches, controllers) are treated as subtree
+  /// anchors and dealt round-robin across shards; single-port nodes
+  /// (hosts) follow the shard of their only peer, keeping every
+  /// host<->switch link intra-shard.
+  static ShardPlan by_switch_groups(Network& net, std::uint32_t shards);
+
+  /// Minimum latency over links whose endpoints land on different
+  /// shards under `shard_of` (0 when no link crosses — which also
+  /// rejects the plan, conservatively: such a partition means the
+  /// fabric is disconnected across shards and a single shard loses
+  /// nothing).
+  static SimDuration min_cross_latency(Network& net,
+                                       const std::vector<std::uint32_t>& shard_of);
+};
+
+/// Drives K shard wheels on K worker threads in conservative-lookahead
+/// epochs.  Installed by Network::enable_sharding as the event loop's
+/// ParallelDriver; consulted only when Network::concurrent_allowed()
+/// holds (no serialized observers), otherwise the loop's serial
+/// key-merge produces the identical order on one thread.
+class ShardRunner final : public EventLoop::ParallelDriver {
+ public:
+  ShardRunner(Network& net, SimDuration lookahead, std::uint32_t shards);
+  ~ShardRunner() override;
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  /// EventLoop::ParallelDriver.
+  bool ready() override;
+  void run_until(SimTime deadline) override;
+
+  /// Cross-shard frame handoff, called by Network::transmit from a
+  /// worker thread mid-epoch.  Stamps the canonical delivery key from
+  /// the SENDER's context (its clock, its seq counter — untouched by
+  /// any other thread), then parks the frame in the executing lane's
+  /// bounded ring for the coordinator to insert at the next barrier.
+  /// Returns false when the frame should be scheduled directly instead:
+  /// not inside a concurrent epoch (serial / control / coordinator
+  /// context), or the destination lives on the sender's own shard.
+  /// Ring drain order across lanes is irrelevant: insertion carries the
+  /// canonical key, and key order — not insertion order — decides
+  /// execution order.
+  HOT_PATH bool offer_cross(NodeId from, NodeId dst, PortId dst_port,
+                            SimTime arrive, Packet&& pkt);
+
+  /// Frames that arrived at a full ring and took the mutex-guarded
+  /// spill path instead (backpressure observability; shard_test floors
+  /// the ring to force it).
+  std::uint64_t overflow_count() const {
+    return overflow_count_.load(std::memory_order_relaxed);
+  }
+  /// Completed epochs (BSP rounds) so far.
+  std::uint64_t epochs() const { return epochs_; }
+  /// Cross-shard frames handed through the rings so far.
+  std::uint64_t cross_frames() const { return cross_frames_; }
+
+  // --- test hooks ----------------------------------------------------
+  /// Shrink the per-lane rings (forces the overflow spill path).
+  void set_ring_capacity_for_test(std::size_t cap);
+  /// Replace the computed lookahead with `h` (an h larger than the real
+  /// lookahead makes the runner UNSOUND: cross-shard frames can arrive
+  /// behind the destination wheel's clock, which the wheel reports as a
+  /// lookahead violation — the abort path shard_test exercises).
+  void set_horizon_override_for_test(SimDuration h) { horizon_override_ = h; }
+
+ private:
+  /// One cross-shard frame in flight between epochs: the delivery plus
+  /// the canonical key its sender stamped.
+  struct CrossFrame {
+    SimTime at = 0;
+    std::uint64_t key_a = 0;
+    std::uint64_t key_b = 0;
+    NodeId from = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    PortId dst_port = kInvalidPort;
+    Packet pkt;
+  };
+  /// Per-worker-lane handoff ring.  Single producer (the owning worker,
+  /// mid-epoch), single consumer (the coordinator, at the barrier —
+  /// workers parked, ordered by the barrier's mutex).  Bounded: a full
+  /// ring spills to the shared mutex-guarded overflow vector, so a
+  /// burst degrades to a lock instead of deadlocking or growing
+  /// unboundedly.
+  struct alignas(64) Ring {
+    std::vector<CrossFrame> buf;
+  };
+
+  /// Run one BSP epoch: every worker drives its wheel to `limit`
+  /// (inclusive), then parks.  Caller drains rings and merges digests.
+  void run_epoch(SimTime limit);
+  /// Insert every ring/spill frame into its destination wheel with its
+  /// stamped key (coordinator only, workers parked).
+  CROSS_SHARD void drain_rings();
+  void deliver_cross(CrossFrame&& cf);
+  /// Full-ring slow path (the designed allocation point).
+  CROSS_SHARD MAY_ALLOC void spill_cross(CrossFrame&& cf);
+  void worker_main(std::uint32_t lane);
+
+  Network& net_;
+  const SimDuration lookahead_;
+  const std::uint32_t shards_;
+  SimDuration horizon_override_ = 0;
+  /// OBJRPC_SHARDS_SERIAL kill switch: keep the partition (and its
+  /// laned allocators) but never go concurrent — the serial key-merge
+  /// escape hatch for debugging.
+  bool serial_forced_ = false;
+
+  /// CROSS_SHARD by construction: every field below the rings is either
+  /// written only at barriers (coordinator, workers parked) or guarded
+  /// by mu_ / spill_mu_.
+  SHARD_LANED std::vector<Ring> rings_;
+  std::size_t ring_capacity_;
+  std::mutex spill_mu_;
+  CROSS_SHARD std::vector<CrossFrame> spill_;
+  std::atomic<std::uint64_t> overflow_count_{0};
+
+  // Epoch barrier.  epoch_seq_ bumps to release workers; running_
+  // counts them back in.  All worker<->coordinator visibility (the
+  // epoch limit, in_epoch_, ring contents) is ordered by mu_.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_seq_ = 0;
+  SimTime epoch_limit_ = 0;
+  std::uint32_t running_ = 0;
+  /// True exactly while workers are running an epoch (offer_cross's
+  /// gate: outside an epoch every schedule is a direct wheel insert).
+  bool in_epoch_ = false;
+  bool stop_ = false;
+
+  std::uint64_t epochs_ = 0;
+  std::uint64_t cross_frames_ = 0;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace objrpc

@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
 """Sanity-check `fablint --shard-report` over the real tree.
 
-The shard report is the sharded-loop migration's work-list (DESIGN.md
-§15): every CROSS_SHARD state declaration and every annotated mutator,
-as machine-readable JSON.  An empty inventory means the annotation
-layer silently stopped parsing — exactly the regression this test
-exists to catch.  Asserts:
+The shard report is the sharded loop's synchronization inventory
+(DESIGN.md §16): every CROSS_SHARD state declaration, every SHARD_LANED
+lane array, and every annotated mutator, as machine-readable JSON.  An
+empty inventory means the annotation layer silently stopped parsing —
+exactly the regression this test exists to catch.  Asserts:
 
-  * the report is valid JSON with the four inventory arrays,
+  * the report is valid JSON with the five inventory arrays,
   * each array the annotated tree is known to populate is non-empty,
-  * a few load-bearing entries are present (Network's RNG and frame-id
-    counter, the tracer's id allocators, the EventLoop wheel capability).
+  * a few load-bearing entries are present (Network's topology state and
+    the runner's spill queue, the laned frame-id / pool free-list
+    arrays, the timing-wheel capability guards).  (Tracer ids are
+    per-NODE, not per-lane — they feed the wire digest and must stay
+    shard-count-invariant — so they are deliberately absent here.)
 
 Usage: check_shard_report.py <fablint-binary> <src-dir>
 """
@@ -36,6 +39,7 @@ def main() -> int:
     required_nonempty = [
         "capabilities",
         "cross_shard_state",
+        "laned_state",
         "shard_guarded_state",
         "cross_shard_functions",
         "hot_path_functions",
@@ -53,10 +57,12 @@ def main() -> int:
         return {e.get("member", "") for e in report.get(key, [])}
 
     expectations = [
-        ("cross_shard_state", "rng_", "Network's loss RNG"),
-        ("cross_shard_state", "next_frame_id_", "frame-id counter"),
-        ("cross_shard_state", "next_trace_", "tracer id allocator"),
-        ("shard_guarded_state", "buckets_", "EventLoop wheel"),
+        ("cross_shard_state", "node_up_", "Network's topology up/down map"),
+        ("cross_shard_state", "spill_", "ShardRunner's overflow spill"),
+        ("laned_state", "frame_id_lanes_", "laned frame-id allocators"),
+        ("laned_state", "lanes_", "laned pool free lists"),
+        ("laned_state", "rings_", "per-lane cross-shard rings"),
+        ("shard_guarded_state", "buckets_", "TimingWheel buckets"),
     ]
     for key, name, what in expectations:
         if name not in names(key):

@@ -1,0 +1,52 @@
+// fablint fixture: cross-shard pool handoff without the annotation.
+// The buffer pool keeps one free list per execution lane (SHARD_LANED),
+// so same-lane alloc/free is single-writer and needs no fence.  But a
+// buffer freed by a lane that did not allocate it must be handed back
+// through a shared queue — that queue is CROSS_SHARD state, and every
+// mutator of it is a synchronization point the shard report must list.
+// Here the handoff functions lack the annotation: two findings.
+//
+// Fixtures are analyzed, never compiled, so the bare SHARD_LANED /
+// CROSS_SHARD marker identifiers stand in for common/annotations.hpp.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class LanedPool {
+ public:
+  // Same-lane traffic: writes land in this lane's own free list.  The
+  // member is SHARD_LANED, not CROSS_SHARD, so no annotation is owed —
+  // a finding here would be a precision bug in the rule.
+  std::uint32_t acquire(std::size_t lane) {
+    auto& fl = lanes_[lane].free;
+    if (fl.empty()) return 0;
+    const std::uint32_t h = fl.back();
+    fl.pop_back();
+    return h;
+  }
+
+  void release(std::size_t lane, std::uint32_t h) {
+    lanes_[lane].free.push_back(h);
+  }
+
+  // Foreign-lane free: the buffer goes home via the shared queue.
+  void release_foreign(std::uint32_t h) {
+    handoff_.push_back(h);  // EXPECT: cross-shard
+  }
+
+  // Barrier-time drain back into the owning lanes.
+  void drain_handoff(std::size_t lane) {
+    for (std::uint32_t h : handoff_) lanes_[lane].free.push_back(h);
+    handoff_.clear();  // EXPECT: cross-shard
+  }
+
+ private:
+  struct Lane {
+    std::vector<std::uint32_t> free;
+  };
+  SHARD_LANED std::vector<Lane> lanes_{1};
+  CROSS_SHARD std::vector<std::uint32_t> handoff_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// fablint fixture: good twin of pool_handoff_bad.cpp.  Lane-local
+// alloc/free stays unannotated (SHARD_LANED state is single-writer by
+// construction), and both mutators of the shared handoff queue carry
+// CROSS_SHARD, so the shard report inventories every fence point.
+// Zero findings expected.
+//
+// Fixtures are analyzed, never compiled, so the bare SHARD_LANED /
+// CROSS_SHARD marker identifiers stand in for common/annotations.hpp.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class LanedPool {
+ public:
+  std::uint32_t acquire(std::size_t lane) {
+    auto& fl = lanes_[lane].free;
+    if (fl.empty()) return 0;
+    const std::uint32_t h = fl.back();
+    fl.pop_back();
+    return h;
+  }
+
+  void release(std::size_t lane, std::uint32_t h) {
+    lanes_[lane].free.push_back(h);
+  }
+
+  CROSS_SHARD void release_foreign(std::uint32_t h) {
+    handoff_.push_back(h);
+  }
+
+  CROSS_SHARD void drain_handoff(std::size_t lane) {
+    for (std::uint32_t h : handoff_) lanes_[lane].free.push_back(h);
+    handoff_.clear();
+  }
+
+ private:
+  struct Lane {
+    std::vector<std::uint32_t> free;
+  };
+  SHARD_LANED std::vector<Lane> lanes_{1};
+  CROSS_SHARD std::vector<std::uint32_t> handoff_;
+};
+
+}  // namespace fixture

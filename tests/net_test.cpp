@@ -480,7 +480,14 @@ TEST(Reliable, LargeObjectMovesAcrossFragments) {
 }
 
 TEST(Reliable, SurvivesLossyLinks) {
-  auto cfg = base_config(DiscoveryScheme::e2e, 99);
+  // Seed note: with 15% loss on every hop of the 5-hop e2e path, one
+  // delivery round (data out + ack back) survives with p = 0.85^10 ~ 0.2,
+  // so exhausting the retry budget on the last fragment is a ~10% tail
+  // event per seed.  The per-direction loss substreams (forked per link
+  // in Network::connect) re-dealt the draw order; 99 — picked for the
+  // old global stream — landed in that tail, 30 of its 31 neighbours
+  // pass.  101 is one of them.
+  auto cfg = base_config(DiscoveryScheme::e2e, 101);
   cfg.host_link.loss_rate = 0.15;
   cfg.switch_link.loss_rate = 0.15;
   auto fabric = Fabric::build(cfg);

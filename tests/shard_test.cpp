@@ -1,0 +1,314 @@
+// Sharded event-loop tests (DESIGN.md §16): the parallel runner must
+// produce the SAME wire bytes as the sequential loop — not statistically
+// close, byte-identical — across shard counts, seeds, loss, and crash
+// schedules.  Plus the failure modes: the lookahead-violation abort
+// (an unsound horizon must die loudly, not corrupt the digest) and the
+// bounded cross-shard rings overflowing into the counted spill path.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "sim/network.hpp"
+#include "sim/shard.hpp"
+#include "sim/switch_node.hpp"
+#include "sim/topology.hpp"
+#include "core/cluster.hpp"
+
+namespace objrpc {
+namespace {
+
+class SinkHost : public NetworkNode {
+ public:
+  SinkHost(Network& net, NodeId id, std::string name)
+      : NetworkNode(net, id, std::move(name)) {}
+  void on_packet(PortId, Packet pkt) override {
+    ++delivered;
+    bytes += pkt.data.size();
+  }
+  void transmit(PortId port, Packet pkt) { send(port, std::move(pkt)); }
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Exact-match destination routing over a small leaf-spine (8 leaves so
+/// an 8-shard plan gets a non-trivial partition).
+struct TestFabric {
+  Network net;
+  LeafSpineTopology topo;
+};
+
+struct FabricOpts {
+  double loss_rate = 0.0;
+  bool crash_spine = false;
+  std::size_t ring_capacity = 0;   // 0 = default
+  SimDuration horizon_override = 0;
+  bool force_serial_env = false;
+};
+
+constexpr std::uint32_t kPackets = 200;
+
+void build_test_fabric(TestFabric& f, const FabricOpts& o) {
+  LeafSpineParams params;
+  params.spines = 4;
+  params.leaves = 8;
+  params.hosts_per_leaf = 4;
+  params.fabric_link.loss_rate = o.loss_rate;
+  params.host_link.loss_rate = o.loss_rate;
+  SwitchConfig scfg;
+  scfg.key_bits = 64;
+  f.topo = build_leaf_spine(
+      f.net, params,
+      [&](const std::string& n) {
+        return f.net.add_node<SwitchNode>(n, scfg).id();
+      },
+      [&](const std::string& n) { return f.net.add_node<SinkHost>(n).id(); });
+  auto extractor = [](const Packet& pkt) -> std::optional<ParsedKey> {
+    if (pkt.data.size() < 8) return std::nullopt;
+    std::uint64_t dst = 0;
+    for (int i = 0; i < 8; ++i) {
+      dst |= std::uint64_t{pkt.data[static_cast<std::size_t>(i)]} << (8 * i);
+    }
+    return ParsedKey(U128{0, dst}, false);
+  };
+  for (std::uint32_t s = 0; s < params.spines; ++s) {
+    auto& sw = static_cast<SwitchNode&>(f.net.node(f.topo.spines[s]));
+    sw.set_key_extractor(extractor);
+    for (std::uint64_t h = 0; h < f.topo.host_count(); ++h) {
+      sw.table().insert(U128{0, h}, Action::forward_to(static_cast<PortId>(
+                                        h / params.hosts_per_leaf)));
+    }
+  }
+  for (std::uint32_t l = 0; l < params.leaves; ++l) {
+    auto& sw = static_cast<SwitchNode&>(f.net.node(f.topo.leaves[l]));
+    sw.set_key_extractor(extractor);
+    for (std::uint64_t h = 0; h < f.topo.host_count(); ++h) {
+      const auto leaf_of =
+          static_cast<std::uint32_t>(h / params.hosts_per_leaf);
+      const PortId out =
+          leaf_of == l
+              ? static_cast<PortId>(params.spines + h % params.hosts_per_leaf)
+              : static_cast<PortId>(h % params.spines);
+      sw.table().insert(U128{0, h}, Action::forward_to(out));
+    }
+  }
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  std::uint64_t digest_events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t overflow = 0;
+  std::uint32_t shards = 0;
+  bool operator==(const RunResult&) const = default;
+};
+
+RunResult run_fabric(std::uint64_t seed, std::uint32_t shards,
+                     const FabricOpts& o = {}) {
+  if (o.force_serial_env) setenv("OBJRPC_SHARDS_SERIAL", "1", 1);
+  TestFabric f{Network(seed), {}};
+  build_test_fabric(f, o);
+  if (shards > 1) {
+    f.net.enable_sharding(ShardPlan::leaf_spine(f.net, f.topo, shards));
+  }
+  if (ShardRunner* r = f.net.runner()) {
+    if (o.ring_capacity != 0) r->set_ring_capacity_for_test(o.ring_capacity);
+    if (o.horizon_override != 0) {
+      r->set_horizon_override_for_test(o.horizon_override);
+    }
+  }
+  f.net.arm_wire_digest();
+  if (o.crash_spine) {
+    f.net.schedule_crash(f.topo.spines[1], 40 * kMicrosecond);
+    f.net.schedule_revive(f.topo.spines[1], 140 * kMicrosecond);
+  }
+  Rng workload(seed ^ 0xBEEF);
+  const std::uint64_t n = f.topo.host_count();
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    const auto src = static_cast<std::uint32_t>(workload.next_below(n));
+    std::uint64_t dst = workload.next_below(n - 1);
+    if (dst >= src) ++dst;
+    Packet pkt;
+    pkt.data.assign(64 + workload.next_below(600), 0x5A);
+    for (int b = 0; b < 8; ++b) {
+      pkt.data[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(dst >> (8 * b));
+    }
+    const SimTime at = (i / 4) * kMicrosecond + workload.next_below(999);
+    auto* host = static_cast<SinkHost*>(&f.net.node(f.topo.hosts[src]));
+    f.net.schedule_on(f.topo.hosts[src], at,
+                      [host, pkt = std::move(pkt)]() mutable {
+                        host->transmit(0, std::move(pkt));
+                      });
+  }
+  f.net.loop().run();
+  RunResult r;
+  r.digest = f.net.wire_digest();
+  r.digest_events = f.net.wire_digest_events();
+  r.shards = f.net.shard_count();
+  for (NodeId h : f.topo.hosts) {
+    r.delivered += static_cast<const SinkHost&>(f.net.node(h)).delivered;
+  }
+  if (const ShardRunner* runner = f.net.runner()) {
+    r.overflow = runner->overflow_count();
+  }
+  if (o.force_serial_env) unsetenv("OBJRPC_SHARDS_SERIAL");
+  return r;
+}
+
+// --- digest identity --------------------------------------------------------
+
+class ShardDigest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardDigest, CleanRunByteIdentical) {
+  const RunResult base = run_fabric(GetParam(), 1);
+  EXPECT_EQ(base.delivered, kPackets);
+  EXPECT_GT(base.digest_events, 0u);
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    const RunResult p = run_fabric(GetParam(), shards);
+    EXPECT_EQ(p.shards, shards);
+    EXPECT_EQ(p.digest, base.digest) << shards << " shards, seed "
+                                     << GetParam();
+    EXPECT_EQ(p.digest_events, base.digest_events);
+    EXPECT_EQ(p.delivered, base.delivered);
+  }
+}
+
+TEST_P(ShardDigest, LossyRunByteIdentical) {
+  FabricOpts lossy;
+  lossy.loss_rate = 0.1;
+  const RunResult base = run_fabric(GetParam(), 1, lossy);
+  EXPECT_LT(base.delivered, kPackets);  // loss must actually bite
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    const RunResult p = run_fabric(GetParam(), shards, lossy);
+    EXPECT_EQ(p.digest, base.digest) << shards << " shards, seed "
+                                     << GetParam();
+    EXPECT_EQ(p.delivered, base.delivered);
+  }
+}
+
+TEST_P(ShardDigest, CrashScheduleByteIdentical) {
+  FabricOpts chaos;
+  chaos.loss_rate = 0.05;
+  chaos.crash_spine = true;
+  const RunResult base = run_fabric(GetParam(), 1, chaos);
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    const RunResult p = run_fabric(GetParam(), shards, chaos);
+    EXPECT_EQ(p.digest, base.digest) << shards << " shards, seed "
+                                     << GetParam();
+    EXPECT_EQ(p.delivered, base.delivered);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardDigest,
+                         ::testing::Values(3, 17, 1234));
+
+TEST(ShardRunnerTest, SerialKillSwitchStillByteIdentical) {
+  // OBJRPC_SHARDS_SERIAL=1 keeps the partition but runs it on the
+  // serial key-merge driver — same keys, same digest.
+  const RunResult base = run_fabric(7, 1);
+  FabricOpts serial;
+  serial.force_serial_env = true;
+  const RunResult p = run_fabric(7, 4, serial);
+  EXPECT_EQ(p.shards, 4u);
+  EXPECT_EQ(p.digest, base.digest);
+}
+
+// --- backpressure -----------------------------------------------------------
+
+TEST(ShardRunnerTest, RingOverflowSpillsWithoutDivergence) {
+  const RunResult base = run_fabric(11, 1);
+  FabricOpts tiny;
+  tiny.ring_capacity = 1;  // every epoch's 2nd+ cross frame spills
+  const RunResult p = run_fabric(11, 4, tiny);
+  EXPECT_GT(p.overflow, 0u);
+  EXPECT_EQ(p.digest, base.digest);
+  EXPECT_EQ(p.delivered, base.delivered);
+}
+
+// --- lookahead soundness ----------------------------------------------------
+
+/// A horizon far past the real lookahead is UNSOUND: shards run ahead
+/// of the frames other shards are about to hand them.  Strict mode must
+/// catch the first behind-clock arrival and abort.
+void run_with_unsound_horizon() {
+  TestFabric f{Network(5), {}};
+  FabricOpts o;
+  build_test_fabric(f, o);
+  f.net.enable_sharding(ShardPlan::leaf_spine(f.net, f.topo, 4));
+  f.net.runner()->set_horizon_override_for_test(5 * kMillisecond);
+  f.net.loop().set_strict_past_schedules(true);
+  f.net.arm_wire_digest();
+  Rng workload(5 ^ 0xBEEF);
+  const std::uint64_t n = f.topo.host_count();
+  for (std::uint32_t i = 0; i < kPackets; ++i) {
+    const auto src = static_cast<std::uint32_t>(workload.next_below(n));
+    std::uint64_t dst = workload.next_below(n - 1);
+    if (dst >= src) ++dst;
+    Packet pkt;
+    pkt.data.assign(64, 0x5A);
+    for (int b = 0; b < 8; ++b) {
+      pkt.data[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(dst >> (8 * b));
+    }
+    auto* host = static_cast<SinkHost*>(&f.net.node(f.topo.hosts[src]));
+    f.net.schedule_on(f.topo.hosts[src],
+                      static_cast<SimTime>(i) * kMicrosecond,
+                      [host, pkt = std::move(pkt)]() mutable {
+                        host->transmit(0, std::move(pkt));
+                      });
+  }
+  f.net.loop().run();
+}
+
+TEST(ShardDeathTest, OversizedHorizonAbortsUnderStrict) {
+  // The runner spawns worker threads; fork-style death tests need the
+  // threadsafe re-exec mode to be reliable.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(run_with_unsound_horizon(), "lookahead violation");
+}
+
+// --- cluster-level opt-in (OBJRPC_SHARDS) -----------------------------------
+
+std::uint64_t run_cluster_workload(const char* shards_env) {
+  if (shards_env != nullptr) {
+    setenv("OBJRPC_SHARDS", shards_env, 1);
+  } else {
+    unsetenv("OBJRPC_SHARDS");
+  }
+  ClusterConfig cfg;
+  cfg.fabric.scheme = DiscoveryScheme::controller;
+  cfg.fabric.seed = 21;
+  cfg.check_invariants = 0;  // the checker's taps would force serial
+  auto cluster = Cluster::build(cfg);
+  cluster->fabric().network().arm_wire_digest();
+  auto obj = cluster->create_object(1, 4096);
+  EXPECT_TRUE(obj.has_value());
+  const ObjectId id = (*obj)->id();
+  auto off = (*obj)->alloc(8);
+  EXPECT_TRUE(off.has_value() && (*obj)->write_u64(*off, 100));
+  cluster->settle();
+  bool fetched = false;
+  cluster->fetcher(0).fetch(id, [&](Status s) { fetched = s.is_ok(); });
+  cluster->settle();
+  EXPECT_TRUE(fetched);
+  bool moved = false;
+  cluster->move_object(id, 1, 2, [&](Status s) { moved = s.is_ok(); });
+  cluster->settle();
+  EXPECT_TRUE(moved);
+  const std::uint64_t digest = cluster->fabric().network().wire_digest();
+  unsetenv("OBJRPC_SHARDS");
+  return digest;
+}
+
+TEST(ShardCluster, EnvOptInByteIdenticalAcrossShardCounts) {
+  const std::uint64_t serial = run_cluster_workload(nullptr);
+  EXPECT_NE(serial, 0u);
+  for (const char* n : {"1", "2", "4", "8"}) {
+    EXPECT_EQ(run_cluster_workload(n), serial) << "OBJRPC_SHARDS=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace objrpc

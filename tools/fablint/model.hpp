@@ -62,6 +62,7 @@ struct VarDecl {
   std::string type_text;   // declaration tokens joined, minus the name
   ContainerKind container = ContainerKind::kNone;
   bool cross_shard = false;     // CROSS_SHARD marker on the declaration
+  bool laned = false;           // SHARD_LANED marker on the declaration
   std::string guarded_by;       // SHARD_GUARDED_BY(<expr>) argument
   int line = 0;
 };

@@ -492,6 +492,17 @@ class Parser {
                             params_close, /*body_open=*/p_);
             return;
           }
+          // `name{init}` default member initializer: the matching close
+          // brace is followed by `;` (or `,` in a multi-declarator
+          // run).  Skip the braces and let the `;` finish the
+          // declaration, so brace-initialized members — most of the
+          // SHARD_LANED lane arrays — still land in the inventory.
+          {
+            const std::size_t probe = p_;
+            skip_balanced("{", "}");
+            if (cur().text == ";" || cur().text == ",") continue;
+            p_ = probe;
+          }
           // Unmodeled brace at declaration scope: skip it.
           skip_balanced("{", "}");
           skip_to_semi();
@@ -505,6 +516,7 @@ class Parser {
   /// Annotation markers present in [begin, end).
   struct Markers {
     bool hot_path = false, may_alloc = false, cross_shard = false;
+    bool laned = false;
     std::string guarded_by;
   };
   Markers scan_markers(std::size_t begin, std::size_t end) {
@@ -515,6 +527,7 @@ class Parser {
       if (t.text == "HOT_PATH") m.hot_path = true;
       else if (t.text == "MAY_ALLOC") m.may_alloc = true;
       else if (t.text == "CROSS_SHARD") m.cross_shard = true;
+      else if (t.text == "SHARD_LANED") m.laned = true;
       else if (t.text == "SHARD_GUARDED_BY" && at(i + 1).text == "(") {
         std::size_t j = i + 2;
         std::string arg;
@@ -635,6 +648,7 @@ class Parser {
     v.type_text = join_type(fm_.tokens, begin, name_idx);
     v.container = classify_container(v.type_text);
     v.cross_shard = m.cross_shard;
+    v.laned = m.laned;
     v.guarded_by = m.guarded_by;
     v.line = line;
     if (!structs_stack_.empty() && !class_name.empty()) {

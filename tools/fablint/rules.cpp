@@ -917,7 +917,8 @@ std::string shard_report_json(const Corpus& corpus) {
   auto strip_markers = [](std::string t) {
     // Member types are recorded verbatim, which includes any annotation
     // macros; the report wants the bare type.
-    for (const char* m : {"CROSS_SHARD ", "HOT_PATH ", "MAY_ALLOC "}) {
+    for (const char* m :
+         {"CROSS_SHARD ", "SHARD_LANED ", "HOT_PATH ", "MAY_ALLOC "}) {
       std::size_t pos;
       while ((pos = t.find(m)) != std::string::npos) {
         t.erase(pos, std::string(m).size());
@@ -925,7 +926,7 @@ std::string shard_report_json(const Corpus& corpus) {
     }
     return t;
   };
-  std::vector<std::string> caps, members, guarded, cross_fns, hot_fns;
+  std::vector<std::string> caps, members, laned, guarded, cross_fns, hot_fns;
   for (const FileModel& fm : corpus.files) {
     for (const StructDef& sd : fm.structs) {
       if (sd.is_capability) {
@@ -940,6 +941,13 @@ std::string shard_report_json(const Corpus& corpus) {
                             "\", \"type\": \"" + escape(strip_markers(m.type_text)) +
                             "\", \"file\": \"" + escape(sd.file) +
                             "\", \"line\": " + std::to_string(m.line) + "}");
+        }
+        if (m.laned) {
+          laned.push_back("    {\"class\": \"" + escape(sd.qualified) +
+                          "\", \"member\": \"" + escape(m.name) +
+                          "\", \"type\": \"" + escape(strip_markers(m.type_text)) +
+                          "\", \"file\": \"" + escape(sd.file) +
+                          "\", \"line\": " + std::to_string(m.line) + "}");
         }
         if (!m.guarded_by.empty()) {
           guarded.push_back("    {\"class\": \"" + escape(sd.qualified) +
@@ -966,7 +974,7 @@ std::string shard_report_json(const Corpus& corpus) {
       }
     }
   }
-  for (auto* v : {&caps, &members, &guarded, &cross_fns, &hot_fns}) {
+  for (auto* v : {&caps, &members, &laned, &guarded, &cross_fns, &hot_fns}) {
     std::sort(v->begin(), v->end());
   }
   auto emit = [](const std::vector<std::string>& v) {
@@ -981,6 +989,7 @@ std::string shard_report_json(const Corpus& corpus) {
   std::string json = "{\n";
   json += "  \"capabilities\": [\n" + emit(caps) + "  ],\n";
   json += "  \"cross_shard_state\": [\n" + emit(members) + "  ],\n";
+  json += "  \"laned_state\": [\n" + emit(laned) + "  ],\n";
   json += "  \"shard_guarded_state\": [\n" + emit(guarded) + "  ],\n";
   json += "  \"cross_shard_functions\": [\n" + emit(cross_fns) + "  ],\n";
   json += "  \"hot_path_functions\": [\n" + emit(hot_fns) + "  ]\n";

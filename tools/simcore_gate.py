@@ -18,6 +18,12 @@ metric regressed past its tolerance.  Two kinds of checks:
      the 262144-pending-event scale), and the routed 1024-host fabric
      must have delivered every packet with zero checker violations.
 
+  3. Sharding — `shards_digest_match` must be 1 on every machine (the
+     parallel loop's byte-identity bar is not a perf number), and when
+     the run had >= 4 hardware threads (`cores`) the 4-shard sweep must
+     scale >= 2.5x over 1 shard on the leaf-spine fabric.  On smaller
+     machines the scaling check is skipped LOUDLY, never silently.
+
 Usage: tools/simcore_gate.py <current.json> [baseline.json]
 Exit 0 = within tolerance; 1 = regression (details on stderr).
 """
@@ -29,6 +35,8 @@ import sys
 SPEEDUP_FLOOR = 5.0
 RATIO_TOLERANCE = 0.30
 ABSOLUTE_TOLERANCE = 0.50
+SHARD_SCALING_FLOOR = 2.5  # 4 shards vs 1, leaf-spine, cores >= 4 only
+SHARD_SCALING_MIN_CORES = 4
 
 # Metric -> allowed drop vs baseline (higher is better for all of them).
 RELATIVE_GATES = [
@@ -84,6 +92,26 @@ def main():
     delivered = current.get("fabric_delivered", 0)
     if delivered <= 0:
         failures.append("fabric_delivered is zero: routed fabric is broken")
+
+    if current.get("shards_digest_match", 0.0) != 1.0:
+        failures.append(
+            "shards_digest_match != 1: parallel runs diverged from the "
+            "1-shard wire digest")
+    cores = current.get("cores", 0.0)
+    scaling = current.get("shards_leafspine_scaling_4")
+    if scaling is None:
+        failures.append("current run is missing 'shards_leafspine_scaling_4'")
+    elif cores >= SHARD_SCALING_MIN_CORES:
+        if scaling < SHARD_SCALING_FLOOR:
+            failures.append(
+                f"shards_leafspine_scaling_4: {scaling:.2f}x below the "
+                f"{SHARD_SCALING_FLOOR}x floor ({cores:.0f} cores)")
+    else:
+        print(
+            f"simcore_gate: SKIPPED shard scaling floor — run had "
+            f"{cores:.0f} hardware threads (< {SHARD_SCALING_MIN_CORES}); "
+            f"measured {scaling:.2f}x at 4 shards, digest match only",
+            file=sys.stderr)
 
     if failures:
         for f in failures:
