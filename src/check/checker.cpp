@@ -34,12 +34,18 @@ void InvariantChecker::attach_host(HostNode& host, ObjNetService& service,
   addr_to_node_[host.addr()] = host.id();
   const HostAddr addr = host.addr();
   const NodeId node = host.id();
+  // Component observers journal under the concurrent driver (the same
+  // shard-safe replay path as the network tap, DESIGN.md §17) and run
+  // inline otherwise — captures are by value for exactly that reason.
   fetcher.set_adopt_observer([this, addr](ObjectId id, std::uint64_t v) {
-    on_admission(addr, id, v, "adopted a pulled image");
+    net_.observer_journal().run_or_defer([this, addr, id, v] {
+      on_admission(addr, id, v, "adopted a pulled image");
+    });
   });
   replicas.set_event_observer(
       [this, node](ReplicaManager::Event e, ObjectId id, std::uint32_t ep) {
-        on_replica_event(node, e, id, ep);
+        net_.observer_journal().run_or_defer(
+            [this, node, e, id, ep] { on_replica_event(node, e, id, ep); });
       });
   hosts_.push_back(HostState{&host, &service, &fetcher, &replicas});
 }
@@ -48,7 +54,9 @@ void InvariantChecker::attach_cache(IncCacheStage& stage) {
   const HostAddr addr = stage.addr();
   addr_to_node_[addr] = static_cast<NodeId>(addr - kIncCacheAddrBase);
   stage.set_admit_observer([this, addr](ObjectId id, std::uint64_t v) {
-    on_admission(addr, id, v, "admitted a fill into SRAM");
+    net_.observer_journal().run_or_defer([this, addr, id, v] {
+      on_admission(addr, id, v, "admitted a fill into SRAM");
+    });
   });
   caches_.push_back(&stage);
 }
@@ -63,7 +71,10 @@ void InvariantChecker::attach_fair_queue(SwitchNode& sw) {
   if (fq == nullptr) return;
   fq_switches_.push_back(&sw);
   const NodeId node = sw.id();
-  fq->add_observer([this, node](const FqEvent& ev) { on_fq_event(node, ev); });
+  fq->add_observer([this, node](const FqEvent& ev) {
+    net_.observer_journal().run_or_defer(
+        [this, node, ev] { on_fq_event(node, ev); });
+  });
 }
 
 void InvariantChecker::on_fq_event(NodeId sw, const FqEvent& ev) {

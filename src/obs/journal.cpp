@@ -1,0 +1,31 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+
+namespace objrpc::obs {
+
+void ShardJournal::replay(const std::function<void(SimTime)>& clock) {
+  scratch_.clear();
+  for (Lane& l : lanes_) {
+    for (Rec& r : l.recs) scratch_.push_back(std::move(r));
+    l.recs.clear();
+  }
+  if (scratch_.empty()) return;
+  // Stable: records of one event share a key (appended in program order
+  // within one lane, concatenated contiguously above) and must replay
+  // in that order.
+  std::stable_sort(scratch_.begin(), scratch_.end(),
+                   [](const Rec& a, const Rec& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.ka != b.ka) return a.ka < b.ka;
+                     return a.kb < b.kb;
+                   });
+  for (Rec& r : scratch_) {
+    clock(r.at);
+    r.fn();
+  }
+  replayed_total_ += scratch_.size();
+  scratch_.clear();  // release the closures' captures promptly
+}
+
+}  // namespace objrpc::obs

@@ -1,0 +1,123 @@
+// ShardJournal: the shard-safe observer plane (DESIGN.md §17).
+//
+// The sharded event loop (DESIGN.md §16) executes events concurrently,
+// which is exactly the regime observers must not perturb: a tracer
+// append, a checker tap, or a node-liveness callback that grabbed a
+// lock — or worse, forced the driver back to serial — would make the
+// fabric unobservable at the one speed that matters.  The journal
+// generalizes the wire digest's per-lane/merge-at-barrier trick to
+// arbitrary observer callbacks: during an epoch each worker appends
+// closures to its OWN lane (SPSC, no synchronization), every record
+// stamped with the executing event's canonical key (at, key_a, key_b).
+// At the BSP barrier, with all workers parked, the coordinator merges
+// the lanes, sorts by key, and replays the closures in canonical order
+// — the exact order the serial driver would have executed them in — so
+// every observer sees the identical fabric-global event sequence and
+// armed parallel runs produce byte-identical traces and digests.
+//
+// Why the sort reconstructs serial order (proof sketch in §17): the
+// serial driver executes events in ascending (at, key_a, key_b), each
+// executed event's key is globally unique, and all records of one
+// event land contiguously in exactly one lane — so a stable sort by
+// key both interleaves events canonically and preserves each event's
+// internal program order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.hpp"
+#include "common/exec_lane.hpp"
+#include "common/small_fn.hpp"
+#include "common/time.hpp"
+
+namespace objrpc::obs {
+
+class ShardJournal {
+ public:
+  /// Fills in the executing event's delivery time and canonical key.
+  /// Installed by the Network (which can see the event loop); called on
+  /// worker threads, so it must read only thread-local/lane-local state.
+  using StampFn =
+      std::function<void(SimTime& at, std::uint64_t& ka, std::uint64_t& kb)>;
+
+  void set_stamp(StampFn fn) { stamp_ = std::move(fn); }
+
+  /// One lane per execution lane (shards + control).  Called by
+  /// Network::enable_sharding before any worker thread exists.
+  void configure_lanes(std::uint32_t n) {
+    if (n == 0) n = 1;
+    lanes_.resize(n);
+  }
+
+  /// Toggled by the parallel driver around each epoch (workers parked
+  /// both times); everywhere else records run inline.
+  void set_deferring(bool on) { deferring_ = on; }
+  bool deferring() const { return deferring_; }
+
+  /// Append `fn` to the current lane, stamped with the executing
+  /// event's canonical key.  MAY_ALLOC: lane vector growth — amortized,
+  /// and only on armed runs.
+  HOT_PATH MAY_ALLOC void defer(SmallFn fn) {
+    Rec r;
+    stamp_(r.at, r.ka, r.kb);
+    r.fn = std::move(fn);
+    lanes_[exec_lane_below(static_cast<std::uint32_t>(lanes_.size()))]
+        .recs.push_back(std::move(r));
+  }
+
+  /// Run `f` now (serial driver, control context, or disarmed run) or
+  /// journal it for barrier replay.  `f` must capture everything it
+  /// needs by value: by the time a deferred record replays, the
+  /// triggering event's stack is long gone.
+  template <typename F>
+  void run_or_defer(F&& f) {
+    if (!deferring_) {
+      f();
+      return;
+    }
+    defer(SmallFn(std::forward<F>(f)));
+  }
+
+  /// Any records pending?  Coordinator-only, workers parked.
+  bool empty() const {
+    for (const Lane& l : lanes_) {
+      if (!l.recs.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Records replayed over the journal's lifetime (profiler/tests).
+  std::uint64_t replayed_total() const { return replayed_total_; }
+
+  /// Merge all lanes, sort by canonical key, and invoke each record.
+  /// `clock(at)` runs before each record so observers that read the
+  /// simulation clock see the record's delivery time, exactly as they
+  /// would have inline.  Coordinator-only, workers parked.
+  void replay(const std::function<void(SimTime)>& clock);
+
+ private:
+  struct Rec {
+    SimTime at = 0;
+    std::uint64_t ka = 0;
+    std::uint64_t kb = 0;
+    SmallFn fn;
+  };
+  /// Padded: each lane is written by its owning worker during an epoch.
+  struct alignas(64) Lane {
+    std::vector<Rec> recs;
+  };
+
+  /// SHARD_LANED: lanes_[ExecLane::idx] is the only element a worker
+  /// touches; configure_lanes sizes it before threads exist.
+  SHARD_LANED std::vector<Lane> lanes_{1};
+  std::vector<Rec> scratch_;
+  bool deferring_ = false;
+  StampFn stamp_;
+  std::uint64_t replayed_total_ = 0;
+};
+
+}  // namespace objrpc::obs

@@ -24,6 +24,11 @@
 //     state, or draw from the simulation's RNG.
 //   * all timestamps are SimTime (virtual nanoseconds); nothing reads a
 //     wall clock.
+//   * under the CONCURRENT driver (DESIGN.md §17), recording defers
+//     through the bound ShardJournal: each hook captures its arguments
+//     and the append runs at the next barrier in canonical event order,
+//     so the record vectors — and the exported JSON — are byte-
+//     identical to a serial armed run.
 //
 // Recording is off by default; arm with OBS_TRACE_FILE=<path> or
 // ClusterConfig::trace_file (see core/cluster.hpp).
@@ -31,12 +36,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/annotations.hpp"
 #include "common/time.hpp"
+#include "obs/journal.hpp"
 
 namespace objrpc::obs {
 
@@ -112,6 +119,17 @@ class Tracer {
   void disarm() { armed_ = false; }
   bool armed() const { return armed_; }
 
+  /// Route recording through `j` while it is deferring (the parallel
+  /// driver's epochs); null or non-deferring = record inline.  Bound
+  /// unconditionally by the Network at construction.
+  void bind_journal(ShardJournal* j) { journal_ = j; }
+
+  /// Extra pre-formatted trace_event JSON objects appended to the
+  /// export (the ShardProfiler's host-time lane family).
+  void set_aux_chrome_source(std::function<std::vector<std::string>()> fn) {
+    aux_events_ = std::move(fn);
+  }
+
   /// Name a node's process lane in the export (registered by the
   /// Network as nodes are added; cheap, unconditional).  Also sizes the
   /// per-node id allocators, so every registered node may mint ids.
@@ -170,9 +188,29 @@ class Tracer {
   /// Leaf spans get ids from a disjoint (high-bit) range so they can
   /// never collide with wire-carried ids — and, being armed-only, their
   /// counter may advance differently across armed/unarmed runs without
-  /// touching the wire.  Recording (and therefore leaf allocation) only
-  /// happens in serialized runs, so this member stays un-laned.
+  /// touching the wire.  Un-laned on purpose: under the concurrent
+  /// driver leaf recording defers through the journal, so the counter
+  /// advances only at barrier replay (single thread, canonical order) —
+  /// which also makes leaf ids shard-count-invariant.
   std::uint64_t next_leaf_ = 1;
+
+  // Deferred-recording internals: the public hooks either run these
+  // inline or journal them for barrier replay (see class comment).
+  MAY_ALLOC void record_begin_span(std::uint64_t span_id, std::uint64_t trace,
+                                   std::uint64_t parent, std::uint32_t node,
+                                   std::string name, SimTime begin);
+  MAY_ALLOC void record_end_span(std::uint64_t span_id, SimTime end);
+  MAY_ALLOC void record_leaf_span(std::uint64_t trace, std::uint64_t parent,
+                                  std::uint32_t node, std::string name,
+                                  SimTime begin, SimTime end);
+  MAY_ALLOC void record_instant(std::uint64_t trace, std::uint64_t parent,
+                                std::uint32_t node, std::string name,
+                                SimTime at);
+  MAY_ALLOC void record_counter(std::uint32_t node, std::string name,
+                                SimTime at, double value);
+
+  ShardJournal* journal_ = nullptr;
+  std::function<std::vector<std::string>()> aux_events_;
 
   std::vector<SpanRecord> spans_;
   std::unordered_map<std::uint64_t, std::size_t> open_;  // span id -> index

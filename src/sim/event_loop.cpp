@@ -629,6 +629,24 @@ void EventLoop::drain_control_at(SimTime tc) {
   tls_ctx_ = saved;
 }
 
+EventLoop::ObserverReplayScope::ObserverReplayScope(EventLoop& loop)
+    : loop_(loop), saved_ctx_(tls_ctx_), saved_lane_(ExecLane::idx) {
+  tls_ctx_ = SchedCtx{&loop, &loop.control_, kExternalSource, 0, 0};
+  ExecLane::idx = loop.control_.lane();
+}
+
+EventLoop::ObserverReplayScope::~ObserverReplayScope() {
+  ExecLane::idx = saved_lane_;
+  tls_ctx_ = saved_ctx_;
+}
+
+void EventLoop::ObserverReplayScope::advance(SimTime at) {
+  // set_now never moves a clock backward, so a record time below the
+  // control wheel's clock (possible when control events already ran
+  // inside the window) degrades gracefully: now() stays put.
+  loop_.control_.set_now(at);
+}
+
 void EventLoop::run_core(SimTime deadline) {
   for (;;) {
     const SimTime tc = control_.next_time(deadline);

@@ -244,6 +244,18 @@ class TimingWheel {
 /// canonical event key (see file header), never by pointer, hash order,
 /// or shard count.
 class EventLoop {
+  /// Scheduling context of the code running on this thread.  pop_run
+  /// points it at the executing wheel/source; outside callbacks it is
+  /// default (owner null), which every EventLoop reads as "external".
+  /// (Defined up front so ObserverReplayScope below can hold one.)
+  struct SchedCtx {
+    EventLoop* owner = nullptr;
+    TimingWheel* wheel = nullptr;
+    std::uint32_t src = kExternalSource;
+    std::uint64_t cur_key_a = 0;
+    std::uint64_t cur_key_b = 0;
+  };
+
  public:
   using Callback = SmallFn;
   using DrainHook = std::function<void()>;
@@ -365,6 +377,30 @@ class EventLoop {
     return tls_ctx_.owner != this || tls_ctx_.wheel == &control_;
   }
 
+  /// RAII context for barrier-time observer replay (DESIGN.md §17).
+  /// The journal replays deferred observer records on the coordinator
+  /// thread; this scope makes that thread look like the control lane
+  /// (so pool releases land on the control free list and
+  /// in_control_context() holds) and lets advance() present each
+  /// record's delivery time as now() — the same clock the observer
+  /// would have read inline.  Safe to interleave with the epoch loop:
+  /// replayed times never exceed the epoch horizon, and set_now only
+  /// moves a clock forward, so the next control drain is unaffected.
+  class ObserverReplayScope {
+   public:
+    explicit ObserverReplayScope(EventLoop& loop);
+    ~ObserverReplayScope();
+    ObserverReplayScope(const ObserverReplayScope&) = delete;
+    ObserverReplayScope& operator=(const ObserverReplayScope&) = delete;
+    /// Present `at` as the current time for subsequent records.
+    void advance(SimTime at);
+
+   private:
+    EventLoop& loop_;
+    SchedCtx saved_ctx_;
+    std::uint32_t saved_lane_;
+  };
+
   /// Invoked whenever run()/run_until() returns with the queue fully
   /// drained (simulation quiesce).  The invariant checker validates its
   /// at-rest invariants here; the hook must not schedule events.
@@ -397,16 +433,6 @@ class EventLoop {
  private:
   static constexpr std::uint64_t kShardLaneBit = std::uint64_t{1} << 62;
 
-  /// Scheduling context of the code running on this thread.  pop_run
-  /// points it at the executing wheel/source; outside callbacks it is
-  /// default (owner null), which every EventLoop reads as "external".
-  struct SchedCtx {
-    EventLoop* owner = nullptr;
-    TimingWheel* wheel = nullptr;
-    std::uint32_t src = kExternalSource;
-    std::uint64_t cur_key_a = 0;
-    std::uint64_t cur_key_b = 0;
-  };
   static thread_local SchedCtx tls_ctx_;
 
   TimingWheel* wheel_of_source(std::uint32_t src) {

@@ -30,10 +30,25 @@ std::uint64_t mix64(std::uint64_t x) {
 
 constexpr std::uint64_t kWireDigestSeed = 0x9E3779B97F4A7C15ull;
 
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
 }  // namespace
 
 Network::Network(std::uint64_t seed)
     : rng_(seed), wire_digest_chain_(kWireDigestSeed) {
+  // Observer plane (DESIGN.md §17): records journaled during a
+  // concurrent epoch are stamped with the executing event's delivery
+  // time and canonical key — the same key the wire digest merges by.
+  journal_.set_stamp(
+      [this](SimTime& at, std::uint64_t& ka, std::uint64_t& kb) {
+        at = loop_.now();
+        EventLoop::current_event_key(ka, kb);
+      });
+  tracer_.bind_journal(&journal_);
+  obs_serial_forced_ = env_truthy("OBJRPC_OBS_SERIAL");
   metrics_.add_source("net/frames_sent",
                       [this] { return stats().frames_sent; });
   metrics_.add_source("net/frames_delivered",
@@ -154,7 +169,12 @@ void Network::set_node_up(NodeId id, bool up) {
   // AS the node: its wheel, its lane, its seq counter — so the reaction
   // is stamped identically in every mode.
   loop_.with_source(id, [&] { nodes_[id]->on_node_state_change(up); });
-  if (node_observer_) node_observer_(id, up);
+  if (node_observer_) {
+    // Control-lane transitions run inline; a transition inside a
+    // concurrent epoch (non-strict runs only) defers to barrier replay
+    // so the observer sees canonical order.
+    journal_.run_or_defer([this, id, up] { node_observer_(id, up); });
+  }
 }
 
 void Network::schedule_crash(NodeId id, SimTime at) {
@@ -212,6 +232,7 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
   TrafficStats& st = lane_stats();
   ++st.frames_sent;
   st.bytes_sent += size;
+  dir.bytes_sent_total += size;
 
   // Drop-tail queue: bound the bytes waiting for the transmitter.
   // Frames that have reached their arrive time have left the queue;
@@ -246,18 +267,23 @@ void Network::transmit(NodeId from, PortId port, Packet pkt) {
     // Passive per-hop attribution: time spent waiting for the
     // transmitter vs. serialization + propagation, plus the link's
     // queue-depth gauge.  Recording only — nothing here feeds back
-    // into the simulation.  Armed runs are serialized, so recording
-    // from the sender's context is safe.
+    // into the simulation.  In a concurrent run the tracer defers
+    // these through the observer journal; everything sampled here is
+    // sender-shard state, so the values are identical in every mode.
+    if (dir.txq_track.empty()) {
+      dir.txq_track = "txq_bytes:p" + std::to_string(port);
+      dir.link_track = "link_bytes:p" + std::to_string(port);
+    }
     if (start > send_now) {
       tracer_.leaf_span(pkt.trace_id, pkt.span_parent, from, "queue",
                         send_now, start);
     }
     tracer_.leaf_span(pkt.trace_id, pkt.span_parent, from, "wire", start,
                       arrive);
-    tracer_.counter(from, "txq_bytes:p" + std::to_string(port), send_now,
+    tracer_.counter(from, dir.txq_track, send_now,
                     static_cast<double>(dir.queued_bytes));
-    tracer_.counter(from, "link_bytes:p" + std::to_string(port), send_now,
-                    static_cast<double>(stats().bytes_sent));
+    tracer_.counter(from, dir.link_track, send_now,
+                    static_cast<double>(dir.bytes_sent_total));
   }
   if (lost) {
     // The frame still consumed its transmitter slot and queue bytes
@@ -296,8 +322,23 @@ void Network::deliver_now(NodeId from, NodeId dst, PortId dst_port,
   st.bytes_delivered += pkt.wire_size();
   ++pkt.hops;
   if (wire_digest_armed_) fold_wire_digest(from, dst, pkt);
-  if (tap_) tap_(from, dst, pkt);
-  for (auto& t : extra_taps_) t(from, dst, pkt);
+  if (tap_ || !extra_taps_.empty()) {
+    if (journal_.deferring()) {
+      // Concurrent epoch: taps replay at the barrier in canonical
+      // order, against a pooled copy of the frame (the receiver is
+      // about to consume the original).
+      Packet copy = pkt.header_copy();
+      copy.data = payload_pool_.copy_of(pkt.data);
+      journal_.defer(SmallFn([this, from, dst, copy = std::move(copy)]() mutable {
+        if (tap_) tap_(from, dst, copy);
+        for (auto& t : extra_taps_) t(from, dst, copy);
+        payload_pool_.release(std::move(copy.data));
+      }));
+    } else {
+      if (tap_) tap_(from, dst, pkt);
+      for (auto& t : extra_taps_) t(from, dst, pkt);
+    }
+  }
   nodes_[dst]->on_packet(dst_port, std::move(pkt));
 }
 
@@ -359,6 +400,20 @@ void Network::merge_wire_digest_buffers() {
   wire_digest_count_ += scratch.size();
 }
 
+void Network::replay_observer_journal() {
+  if (journal_.empty()) return;
+  // Replay on the coordinator thread disguised as the control lane:
+  // observers read now() as each record's delivery time, and pooled
+  // payload copies released by tap records land on the control lane's
+  // free list (an explicit cross-shard return, see common/pool.hpp).
+  EventLoop::ObserverReplayScope scope(loop_);
+  journal_.replay([&scope](SimTime at) { scope.advance(at); });
+}
+
+void Network::on_epoch_barrier() {
+  if (barrier_hook_) barrier_hook_();
+}
+
 std::uint32_t Network::enable_sharding(const ShardPlan& plan) {
   std::uint32_t shards = plan.shards;
   if (shards < 1) shards = 1;
@@ -400,11 +455,17 @@ std::uint32_t Network::enable_sharding(const ShardPlan& plan) {
   stats_lanes_.assign(lanes, StatsLane{});
   stats_lanes_[0].s = merged;
   digest_lanes_.assign(lanes, DigestLane{});
+  journal_.configure_lanes(lanes);
   loop_.set_parallel_driver(nullptr);
   runner_.reset();
   if (shards > 1) {
     runner_ = std::make_unique<ShardRunner>(*this, plan.lookahead, shards);
     loop_.set_parallel_driver(runner_.get());
+    if (shard_profile_requested_ || env_truthy("OBJRPC_SHARD_PROFILE")) {
+      shard_profiler_.arm(metrics_, shards);
+      tracer_.set_aux_chrome_source(
+          [this] { return shard_profiler_.chrome_events(); });
+    }
   }
   return shards;
 }

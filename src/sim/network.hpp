@@ -21,7 +21,9 @@
 #include "common/pool.hpp"
 #include "common/result.hpp"
 #include "common/rng.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/shard_profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/event_loop.hpp"
 #include "sim/packet.hpp"
@@ -224,8 +226,10 @@ class Network {
     for (StatsLane& lane : stats_lanes_) lane.s = TrafficStats{};
   }
 
-  /// Observation hook for tests: sees every delivered frame.  A tap
-  /// forces serialized execution (concurrent_allowed() below).
+  /// Observation hook for tests: sees every delivered frame.  Under the
+  /// concurrent driver taps run at barrier replay in canonical order
+  /// (observer_journal() below), so attaching one no longer serializes
+  /// the run; OBJRPC_OBS_SERIAL=1 restores the old behaviour.
   using PacketTap =
       std::function<void(NodeId from, NodeId to, const Packet&)>;
   void set_tap(PacketTap tap) { tap_ = std::move(tap); }
@@ -249,15 +253,43 @@ class Network {
   std::uint32_t shard_count() const { return loop_.shard_count(); }
   ShardRunner* runner() { return runner_.get(); }
 
-  /// True when a run may execute shards on concurrent worker threads:
-  /// requires >1 shard and NO serialized observers — taps (the
-  /// invariant checker attaches as one), the node observer, or an armed
-  /// tracer all see fabric-global event order and so force the serial
-  /// key-merge driver.  Either way the event ORDER is identical; this
-  /// only decides whether it is produced by one thread or N.
+  /// True when a run may execute shards on concurrent worker threads.
+  /// Observers — taps (the invariant checker attaches as one), the node
+  /// observer, an armed tracer — no longer force the serial driver:
+  /// they see fabric-global event order via the observer journal, which
+  /// defers their callbacks during an epoch and replays them at the
+  /// barrier in canonical key order (DESIGN.md §17).  Escape hatches,
+  /// in precedence order: OBJRPC_SHARDS_SERIAL=1 serializes the whole
+  /// driver (ShardRunner::ready), and OBJRPC_OBS_SERIAL=1 (or
+  /// set_observer_serial) only gives up concurrency when observers are
+  /// attached — the pre-§17 behaviour.
   bool concurrent_allowed() const {
-    return shard_count() > 1 && !tap_ && extra_taps_.empty() &&
-           !node_observer_ && !tracer_.armed();
+    if (shard_count() <= 1) return false;
+    if (!obs_serial_forced_) return true;
+    return !tap_ && extra_taps_.empty() && !node_observer_ &&
+           !tracer_.armed();
+  }
+  /// Force serialized execution whenever an observer is attached (the
+  /// OBJRPC_OBS_SERIAL escape hatch; tests use the setter).
+  void set_observer_serial(bool on) { obs_serial_forced_ = on; }
+
+  /// The shard-safe observer plane (DESIGN.md §17): concurrent epochs
+  /// journal observer callbacks per lane; the coordinator replays them
+  /// in canonical order at each barrier.  Components with their own
+  /// observer hooks (the invariant checker) route through here.
+  obs::ShardJournal& observer_journal() { return journal_; }
+
+  /// Host-time profiler for the parallel driver (arm before
+  /// enable_sharding, or via OBJRPC_SHARD_PROFILE=1).  Metrics land
+  /// under `shard/*`; the trace export gains host-time lane tracks.
+  obs::ShardProfiler& shard_profiler() { return shard_profiler_; }
+  void arm_shard_profiler() { shard_profile_requested_ = true; }
+
+  /// Runs at the end of every BSP barrier (workers parked, journals
+  /// replayed, clocks merged) — the safe point for mid-run snapshots of
+  /// SHARD_LANED state (MetricsRegistry::snapshot, stats()).
+  void set_barrier_hook(std::function<void()> hook) {
+    barrier_hook_ = std::move(hook);
   }
 
   /// Arm the wire digest: a running hash over every delivery (time,
@@ -296,6 +328,14 @@ class Network {
     /// the sender's state from the receiver's shard.
     std::vector<std::pair<SimTime, std::uint32_t>> inflight;
     std::size_t inflight_head = 0;
+    /// Cumulative wire bytes ever sent into this direction.  The tracer
+    /// samples this (not the lane-merged global total, which would
+    /// depend on worker interleaving and shard count) so armed
+    /// concurrent traces are byte-identical to serial ones.
+    std::uint64_t bytes_sent_total = 0;
+    /// Cached tracer counter-track names (built on first armed sample;
+    /// avoids two string constructions per frame).
+    std::string txq_track, link_track;
   };
 
   /// Drop inflight entries whose frames have fully arrived by `now`,
@@ -328,6 +368,12 @@ class Network {
   /// Merge and fold every lane's buffered digest records in canonical
   /// (at, key) order.  Runner-only, called at barriers (workers parked).
   void merge_wire_digest_buffers();
+  /// Replay journaled observer records in canonical order (runner-only,
+  /// workers parked; see observer_journal()).
+  void replay_observer_journal();
+  /// End-of-barrier notification from the runner: fires the user's
+  /// barrier hook once clocks, digests, and journals are settled.
+  void on_epoch_barrier();
   /// Fabric-unique frame id from the executing lane's strided allocator.
   HOT_PATH std::uint64_t mint_frame_id() {
     const std::uint32_t lane =
@@ -350,8 +396,16 @@ class Network {
   Rng rng_;
   obs::MetricsRegistry metrics_;
   /// Trace/span id allocation is laned inside the tracer; recording is
-  /// armed-only and armed runs are serialized.
+  /// armed-only and defers through the observer journal in concurrent
+  /// runs (DESIGN.md §17).
   obs::Tracer tracer_;
+  /// Per-lane deferred observer records, replayed at barriers.
+  obs::ShardJournal journal_;
+  obs::ShardProfiler shard_profiler_;
+  bool shard_profile_requested_ = false;
+  /// OBJRPC_OBS_SERIAL: observers force the serial driver (pre-§17).
+  bool obs_serial_forced_ = false;
+  std::function<void()> barrier_hook_;
   std::vector<std::unique_ptr<NetworkNode>> nodes_;
   /// ports_[node][port] -> outgoing direction state.
   std::vector<std::vector<Direction>> ports_;

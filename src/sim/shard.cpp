@@ -191,14 +191,30 @@ void ShardRunner::run_until(SimTime deadline) {
     SimTime run_to = ms + la - 1;  // inclusive epoch limit
     if (run_to < ms) run_to = limit;  // SimTime overflow (deadline = max)
     if (run_to > limit) run_to = limit;
+    obs::ShardProfiler& prof = net_.shard_profiler_;
+    if (prof.armed()) prof.begin_epoch(epoch_seq_ + 1);
     run_epoch(run_to);
     // Barrier work, workers parked: land cross-shard frames (keys
-    // intact) and fold the buffered digest lanes in canonical order.
+    // intact), fold the buffered digest lanes, and replay journaled
+    // observer records — both in canonical order.
+    if (prof.armed()) {
+      prof.end_epoch();
+      for (std::uint32_t i = 0; i < shards_; ++i) {
+        prof.sample_ring(i, rings_[i].buf.size());
+      }
+      prof.begin_drain();
+    }
     drain_rings();
     net_.merge_wire_digest_buffers();
+    net_.replay_observer_journal();
     for (auto& w : loop.wheels_) {
       if (w->now() > loop.global_now_) loop.global_now_ = w->now();
     }
+    if (prof.armed()) {
+      prof.end_drain(cross_frames_,
+                     overflow_count_.load(std::memory_order_relaxed));
+    }
+    net_.on_epoch_barrier();
   }
 }
 
@@ -208,8 +224,11 @@ void ShardRunner::run_epoch(SimTime limit) {
     epoch_limit_ = limit;
     in_epoch_ = true;
     // Deliveries during the epoch buffer per lane; every other digest
-    // fold (control events, serial segments) is inline.
+    // fold (control events, serial segments) is inline.  Observer
+    // callbacks likewise journal during the epoch and run inline
+    // everywhere else.
     net_.wire_digest_buffering_ = net_.wire_digest_armed_;
+    net_.journal_.set_deferring(true);
     running_ = shards_;
     ++epoch_seq_;
   }
@@ -219,6 +238,7 @@ void ShardRunner::run_epoch(SimTime limit) {
     cv_done_.wait(lk, [this] { return running_ == 0; });
     in_epoch_ = false;
     net_.wire_digest_buffering_ = false;
+    net_.journal_.set_deferring(false);
   }
   ++epochs_;
 }
@@ -235,11 +255,14 @@ void ShardRunner::worker_main(std::uint32_t lane) {
       limit = epoch_limit_;
     }
     ExecLane::idx = lane;
+    obs::ShardProfiler& prof = net_.shard_profiler_;
+    if (prof.armed()) prof.begin_exec(lane);
     TimingWheel& w = net_.loop_.wheel(lane);
     {
       ShardGuard guard(w.shard());
       w.run_until(limit);
     }
+    if (prof.armed()) prof.end_exec(lane);
     bool last = false;
     {
       std::lock_guard<std::mutex> lk(mu_);

@@ -88,8 +88,10 @@ struct ShardPlan {
 /// Drives K shard wheels on K worker threads in conservative-lookahead
 /// epochs.  Installed by Network::enable_sharding as the event loop's
 /// ParallelDriver; consulted only when Network::concurrent_allowed()
-/// holds (no serialized observers), otherwise the loop's serial
-/// key-merge produces the identical order on one thread.
+/// holds (true even with armed observers since §17 — their
+/// observations defer into the shard journal and replay at the
+/// barrier), otherwise the loop's serial key-merge produces the
+/// identical order on one thread.
 class ShardRunner final : public EventLoop::ParallelDriver {
  public:
   ShardRunner(Network& net, SimDuration lookahead, std::uint32_t shards);

@@ -30,7 +30,8 @@ namespace {
 /// kDataStart, so the write stores `seed` and the atomics add 4*7 on
 /// top: the deterministic result is seed + 28.
 std::uint64_t run_service_workload(std::uint64_t seed, bool* ok,
-                                   int check_invariants = 1) {
+                                   int check_invariants = 1,
+                                   bool arm_tracer = false) {
   *ok = false;
   ClusterConfig cfg;
   cfg.fabric.scheme = DiscoveryScheme::controller;
@@ -39,6 +40,7 @@ std::uint64_t run_service_workload(std::uint64_t seed, bool* ok,
                                             // isolated as the protocol state
                                             // they observe
   auto cluster = Cluster::build(cfg);
+  if (arm_tracer) cluster->tracer().arm();
   auto obj = cluster->create_object(1, 4096);
   if (!obj) return 0;
   const ObjectId id = (*obj)->id();
@@ -136,11 +138,10 @@ TEST(ConcurrencyTest, SameSeedThreadsProduceIdenticalResults) {
 // threads: OBJRPC_SHARDS=4 partitions the fabric by subtree and runs
 // one worker per shard under the BSP epoch protocol (src/sim/shard.cpp
 // — lock-free cross-shard rings, a mutexed spill path, barrier
-// handshakes, laned allocators).  The invariant checker must stay
-// detached here: its packet tap would trip concurrent_allowed() and
-// fall back to the serialized key-merge driver, leaving TSan nothing
-// to prove.  Beyond freedom from races, the sharded run must produce
-// the bit-exact sequential result (DESIGN.md §16).
+// handshakes, laned allocators).  This leg runs unobserved so TSan
+// exercises the bare epoch machinery; the armed leg below layers the
+// observer journal on top.  Beyond freedom from races, the sharded run
+// must produce the bit-exact sequential result (DESIGN.md §16).
 TEST(ConcurrencyTest, ShardedLoopWorkloadMatchesSequential) {
   bool serial_ok = false;
   const std::uint64_t serial =
@@ -155,6 +156,30 @@ TEST(ConcurrencyTest, ShardedLoopWorkloadMatchesSequential) {
   unsetenv("OBJRPC_SHARDS");
   ASSERT_TRUE(sharded_ok);
   EXPECT_EQ(sharded, serial) << "sharded run diverged from sequential";
+}
+
+// Armed observers on the concurrent driver (DESIGN.md §17): tracer and
+// invariant checker both ride the per-shard observer journal — SPSC
+// appends from worker threads mid-epoch, merge + canonical-order replay
+// on the coordinator at the barrier.  TSan must prove the journal's
+// handoff (set_deferring under the epoch mutex, pooled packet copies
+// crossing lanes, replay on the control wheel) race-free, and the armed
+// sharded run must still match the armed sequential run bit-exactly
+// with a clean checker.
+TEST(ConcurrencyTest, ArmedObserversOnShardedLoopRaceFree) {
+  bool serial_ok = false;
+  const std::uint64_t serial = run_service_workload(
+      /*seed=*/53, &serial_ok, /*check_invariants=*/1, /*arm_tracer=*/true);
+  ASSERT_TRUE(serial_ok);  // includes checker()->clean()
+  ASSERT_EQ(serial, 53u + 4 * 7);
+
+  setenv("OBJRPC_SHARDS", "4", /*overwrite=*/1);
+  bool sharded_ok = false;
+  const std::uint64_t sharded = run_service_workload(
+      /*seed=*/53, &sharded_ok, /*check_invariants=*/1, /*arm_tracer=*/true);
+  unsetenv("OBJRPC_SHARDS");
+  ASSERT_TRUE(sharded_ok);
+  EXPECT_EQ(sharded, serial) << "armed sharded run diverged";
 }
 
 // Regression for a data race TSan found in the seed: Log::level_ was a

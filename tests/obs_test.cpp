@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -227,6 +229,88 @@ TEST(Trace, ArmedTracerLeavesWireDigestUnchanged) {
   EXPECT_GT(armed->tracer().spans().size(), 0u);
   EXPECT_EQ(plain->tracer().spans().size(), 0u);
 }
+
+// --- shard-safe observation (DESIGN.md §17) -------------------------------
+
+/// Observation product of one armed fetch run: everything the observer
+/// plane emits, for byte-comparison across driver configurations.
+struct ObsProducts {
+  std::string trace_json;
+  std::map<std::string, std::uint64_t> net_counters;
+  std::uint64_t checker_digest = 0;
+  std::uint64_t checker_events = 0;
+  std::size_t spans = 0;
+  bool concurrent = false;
+};
+
+ObsProducts run_armed_fetch(std::uint64_t seed, const char* shards_env,
+                            bool tracer, bool checker) {
+  if (shards_env != nullptr) {
+    setenv("OBJRPC_SHARDS", shards_env, 1);
+  } else {
+    unsetenv("OBJRPC_SHARDS");
+  }
+  auto cluster = run_fetch_scenario(seed, tracer, checker ? 1 : 0);
+  ObsProducts out;
+  out.concurrent = cluster->fabric().network().concurrent_allowed() &&
+                   cluster->fabric().network().shard_count() > 1;
+  if (tracer) {
+    out.trace_json = cluster->tracer().chrome_trace_json();
+    out.spans = cluster->tracer().spans().size();
+  }
+  if (checker) {
+    EXPECT_NE(cluster->checker(), nullptr);
+    if (cluster->checker() != nullptr) {
+      out.checker_digest = cluster->checker()->digest();
+      out.checker_events = cluster->checker()->events_observed();
+    }
+  }
+  // Wire-level counters must agree exactly; pool-reuse counters are
+  // deliberately excluded (per-lane free lists and journal deep copies
+  // change allocation patterns without changing behaviour).
+  const auto snap = cluster->metrics().snapshot();
+  for (const auto& [name, v] : snap.counters) {
+    if (name.rfind("net/", 0) == 0) out.net_counters[name] = v;
+  }
+  unsetenv("OBJRPC_SHARDS");
+  return out;
+}
+
+class ArmedConcurrent
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(ArmedConcurrent, ShardedRunMatchesSerialByteForByte) {
+  const auto [tracer, checker] = GetParam();
+  const ObsProducts base = run_armed_fetch(29, nullptr, tracer, checker);
+  EXPECT_FALSE(base.concurrent);
+  if (tracer) ASSERT_FALSE(base.trace_json.empty());
+  if (checker) ASSERT_GT(base.checker_events, 0u);
+  for (const char* n : {"2", "4", "8"}) {
+    const ObsProducts p = run_armed_fetch(29, n, tracer, checker);
+    // Armed observers must NOT force the serial driver (§17)...
+    EXPECT_TRUE(p.concurrent) << "OBJRPC_SHARDS=" << n;
+    // ...yet every observation product is byte-identical.
+    EXPECT_EQ(p.trace_json, base.trace_json) << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(p.spans, base.spans);
+    EXPECT_EQ(p.checker_events, base.checker_events)
+        << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(p.checker_digest, base.checker_digest)
+        << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(p.net_counters, base.net_counters) << "OBJRPC_SHARDS=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Observers, ArmedConcurrent,
+    ::testing::Values(std::make_tuple(true, false),
+                      std::make_tuple(false, true),
+                      std::make_tuple(true, true)),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool>>& info) {
+      std::string name;
+      if (std::get<0>(info.param)) name += "Tracer";
+      if (std::get<1>(info.param)) name += "Checker";
+      return name;
+    });
 
 // --- reliable-channel trace propagation ----------------------------------
 

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sim/network.hpp"
 #include "sim/shard.hpp"
@@ -45,6 +46,10 @@ struct FabricOpts {
   std::size_t ring_capacity = 0;   // 0 = default
   SimDuration horizon_override = 0;
   bool force_serial_env = false;
+  bool obs_serial_env = false;     // OBJRPC_OBS_SERIAL=1
+  bool arm_tracer = false;
+  bool attach_tap = false;         // order-sensitive tap digest
+  bool snapshot_each_epoch = false;
 };
 
 constexpr std::uint32_t kPackets = 200;
@@ -101,23 +106,66 @@ struct RunResult {
   std::uint64_t delivered = 0;
   std::uint64_t overflow = 0;
   std::uint32_t shards = 0;
+  bool concurrent = false;
+  std::uint64_t epochs = 0;
+  std::uint64_t tap_digest = 0;
+  std::uint64_t tap_events = 0;
+  std::string trace_json;
+  std::vector<std::uint64_t> epoch_frames;  // barrier-hook snapshots
   bool operator==(const RunResult&) const = default;
 };
+
+/// Order-sensitive fold over a tap observation — if replay order differs
+/// from the serial driver's delivery order by even one swap, the digests
+/// diverge.
+void fold_tap(std::uint64_t& d, NodeId from, NodeId to, const Packet& pkt) {
+  auto mix = [&d](std::uint64_t v) {
+    d ^= v + 0x9E3779B97F4A7C15ULL + (d << 6) + (d >> 2);
+  };
+  mix(from);
+  mix(to);
+  mix(pkt.data.size());
+  for (std::uint8_t b : pkt.data) mix(b);
+}
 
 RunResult run_fabric(std::uint64_t seed, std::uint32_t shards,
                      const FabricOpts& o = {}) {
   if (o.force_serial_env) setenv("OBJRPC_SHARDS_SERIAL", "1", 1);
+  if (o.obs_serial_env) setenv("OBJRPC_OBS_SERIAL", "1", 1);
+  RunResult r;
   TestFabric f{Network(seed), {}};
   build_test_fabric(f, o);
+  if (o.arm_tracer) f.net.tracer().arm();
+  if (o.attach_tap) {
+    f.net.set_tap([&r](NodeId from, NodeId to, const Packet& pkt) {
+      fold_tap(r.tap_digest, from, to, pkt);
+      ++r.tap_events;
+    });
+  }
   if (shards > 1) {
     f.net.enable_sharding(ShardPlan::leaf_spine(f.net, f.topo, shards));
   }
-  if (ShardRunner* r = f.net.runner()) {
-    if (o.ring_capacity != 0) r->set_ring_capacity_for_test(o.ring_capacity);
+  if (ShardRunner* run = f.net.runner()) {
+    if (o.ring_capacity != 0) {
+      run->set_ring_capacity_for_test(o.ring_capacity);
+    }
     if (o.horizon_override != 0) {
-      r->set_horizon_override_for_test(o.horizon_override);
+      run->set_horizon_override_for_test(o.horizon_override);
     }
   }
+  if (o.snapshot_each_epoch) {
+    // Mid-run metrics reads at every epoch barrier: the SHARD_LANED
+    // counters must merge coherently while workers are parked.
+    f.net.set_barrier_hook([&r, &f] {
+      const auto snap = f.net.metrics().snapshot();
+      for (const auto& [name, v] : snap.counters) {
+        if (name == "net/frames_delivered") r.epoch_frames.push_back(v);
+      }
+    });
+  }
+  // ready() is the real gate the loop consults: observer policy
+  // (concurrent_allowed) AND the OBJRPC_SHARDS_SERIAL kill switch.
+  r.concurrent = f.net.runner() != nullptr && f.net.runner()->ready();
   f.net.arm_wire_digest();
   if (o.crash_spine) {
     f.net.schedule_crash(f.topo.spines[1], 40 * kMicrosecond);
@@ -143,7 +191,6 @@ RunResult run_fabric(std::uint64_t seed, std::uint32_t shards,
                       });
   }
   f.net.loop().run();
-  RunResult r;
   r.digest = f.net.wire_digest();
   r.digest_events = f.net.wire_digest_events();
   r.shards = f.net.shard_count();
@@ -152,7 +199,10 @@ RunResult run_fabric(std::uint64_t seed, std::uint32_t shards,
   }
   if (const ShardRunner* runner = f.net.runner()) {
     r.overflow = runner->overflow_count();
+    r.epochs = runner->epochs();
   }
+  if (o.arm_tracer) r.trace_json = f.net.tracer().chrome_trace_json();
+  if (o.obs_serial_env) unsetenv("OBJRPC_OBS_SERIAL");
   if (o.force_serial_env) unsetenv("OBJRPC_SHARDS_SERIAL");
   return r;
 }
@@ -212,7 +262,140 @@ TEST(ShardRunnerTest, SerialKillSwitchStillByteIdentical) {
   serial.force_serial_env = true;
   const RunResult p = run_fabric(7, 4, serial);
   EXPECT_EQ(p.shards, 4u);
+  EXPECT_FALSE(p.concurrent);
   EXPECT_EQ(p.digest, base.digest);
+}
+
+// --- armed observers stay concurrent (DESIGN.md §17) ------------------------
+
+/// Tracer + tap armed no longer force the serial driver: the per-shard
+/// observer journal defers every observation and replays it at the
+/// barrier in canonical key order.  The trace file, the tap's
+/// order-sensitive fold, and the wire digest must all be byte-identical
+/// to the serial armed run — while the run really executes concurrently.
+class ShardArmed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardArmed, TracerAndTapByteIdenticalWhileConcurrent) {
+  FabricOpts armed;
+  armed.arm_tracer = true;
+  armed.attach_tap = true;
+  const RunResult base = run_fabric(GetParam(), 1, armed);
+  EXPECT_FALSE(base.concurrent);
+  EXPECT_GT(base.tap_events, 0u);
+  ASSERT_FALSE(base.trace_json.empty());
+  for (std::uint32_t shards : {2u, 4u, 8u}) {
+    const RunResult p = run_fabric(GetParam(), shards, armed);
+    EXPECT_EQ(p.shards, shards);
+    // The whole point: observers armed AND the parallel driver engaged.
+    EXPECT_TRUE(p.concurrent) << shards << " shards";
+    EXPECT_GT(p.epochs, 0u) << shards << " shards";
+    EXPECT_EQ(p.digest, base.digest) << shards << " shards";
+    EXPECT_EQ(p.tap_events, base.tap_events) << shards << " shards";
+    EXPECT_EQ(p.tap_digest, base.tap_digest) << shards << " shards";
+    EXPECT_EQ(p.trace_json, base.trace_json) << shards << " shards";
+    EXPECT_EQ(p.delivered, base.delivered);
+  }
+}
+
+TEST_P(ShardArmed, TracerOnlyByteIdentical) {
+  FabricOpts armed;
+  armed.arm_tracer = true;
+  const RunResult base = run_fabric(GetParam(), 1, armed);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const RunResult p = run_fabric(GetParam(), shards, armed);
+    EXPECT_TRUE(p.concurrent);
+    EXPECT_EQ(p.digest, base.digest);
+    EXPECT_EQ(p.trace_json, base.trace_json) << shards << " shards";
+  }
+}
+
+TEST_P(ShardArmed, TapOnlyByteIdentical) {
+  FabricOpts armed;
+  armed.attach_tap = true;
+  const RunResult base = run_fabric(GetParam(), 1, armed);
+  for (std::uint32_t shards : {2u, 4u}) {
+    const RunResult p = run_fabric(GetParam(), shards, armed);
+    EXPECT_TRUE(p.concurrent);
+    EXPECT_EQ(p.digest, base.digest);
+    EXPECT_EQ(p.tap_digest, base.tap_digest) << shards << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardArmed, ::testing::Values(3, 17, 1234));
+
+TEST(ShardArmedTest, LossAndCrashWithObserversByteIdentical) {
+  FabricOpts chaos;
+  chaos.loss_rate = 0.05;
+  chaos.crash_spine = true;
+  chaos.arm_tracer = true;
+  chaos.attach_tap = true;
+  const RunResult base = run_fabric(17, 1, chaos);
+  const RunResult p = run_fabric(17, 4, chaos);
+  EXPECT_TRUE(p.concurrent);
+  EXPECT_EQ(p.digest, base.digest);
+  EXPECT_EQ(p.tap_digest, base.tap_digest);
+  EXPECT_EQ(p.trace_json, base.trace_json);
+}
+
+TEST(ShardArmedTest, ObsSerialEnvRestoresSerialFallback) {
+  // OBJRPC_OBS_SERIAL=1 is the escape hatch: armed observers force the
+  // serial driver again (weaker than OBJRPC_SHARDS_SERIAL, which
+  // serializes even unobserved runs).  Output is identical either way.
+  FabricOpts armed;
+  armed.arm_tracer = true;
+  armed.attach_tap = true;
+  const RunResult base = run_fabric(9, 1, armed);
+  FabricOpts obs_serial = armed;
+  obs_serial.obs_serial_env = true;
+  const RunResult p = run_fabric(9, 4, obs_serial);
+  EXPECT_EQ(p.shards, 4u);
+  EXPECT_FALSE(p.concurrent);  // observers + kill switch => serial driver
+  EXPECT_EQ(p.digest, base.digest);
+  EXPECT_EQ(p.tap_digest, base.tap_digest);
+  EXPECT_EQ(p.trace_json, base.trace_json);
+
+  // Unobserved runs stay concurrent under OBJRPC_OBS_SERIAL: the switch
+  // only bites when something is actually armed.
+  FabricOpts bare;
+  bare.obs_serial_env = true;
+  const RunResult q = run_fabric(9, 4, bare);
+  EXPECT_TRUE(q.concurrent);
+}
+
+TEST(ShardArmedTest, RingOverflowWithObserversByteIdentical) {
+  FabricOpts tiny;
+  tiny.ring_capacity = 1;
+  tiny.arm_tracer = true;
+  tiny.attach_tap = true;
+  const RunResult base = run_fabric(11, 1, tiny);
+  const RunResult p = run_fabric(11, 4, tiny);
+  EXPECT_GT(p.overflow, 0u);
+  EXPECT_TRUE(p.concurrent);
+  EXPECT_EQ(p.digest, base.digest);
+  EXPECT_EQ(p.tap_digest, base.tap_digest);
+  EXPECT_EQ(p.trace_json, base.trace_json);
+}
+
+// --- mid-run metrics snapshots ----------------------------------------------
+
+TEST(ShardMetrics, SnapshotAtEveryEpochBarrierIsCoherent) {
+  // snapshot() during a 4-shard run: taken at the barrier (workers
+  // parked), SHARD_LANED counters merged.  frames_delivered must be
+  // monotone across epochs and land exactly on the serial total.
+  const RunResult base = run_fabric(13, 1);
+  FabricOpts snap;
+  snap.snapshot_each_epoch = true;
+  const RunResult p = run_fabric(13, 4, snap);
+  EXPECT_TRUE(p.concurrent);
+  EXPECT_GT(p.epoch_frames.size(), 4u) << "hook saw too few epochs";
+  std::uint64_t prev = 0;
+  for (std::uint64_t v : p.epoch_frames) {
+    EXPECT_GE(v, prev) << "frames_delivered went backwards mid-run";
+    prev = v;
+  }
+  EXPECT_GT(prev, 0u);
+  EXPECT_EQ(p.digest, base.digest);
+  EXPECT_EQ(p.delivered, base.delivered);
 }
 
 // --- backpressure -----------------------------------------------------------
@@ -271,7 +454,18 @@ TEST(ShardDeathTest, OversizedHorizonAbortsUnderStrict) {
 
 // --- cluster-level opt-in (OBJRPC_SHARDS) -----------------------------------
 
-std::uint64_t run_cluster_workload(const char* shards_env) {
+struct ClusterRun {
+  std::uint64_t wire_digest = 0;
+  std::uint64_t checker_digest = 0;
+  std::uint64_t checker_events = 0;
+  std::string trace_json;
+  bool concurrent = false;
+};
+
+/// Full-stack workload (create / write / fetch / move over the RPC
+/// layers).  With `armed`, the invariant checker rides its taps and the
+/// tracer records — since §17 neither forces the serial driver.
+ClusterRun run_cluster_workload(const char* shards_env, bool armed = false) {
   if (shards_env != nullptr) {
     setenv("OBJRPC_SHARDS", shards_env, 1);
   } else {
@@ -280,9 +474,15 @@ std::uint64_t run_cluster_workload(const char* shards_env) {
   ClusterConfig cfg;
   cfg.fabric.scheme = DiscoveryScheme::controller;
   cfg.fabric.seed = 21;
-  cfg.check_invariants = 0;  // the checker's taps would force serial
+  // Checker taps + tracer no longer serialize the run (DESIGN.md §17):
+  // their observations defer into the shard journal and replay at the
+  // barrier in canonical order.
+  cfg.check_invariants = armed ? 1 : 0;
   auto cluster = Cluster::build(cfg);
+  if (armed) cluster->tracer().arm();
   cluster->fabric().network().arm_wire_digest();
+  ClusterRun out;
+  out.concurrent = cluster->fabric().network().concurrent_allowed();
   auto obj = cluster->create_object(1, 4096);
   EXPECT_TRUE(obj.has_value());
   const ObjectId id = (*obj)->id();
@@ -297,16 +497,46 @@ std::uint64_t run_cluster_workload(const char* shards_env) {
   cluster->move_object(id, 1, 2, [&](Status s) { moved = s.is_ok(); });
   cluster->settle();
   EXPECT_TRUE(moved);
-  const std::uint64_t digest = cluster->fabric().network().wire_digest();
+  out.wire_digest = cluster->fabric().network().wire_digest();
+  if (armed) {
+    EXPECT_NE(cluster->checker(), nullptr);
+    if (cluster->checker() != nullptr) {
+      out.checker_digest = cluster->checker()->digest();
+      out.checker_events = cluster->checker()->events_observed();
+    }
+    out.trace_json = cluster->tracer().chrome_trace_json();
+  }
   unsetenv("OBJRPC_SHARDS");
-  return digest;
+  return out;
 }
 
 TEST(ShardCluster, EnvOptInByteIdenticalAcrossShardCounts) {
-  const std::uint64_t serial = run_cluster_workload(nullptr);
+  const std::uint64_t serial = run_cluster_workload(nullptr).wire_digest;
   EXPECT_NE(serial, 0u);
   for (const char* n : {"1", "2", "4", "8"}) {
-    EXPECT_EQ(run_cluster_workload(n), serial) << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(run_cluster_workload(n).wire_digest, serial)
+        << "OBJRPC_SHARDS=" << n;
+  }
+}
+
+TEST(ShardCluster, ArmedCheckerAndTracerByteIdenticalAcrossShardCounts) {
+  // The §17 acceptance matrix at the full-stack level: same seed,
+  // serial vs 2/4/8 shards, checker + tracer armed.  Wire digest,
+  // checker fold, and trace JSON must agree byte-for-byte — and the
+  // sharded legs must actually run the concurrent driver.
+  const ClusterRun base = run_cluster_workload(nullptr, /*armed=*/true);
+  EXPECT_NE(base.wire_digest, 0u);
+  EXPECT_GT(base.checker_events, 0u);
+  ASSERT_FALSE(base.trace_json.empty());
+  for (const char* n : {"2", "4", "8"}) {
+    const ClusterRun p = run_cluster_workload(n, /*armed=*/true);
+    EXPECT_TRUE(p.concurrent) << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(p.wire_digest, base.wire_digest) << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(p.checker_events, base.checker_events)
+        << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(p.checker_digest, base.checker_digest)
+        << "OBJRPC_SHARDS=" << n;
+    EXPECT_EQ(p.trace_json, base.trace_json) << "OBJRPC_SHARDS=" << n;
   }
 }
 

@@ -24,6 +24,17 @@ metric regressed past its tolerance.  Two kinds of checks:
      scale >= 2.5x over 1 shard on the leaf-spine fabric.  On smaller
      machines the scaling check is skipped LOUDLY, never silently.
 
+  4. Armed observers (DESIGN.md §17) — `shards_armed_digest_match` and
+     `shards_armed_concurrent` must be 1 on every machine: a 4-shard
+     run with tracer + checker + profiler armed must reproduce the
+     serial digest WITHOUT falling back to the serial driver.  With
+     >= 4 cores, `shards_armed_overhead_4` (armed-concurrent time over
+     armed-serial time — the cost of the observer journal's
+     defer/copy/replay relative to inline serial observation) must be
+     <= 1.15x; skipped loudly below 4 cores where worker ping-pong on
+     oversubscribed cores drowns the measurement.  The profiler's
+     shard/* metrics must be present in `shard_profile_metrics`.
+
 Usage: tools/simcore_gate.py <current.json> [baseline.json]
 Exit 0 = within tolerance; 1 = regression (details on stderr).
 """
@@ -37,6 +48,20 @@ RATIO_TOLERANCE = 0.30
 ABSOLUTE_TOLERANCE = 0.50
 SHARD_SCALING_FLOOR = 2.5  # 4 shards vs 1, leaf-spine, cores >= 4 only
 SHARD_SCALING_MIN_CORES = 4
+ARMED_OVERHEAD_CEILING = 1.15  # armed-concurrent vs armed-serial time
+# Every profiler metric family that must appear in the armed run's
+# registry dump (shard_profile_metrics).
+PROFILE_METRIC_KEYS = [
+    "shard/epoch_host_ns",
+    "shard/exec_host_ns",
+    "shard/barrier_wait_ns",
+    "shard/drain_host_ns",
+    "shard/lane_utilization_pct",
+    "shard/ring_occupancy",
+    "shard/epochs",
+    "shard/cross_frames",
+    "shard/ring_overflow",
+]
 
 # Metric -> allowed drop vs baseline (higher is better for all of them).
 RELATIVE_GATES = [
@@ -112,6 +137,39 @@ def main():
             f"{cores:.0f} hardware threads (< {SHARD_SCALING_MIN_CORES}); "
             f"measured {scaling:.2f}x at 4 shards, digest match only",
             file=sys.stderr)
+
+    # Armed-observer leg (§17): byte-identity and staying concurrent are
+    # correctness bars, enforced everywhere; the overhead ceiling is a
+    # perf number and needs real cores.
+    if current.get("shards_armed_digest_match", 0.0) != 1.0:
+        failures.append(
+            "shards_armed_digest_match != 1: armed 4-shard run diverged "
+            "from the serial digest")
+    if current.get("shards_armed_concurrent", 0.0) != 1.0:
+        failures.append(
+            "shards_armed_concurrent != 1: armed observers forced the "
+            "serial driver")
+    overhead = current.get("shards_armed_overhead_4")
+    if overhead is None:
+        failures.append("current run is missing 'shards_armed_overhead_4'")
+    elif cores >= SHARD_SCALING_MIN_CORES:
+        if overhead > ARMED_OVERHEAD_CEILING:
+            failures.append(
+                f"shards_armed_overhead_4: {overhead:.3f}x above the "
+                f"{ARMED_OVERHEAD_CEILING}x ceiling ({cores:.0f} cores)")
+    else:
+        print(
+            f"simcore_gate: SKIPPED armed overhead ceiling — run had "
+            f"{cores:.0f} hardware threads (< {SHARD_SCALING_MIN_CORES}); "
+            f"measured {overhead:.3f}x, digest + concurrency checks only",
+            file=sys.stderr)
+    profile = current.get("shard_profile_metrics")
+    profile_blob = json.dumps(profile) if profile is not None else ""
+    for key in PROFILE_METRIC_KEYS:
+        if key not in profile_blob:
+            failures.append(
+                f"shard_profile_metrics is missing '{key}' — the shard "
+                "profiler did not run or dropped a series")
 
     if failures:
         for f in failures:

@@ -16,7 +16,19 @@ as garbage (or not at all):
   * at least --min-processes distinct pids carry a process_name (the
     integration scenario must show every node as its own lane).
 
-Usage: tools/trace_lint.py trace.json [--min-processes N]
+With --shard-lanes K it additionally validates the shard profiler's
+host-time track family (DESIGN.md §17, pids >= 1000000):
+
+  * process names shard-lane-0 .. shard-lane-(K-1) and shard-coordinator
+    are all present;
+  * within each shard-lane pid, "exec" spans are monotone in ts and do
+    not overlap (one worker thread = one serial lane);
+  * every lane "exec" span carries args.epoch and nests (with a small
+    rounding epsilon) inside the coordinator "epoch" span of the same
+    epoch number;
+  * at least one "ring_occupancy" counter track exists on a lane pid.
+
+Usage: tools/trace_lint.py trace.json [--min-processes N] [--shard-lanes K]
 Exit 0 = clean; 1 = violations (printed one per line).
 """
 
@@ -95,11 +107,94 @@ def lint(doc, min_processes):
     return errors
 
 
+SHARD_PID_BASE = 1_000_000
+# ts/dur are exported as microseconds with three decimals; allow one
+# rounding step of slack either side when checking containment.
+EPS_US = 0.002
+
+
+def lint_shard_lanes(doc, k):
+    """Validate the shard profiler's host-time track family."""
+    events = doc.get("traceEvents", doc) if isinstance(doc, dict) else doc
+    errors = []
+
+    names_by_pid = {}
+    exec_by_pid = {}          # lane pid -> [(ts, dur, epoch)]
+    epoch_spans = {}          # epoch -> (ts, dur) on the coordinator
+    ring_counter_pids = set()
+    for ev in events:
+        if not isinstance(ev, dict) or not is_num(ev.get("pid")):
+            continue
+        pid = ev["pid"]
+        if pid < SHARD_PID_BASE:
+            continue
+        ph, name = ev.get("ph"), ev.get("name")
+        if ph == "M" and name == "process_name":
+            names_by_pid[pid] = ev.get("args", {}).get("name", "")
+        elif ph == "X" and name == "exec":
+            epoch = ev.get("args", {}).get("epoch")
+            exec_by_pid.setdefault(pid, []).append(
+                (ev.get("ts"), ev.get("dur"), epoch))
+        elif ph == "X" and name == "epoch":
+            epoch = ev.get("args", {}).get("epoch")
+            epoch_spans[epoch] = (ev.get("ts"), ev.get("dur"))
+        elif ph == "C" and name == "ring_occupancy":
+            ring_counter_pids.add(pid)
+
+    wanted = {f"shard-lane-{i}" for i in range(k)} | {"shard-coordinator"}
+    have = set(names_by_pid.values())
+    for missing in sorted(wanted - have):
+        errors.append(f"shard track family: no process named {missing!r}")
+
+    lane_pids = {p for p, n in names_by_pid.items()
+                 if n.startswith("shard-lane-")}
+    if not epoch_spans:
+        errors.append("shard track family: no coordinator 'epoch' spans")
+    if not any(p in lane_pids for p in ring_counter_pids):
+        errors.append(
+            "shard track family: no 'ring_occupancy' counter on a lane pid")
+
+    for pid, spans in sorted(exec_by_pid.items()):
+        lane = names_by_pid.get(pid, f"pid {pid}")
+        prev_end = None
+        for ts, dur, epoch in spans:
+            if not is_num(ts) or not is_num(dur):
+                errors.append(f"{lane}: exec span with non-numeric ts/dur")
+                continue
+            # One worker thread per lane: host-time spans must advance
+            # monotonically and never overlap.
+            if prev_end is not None and ts < prev_end - EPS_US:
+                errors.append(
+                    f"{lane}: exec span at ts={ts} overlaps previous "
+                    f"(ended {prev_end})")
+            prev_end = ts + dur
+            if epoch is None:
+                errors.append(f"{lane}: exec span without args.epoch")
+                continue
+            outer = epoch_spans.get(epoch)
+            if outer is None:
+                errors.append(
+                    f"{lane}: exec span for epoch {epoch} has no matching "
+                    f"coordinator epoch span")
+                continue
+            ots, odur = outer
+            if ts < ots - EPS_US or ts + dur > ots + odur + EPS_US:
+                errors.append(
+                    f"{lane}: exec span [{ts}, {ts + dur}] escapes epoch "
+                    f"{epoch} span [{ots}, {ots + odur}]")
+    if not exec_by_pid:
+        errors.append("shard track family: no lane 'exec' spans")
+    return errors
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="Chrome trace_event JSON file")
     parser.add_argument("--min-processes", type=int, default=1,
                         help="minimum distinct named processes (default 1)")
+    parser.add_argument("--shard-lanes", type=int, default=0, metavar="K",
+                        help="also validate the shard profiler track "
+                             "family for K lanes (default: off)")
     opts = parser.parse_args()
 
     try:
@@ -110,6 +205,8 @@ def main():
         return 1
 
     errors = lint(doc, opts.min_processes)
+    if opts.shard_lanes > 0:
+        errors += lint_shard_lanes(doc, opts.shard_lanes)
     for e in errors:
         print(f"{opts.trace}: {e}")
     if errors:
